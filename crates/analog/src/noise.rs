@@ -1,0 +1,124 @@
+//! Stochastic impairments: additive noise and timing jitter.
+//!
+//! The paper's channel is characterized by attenuation only; BER and
+//! sensitivity sweeps additionally need the noise and jitter that close
+//! the eye. Both impairments are seeded for reproducibility.
+
+use crate::waveform::Waveform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adds zero-mean Gaussian voltage noise with standard deviation
+/// `sigma_v` to every sample (Box–Muller over a seeded PRNG).
+pub fn add_gaussian_noise(waveform: &Waveform, sigma_v: f64, seed: u64) -> Waveform {
+    if sigma_v <= 0.0 {
+        return waveform.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<f64> = waveform
+        .samples()
+        .iter()
+        .map(|&v| v + sigma_v * gaussian(&mut rng))
+        .collect();
+    Waveform::new(waveform.t0(), waveform.dt(), samples)
+}
+
+/// Applies timing jitter by resampling the waveform on a perturbed time
+/// axis: each sample is read at `t + j(t)` where `j` is a smooth random
+/// walk with RMS `rj_sigma` plus a sinusoidal deterministic component of
+/// peak-to-peak `dj_pp` at `dj_freq`.
+pub fn apply_jitter(
+    waveform: &Waveform,
+    rj_sigma: f64,
+    dj_pp: f64,
+    dj_freq: f64,
+    seed: u64,
+) -> Waveform {
+    if rj_sigma <= 0.0 && dj_pp <= 0.0 {
+        return waveform.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Low-pass-filtered random walk for the random component, so jitter
+    // is correlated between neighbouring samples (as physical RJ is).
+    let n = waveform.len();
+    let mut rj = vec![0.0f64; n];
+    let alpha: f64 = 0.02;
+    // AR(1) with coefficient (1-α) has stationary σ² = σ_drive²·α²/(2α-α²);
+    // scale the drive so the walk's RMS lands at rj_sigma.
+    let drive = rj_sigma * ((2.0 * alpha - alpha * alpha).sqrt() / alpha);
+    for i in 1..n {
+        rj[i] = (1.0 - alpha) * rj[i - 1] + alpha * drive * gaussian(&mut rng);
+    }
+    let samples: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = waveform.t0() + i as f64 * waveform.dt();
+            let dj = 0.5 * dj_pp * (2.0 * std::f64::consts::PI * dj_freq * t).sin();
+            waveform.sample_at(t + rj[i] + dj)
+        })
+        .collect();
+    Waveform::new(waveform.t0(), waveform.dt(), samples)
+}
+
+/// One standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_statistics_match_sigma() {
+        let w = Waveform::constant(0.9, 0.0, 1e-12, 20_000);
+        let noisy = add_gaussian_noise(&w, 0.01, 7);
+        let mean = noisy.mean();
+        let var = noisy
+            .samples()
+            .iter()
+            .map(|&v| (v - mean).powi(2))
+            .sum::<f64>()
+            / noisy.len() as f64;
+        assert!((mean - 0.9).abs() < 1e-3, "mean = {mean}");
+        assert!((var.sqrt() - 0.01).abs() < 1e-3, "sigma = {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let w = Waveform::constant(1.0, 0.0, 1e-12, 100);
+        assert_eq!(add_gaussian_noise(&w, 0.0, 1).samples(), w.samples());
+        assert_eq!(
+            apply_jitter(&w, 0.0, 0.0, 1e9, 1).samples(),
+            w.samples()
+        );
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let w = Waveform::constant(0.0, 0.0, 1e-12, 100);
+        let a = add_gaussian_noise(&w, 0.05, 42);
+        let b = add_gaussian_noise(&w, 0.05, 42);
+        let c = add_gaussian_noise(&w, 0.05, 43);
+        assert_eq!(a.samples(), b.samples());
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn jitter_moves_edges() {
+        let bits: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        let w = Waveform::nrz(&bits, 500e-12, 20e-12, 0.0, 1.8, 64);
+        let jittered = apply_jitter(&w, 10e-12, 20e-12, 123e6, 9);
+        let clean_edges = w.crossings(0.9, true);
+        let jit_edges = jittered.crossings(0.9, true);
+        assert_eq!(clean_edges.len(), jit_edges.len());
+        let max_shift = clean_edges
+            .iter()
+            .zip(&jit_edges)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_shift > 1e-12, "edges must move");
+        assert!(max_shift < 100e-12, "but not absurdly far: {max_shift}");
+    }
+}

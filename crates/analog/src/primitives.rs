@@ -1,0 +1,232 @@
+//! Circuit-level building blocks: sized inverters, inverter chains and
+//! the resistive-feedback inverter of the paper's receiver front end.
+
+use crate::circuit::{Circuit, Node};
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::mos::{MosDevice, MosParams};
+
+/// Widths of a CMOS inverter's devices in µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverterSize {
+    /// NMOS width in µm.
+    pub wn: f64,
+    /// PMOS width in µm.
+    pub wp: f64,
+}
+
+impl InverterSize {
+    /// The unit inverter of the library (Wn = 0.65, Wp = 1.0 µm).
+    pub fn unit() -> Self {
+        Self { wn: 0.65, wp: 1.0 }
+    }
+
+    /// A unit inverter scaled by `k`.
+    pub fn scaled(k: f64) -> Self {
+        Self {
+            wn: 0.65 * k,
+            wp: 1.0 * k,
+        }
+    }
+}
+
+impl Default for InverterSize {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+/// The feedback element of a resistive-feedback inverter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedbackKind {
+    /// A PMOS pseudo-resistor (gate/source tied), the synthesizable
+    /// choice of the paper.
+    PseudoResistor {
+        /// Device width in µm.
+        w: f64,
+        /// Device length in µm (long devices give higher resistance).
+        l: f64,
+    },
+    /// An ideal resistor (for model studies and ablations).
+    Ideal(f64),
+}
+
+/// Adds a CMOS inverter between `vin` and `vout` powered from `vdd`.
+/// Returns the pair of devices' gate capacitance in farads (the load the
+/// inverter presents to its driver).
+pub fn add_inverter(
+    c: &mut Circuit,
+    pvt: &Pvt,
+    size: InverterSize,
+    vin: Node,
+    vout: Node,
+    vdd: Node,
+) -> f64 {
+    let nmos = MosDevice::new(MosParams::sky130_nmos(pvt), size.wn, 0.15);
+    let pmos = MosDevice::new(MosParams::sky130_pmos(pvt), size.wp, 0.15);
+    let cin = nmos.gate_cap().value() + pmos.gate_cap().value();
+    let cpar = nmos.drain_cap().value() + pmos.drain_cap().value();
+    let gnd = c.gnd();
+    c.mos(nmos, vout, vin, gnd);
+    c.mos(pmos, vout, vin, vdd);
+    // Drain junction parasitics load the output.
+    c.capacitor(vout, gnd, cpar.max(1e-18));
+    cin
+}
+
+/// Adds a chain of inverters; returns the output node of each stage.
+/// Stage `i` drives stage `i+1`; gate loading between stages is inherent
+/// in the device models.
+pub fn add_inverter_chain(
+    c: &mut Circuit,
+    pvt: &Pvt,
+    sizes: &[InverterSize],
+    vin: Node,
+    vdd: Node,
+) -> Vec<Node> {
+    let mut outs = Vec::with_capacity(sizes.len());
+    let mut input = vin;
+    for (i, &size) in sizes.iter().enumerate() {
+        let out = c.node(format!("inv_chain_{i}"));
+        add_inverter(c, pvt, size, input, out, vdd);
+        outs.push(out);
+        input = out;
+    }
+    outs
+}
+
+/// Adds the paper's resistive-feedback inverter: a CMOS inverter with a
+/// feedback element from output back to input, which self-biases the
+/// input at the switching threshold so millivolt-scale AC-coupled inputs
+/// are amplified.
+pub fn add_resistive_feedback_inverter(
+    c: &mut Circuit,
+    pvt: &Pvt,
+    size: InverterSize,
+    feedback: FeedbackKind,
+    vin: Node,
+    vout: Node,
+    vdd: Node,
+) {
+    add_inverter(c, pvt, size, vin, vout, vdd);
+    match feedback {
+        FeedbackKind::PseudoResistor { w, l } => {
+            let pmos = MosDevice::new(MosParams::sky130_pmos(pvt), w, l);
+            c.pseudo_resistor(pmos, vout, vin);
+        }
+        FeedbackKind::Ideal(ohms) => c.resistor(vout, vin, ohms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Stimulus;
+    use crate::solver::{dc_operating_point, transient, TransientConfig};
+
+    const VDD: f64 = 1.8;
+
+    fn powered() -> (Circuit, Node) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        c.vsource(vdd, Stimulus::Dc(VDD));
+        (c, vdd)
+    }
+
+    #[test]
+    fn chain_of_three_inverts_odd() {
+        let (mut c, vdd) = powered();
+        let vin = c.node("vin");
+        c.vsource(vin, Stimulus::Dc(0.0));
+        let outs = add_inverter_chain(
+            &mut c,
+            &Pvt::nominal(),
+            &[
+                InverterSize::unit(),
+                InverterSize::scaled(3.0),
+                InverterSize::scaled(9.0),
+            ],
+            vin,
+            vdd,
+        );
+        let v = dc_operating_point(&c).expect("solves");
+        assert!(v[outs[0].index()] > VDD - 0.1, "stage 1 high");
+        assert!(v[outs[1].index()] < 0.1, "stage 2 low");
+        assert!(v[outs[2].index()] > VDD - 0.1, "stage 3 high");
+    }
+
+    #[test]
+    fn feedback_inverter_self_biases_near_midrail() {
+        // With the input AC-coupled (floating at DC), the feedback forces
+        // vin = vout = the inverter switching threshold ≈ 0.5·VDD.
+        let (mut c, vdd) = powered();
+        let src = c.node("src");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.vsource(src, Stimulus::Dc(0.0));
+        c.capacitor(src, vin, 1e-12); // AC coupling
+        add_resistive_feedback_inverter(
+            &mut c,
+            &Pvt::nominal(),
+            InverterSize::scaled(2.0),
+            FeedbackKind::PseudoResistor { w: 1.0, l: 0.5 },
+            vin,
+            vout,
+            vdd,
+        );
+        let v = dc_operating_point(&c).expect("solves");
+        let bias = v[vin.index()];
+        assert!(
+            (0.35 * VDD..0.65 * VDD).contains(&bias),
+            "self-bias at {bias:.3} V"
+        );
+        assert!(
+            (v[vout.index()] - bias).abs() < 0.1,
+            "feedback equalizes in/out"
+        );
+    }
+
+    #[test]
+    fn feedback_inverter_amplifies_small_signal() {
+        // 50 mV square wave AC-coupled in; output swing must be much
+        // larger than the input swing (the front end's gain).
+        let (mut c, vdd) = powered();
+        let src = c.node("src");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        let bits = [false, true, false, true, true, false];
+        let w = crate::waveform::Waveform::nrz(&bits, 1e-9, 50e-12, 0.0, 0.05, 64);
+        c.vsource(src, Stimulus::Wave(w));
+        c.capacitor(src, vin, 1e-12);
+        add_resistive_feedback_inverter(
+            &mut c,
+            &Pvt::nominal(),
+            InverterSize::scaled(2.0),
+            FeedbackKind::Ideal(5e6),
+            vin,
+            vout,
+            vdd,
+        );
+        let res = transient(&c, &TransientConfig::with_dt(6e-9, 2e-12)).expect("runs");
+        let out = res.waveform(vout);
+        // Skip the first bit (settling).
+        let settled = crate::waveform::Waveform::from_fn(
+            1e-9,
+            out.dt(),
+            ((6e-9 - 1e-9) / out.dt()) as usize,
+            |t| out.sample_at(t),
+        );
+        let gain = settled.amplitude() / 0.05;
+        assert!(gain > 4.0, "small-signal gain = {gain:.1}");
+    }
+
+    #[test]
+    fn inverter_input_cap_reported() {
+        let (mut c, vdd) = powered();
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.vsource(vin, Stimulus::Dc(0.0));
+        let cin = add_inverter(&mut c, &Pvt::nominal(), InverterSize::unit(), vin, vout, vdd);
+        // Unit inverter: ~1.65 µm of gate → ~3.3 fF.
+        assert!((2.0e-15..5.0e-15).contains(&cin), "cin = {cin:.3e}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! CDR oversampling factor, driver taper, feedback-resistor strength,
+//! placement strategy, and PRBS order. Each group sweeps the knob so
+//! `cargo bench` records how the quality/runtime tradeoffs move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openserdes_core::{
+    oversample_bits, CdrConfig, OversamplingCdr, PrbsGenerator, PrbsOrder,
+};
+use openserdes_flow::place::{anneal, hpwl, place_greedy};
+use openserdes_flow::{synthesize, FlowConfig};
+use openserdes_flow::floorplan::Floorplan;
+use openserdes_netlist::NetlistStats;
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::library::Library;
+use openserdes_pdk::units::{Hertz, Time};
+use openserdes_phy::{DriverConfig, FrontEndConfig, RxFrontEnd, TxDriver, FeedbackKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// CDR oversampling factor: recovery quality/work per recovered bit.
+fn ablate_cdr_oversampling(c: &mut Criterion) {
+    let bits = PrbsGenerator::new(PrbsOrder::Prbs15).take_bits(4_000);
+    let mut g = c.benchmark_group("ablate_cdr_oversampling");
+    for n in [3usize, 5, 7] {
+        let stream = oversample_bits(&bits, n, 0.3, 0.02, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = CdrConfig::paper_default();
+                cfg.oversampling = n;
+                let mut cdr = OversamplingCdr::new(cfg);
+                black_box(cdr.recover(&stream))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Driver chain depth/taper: transient cost of each sizing strategy.
+fn ablate_driver_taper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_driver_taper");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let bits = [true, false, true, true, false];
+    for (stages, taper) in [(2usize, 24.0), (3, 8.0), (4, 4.5)] {
+        let mut cfg = DriverConfig::paper_default();
+        cfg.stages = stages;
+        cfg.taper = taper;
+        let driver = TxDriver::new(cfg, Pvt::nominal());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{stages}stages_x{taper}")),
+            &driver,
+            |b, d| {
+                b.iter(|| black_box(d.drive(&bits, Time::from_ps(500.0)).expect("runs")))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Feedback element: pseudo-resistor vs ideal resistors of varying value
+/// (bias-point solve cost and the sensitivity each one yields).
+fn ablate_feedback_r(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_feedback_r");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    let variants: Vec<(&str, FeedbackKind)> = vec![
+        ("pseudo_w1_l0.5", FeedbackKind::PseudoResistor { w: 1.0, l: 0.5 }),
+        ("ideal_1M", FeedbackKind::Ideal(1.0e6)),
+        ("ideal_100M", FeedbackKind::Ideal(100.0e6)),
+    ];
+    for (name, fb) in variants {
+        let mut cfg = FrontEndConfig::paper_default();
+        cfg.feedback = fb;
+        let fe = RxFrontEnd::new(cfg, Pvt::nominal());
+        g.bench_with_input(BenchmarkId::from_parameter(name), &fe, |b, fe| {
+            b.iter(|| black_box(fe.sensitivity(Hertz::from_ghz(2.0)).expect("solves")))
+        });
+    }
+    g.finish();
+}
+
+/// Placement strategy: greedy only vs annealing budgets on the CDR block.
+fn ablate_placement(c: &mut Criterion) {
+    let library = Library::sky130(Pvt::nominal());
+    let synth = synthesize(&openserdes_core::cdr_design(5), &library).expect("ok");
+    let stats = NetlistStats::compute(&synth.netlist, &library);
+    let fp = Floorplan::for_area(stats.area, 0.6, 1.0);
+    let mut g = c.benchmark_group("ablate_placement");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    for iters in [0usize, 2_000, 20_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                let mut p = place_greedy(&synth.netlist, &library, &fp);
+                let stats = anneal(&synth.netlist, &mut p, 42, iters);
+                black_box((hpwl(&synth.netlist, &p), stats))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// PRBS order: generation + self-sync checking throughput.
+fn ablate_prbs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_prbs");
+    for order in [PrbsOrder::Prbs7, PrbsOrder::Prbs15, PrbsOrder::Prbs23, PrbsOrder::Prbs31] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{order}")),
+            &order,
+            |b, &order| {
+                b.iter(|| {
+                    let mut gen = PrbsGenerator::new(order);
+                    let bits = gen.take_bits(10_000);
+                    let mut chk = openserdes_core::PrbsChecker::new(order);
+                    chk.push_all(&bits);
+                    black_box(chk.errors())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// TX FFE post-cursor strength over a band-limited channel: eye gain vs
+/// compute cost of the waveform-level evaluation.
+fn ablate_ffe(c: &mut Criterion) {
+    use openserdes_phy::{ChannelModel, TxFfe};
+    let bits = PrbsGenerator::new(PrbsOrder::Prbs15).take_bits(300);
+    let mut ch = ChannelModel::ideal();
+    ch.bandwidth = Hertz::from_mhz(350.0);
+    ch.attenuation_db = 6.0;
+    let mut g = c.benchmark_group("ablate_ffe");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    for post in [0.0f64, 0.15, 0.25, 0.4] {
+        g.bench_with_input(BenchmarkId::from_parameter(post), &post, |b, &post| {
+            let ffe = if post == 0.0 {
+                TxFfe::passthrough()
+            } else {
+                TxFfe::two_tap(post)
+            };
+            b.iter(|| black_box(ffe.eye_improvement(&bits, 500e-12, 1.8, &ch)))
+        });
+    }
+    g.finish();
+}
+
+/// Flow seed stability: the full flow on the CDR across seeds (quality
+/// spread of the annealer).
+fn ablate_flow_seed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_flow_seed");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    for seed in [1u64, 42] {
+        g.bench_with_input(BenchmarkId::from_parameter(seed), &seed, |b, &seed| {
+            b.iter(|| {
+                let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(1.0));
+                cfg.seed = seed;
+                cfg.anneal_iterations = 2_000;
+                black_box(
+                    openserdes_flow::run_flow(&openserdes_core::cdr_design(5), &cfg)
+                        .expect("flow runs"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_cdr_oversampling,
+    ablate_driver_taper,
+    ablate_feedback_r,
+    ablate_placement,
+    ablate_prbs,
+    ablate_ffe,
+    ablate_flow_seed
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benchmarks, one per paper figure/table — each times the
+//! exact computation the corresponding `src/bin/figNN_*` binary prints
+//! (DESIGN.md experiments E1–E9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openserdes_bench::figures;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig02_cost(c: &mut Criterion) {
+    c.bench_function("fig02_cost_model", |b| {
+        b.iter(|| black_box(figures::fig02_cost()))
+    });
+}
+
+fn fig04_driver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_driver");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("transient_2gbps_2pf", |b| {
+        b.iter(|| black_box(figures::fig04_driver().expect("runs")))
+    });
+    g.finish();
+}
+
+fn fig06_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_frontend");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("vtc_bias_transient", |b| {
+        b.iter(|| black_box(figures::fig06_frontend().expect("runs")))
+    });
+    g.finish();
+}
+
+fn fig07_cdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_cdr");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("lock_across_offsets", |b| {
+        b.iter(|| black_box(figures::fig07_cdr()))
+    });
+    g.finish();
+}
+
+fn fig08_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_link");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("prbs31_34db_10frames", |b| {
+        b.iter(|| black_box(figures::fig08_link(10).expect("runs")))
+    });
+    g.finish();
+}
+
+fn fig09_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_sensitivity");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("model_sweep_6_rates", |b| {
+        b.iter(|| black_box(figures::fig09_sensitivity().expect("runs")))
+    });
+    g.finish();
+}
+
+fn fig10_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_budget");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("full_budget_2ghz", |b| {
+        b.iter(|| black_box(figures::fig10_budget().expect("runs")))
+    });
+    g.finish();
+}
+
+fn fig11_floorplan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_floorplan");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("three_block_flows", |b| {
+        b.iter(|| black_box(figures::fig11_floorplan().expect("runs")))
+    });
+    g.finish();
+}
+
+fn headline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("headline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("r1_to_r7", |b| {
+        b.iter(|| black_box(figures::headline().expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig02_cost,
+    fig04_driver,
+    fig06_frontend,
+    fig07_cdr,
+    fig08_link,
+    fig09_sensitivity,
+    fig10_budget,
+    fig11_floorplan,
+    headline
+);
+criterion_main!(benches);

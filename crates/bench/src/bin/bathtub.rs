@@ -1,0 +1,34 @@
+//! Extension figure: BER bathtub at the paper's operating point — the
+//! horizontal-margin plot behind the CDR's sampling-phase choice.
+
+use openserdes_bench::report::table;
+use openserdes_core::{bathtub, eye_width_at, LinkConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = LinkConfig::paper_default();
+    println!(
+        "BER bathtub @ {:.1} Gb/s / {:.0} dB (PRBS-31, 100k bits per phase)\n",
+        cfg.data_rate.ghz(),
+        cfg.channel.attenuation_db
+    );
+    let curve = bathtub(&cfg, 100_000, 24, 11)?;
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.3}", p.phase_ui),
+                if p.ber > 0.0 {
+                    format!("{:.2e}", p.ber)
+                } else {
+                    "<1e-5".into()
+                },
+            ]
+        })
+        .collect();
+    println!("{}", table(&["phase (UI)", "BER"], &rows));
+    println!(
+        "horizontal eye at BER 1e-3: {:.2} UI",
+        eye_width_at(&curve, 1e-3)
+    );
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 2: relative chip cost, traditional vs open PDK.
+
+use openserdes_bench::figures::fig02_cost;
+use openserdes_bench::report::table;
+
+fn main() {
+    println!("Fig. 2 — relative chip fabrication cost (normalized to 130 nm fab)\n");
+    let rows: Vec<Vec<String>> = fig02_cost()
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} nm", p.node_nm),
+                format!("{:.2}", p.fabrication),
+                format!("{:.2}", p.licensing),
+                format!("{:.2}", p.traditional()),
+                p.open_pdk()
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.0} %", p.saving_percent()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["node", "fab", "license", "traditional", "open PDK", "saving"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 4(b): driver input/output waveforms at 2 Gb/s / 2 pF.
+
+use openserdes_bench::figures::fig04_driver;
+use openserdes_bench::report::sparkline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let f = fig04_driver()?;
+    println!("Fig. 4(b) — CMOS transmit driver at 2 Gb/s into 2 pF\n");
+    println!("input (ideal rail-to-rail):");
+    println!("{}", sparkline(&f.waves.input, 8, 72));
+    println!("output (into the 2 pF channel termination):");
+    println!("{}", sparkline(&f.waves.output, 8, 72));
+    println!("output swing      : {:.3} V (rail-to-rail target 1.8 V)", f.swing);
+    if let Some(rt) = f.rise_time_ps {
+        println!("20-80% rise time  : {rt:.0} ps (UI = 500 ps)");
+    }
+    if let Some(d) = f.delay_ps {
+        println!("propagation delay : {d:.0} ps");
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 9: sensitivity and maximum channel loss vs data rate.
+
+use openserdes_bench::figures::fig09_sensitivity;
+use openserdes_bench::report::table;
+use openserdes_core::{max_loss_bisect, LinkConfig};
+use openserdes_pdk::units::Hertz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 9 — sensitivity & max channel loss vs frequency\n");
+    let pts = fig09_sensitivity()?;
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.data_rate.ghz()),
+                format!("{:.1}", p.sensitivity.mv()),
+                format!("{:.1}", p.max_loss_db),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["rate (GHz)", "sensitivity (mV)", "max loss (dB)"], &rows)
+    );
+    println!("cross-check: zero-BER bisection on the full link (PRBS-31):");
+    for ghz in [1.0, 2.0, 3.0] {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.data_rate = Hertz::from_ghz(ghz);
+        let db = max_loss_bisect(&cfg, 8, 0.5)?;
+        println!("  {ghz:.0} GHz: measured max loss = {db:.1} dB");
+    }
+    Ok(())
+}

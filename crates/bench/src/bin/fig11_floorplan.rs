@@ -1,0 +1,37 @@
+//! Regenerates Fig. 11: per-block layout (floorplan) summary.
+
+use openserdes_bench::figures::fig11_floorplan;
+use openserdes_bench::report::table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 11 — generated layout summary per block\n");
+    let blocks = fig11_floorplan()?;
+    let total: f64 = blocks.iter().map(|(_, r)| r.area().value()).sum();
+    let rows: Vec<Vec<String>> = blocks
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.to_string(),
+                format!("{}", r.stats.cell_count),
+                format!("{}", r.stats.flop_count),
+                format!("{:.0}x{:.0}", r.floorplan.width.value(), r.floorplan.height.value()),
+                format!("{:.0}", r.area().value()),
+                format!("{:.1} %", 100.0 * r.area().value() / total),
+                format!("{:.1}", r.route.total_length.value() / 1000.0),
+                format!("{:.2}", r.timing.fmax.ghz()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["block", "cells", "flops", "die (µm)", "area (µm²)", "share", "wire (mm)", "fmax (GHz)"],
+            &rows
+        )
+    );
+    for (name, r) in &blocks {
+        println!("--- {name} flow log ---");
+        println!("{r}");
+    }
+    Ok(())
+}

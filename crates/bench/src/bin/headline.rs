@@ -1,0 +1,21 @@
+//! Prints the paper's §V headline table, paper vs measured (R1–R7).
+
+use openserdes_bench::figures::headline;
+use openserdes_bench::report::table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OpenSerDes headline results — paper vs this reproduction\n");
+    let rows: Vec<Vec<String>> = headline()?
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.metric.to_string(),
+                r.paper.to_string(),
+                r.measured,
+            ]
+        })
+        .collect();
+    println!("{}", table(&["id", "metric", "paper", "measured"], &rows));
+    Ok(())
+}

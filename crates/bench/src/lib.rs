@@ -1,0 +1,12 @@
+//! # openserdes-bench
+//!
+//! The benchmark and figure-regeneration harness: one computation per
+//! paper figure/table ([`figures`]) shared by the printable binaries in
+//! `src/bin/` and the Criterion benches in `benches/`. See DESIGN.md for
+//! the experiment index (E1–E9) and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;

@@ -1,0 +1,559 @@
+//! The fully digital oversampling clock-and-data recovery block
+//! (paper §IV-C, Fig. 7).
+//!
+//! A phase generator derives N clock phases from the external reference;
+//! the received data is sampled N times per unit interval and pushed
+//! through FIFO registers into a decision block that histograms where
+//! transitions land and selects the sampling phase farthest from the
+//! data edges. Scan-configurable **glitch correction** (majority-of-3
+//! sample smoothing) and **jitter correction** (phase-update hysteresis)
+//! clean up the decision, exactly as the paper's external scan bits do.
+//!
+//! Two implementations, behaviourally identical where their feature sets
+//! overlap:
+//!
+//! * [`OversamplingCdr`] — the cycle-accurate behavioural model used in
+//!   link simulation,
+//! * [`cdr_design`] — synthesizable RTL (edge detector, per-phase edge
+//!   counters, argmax comparator tree, phase register, output mux) for
+//!   the flow's area/power budget.
+
+use openserdes_flow::ir::Design;
+
+/// CDR configuration (the paper's scan bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdrConfig {
+    /// Samples per unit interval (number of clock phases).
+    pub oversampling: usize,
+    /// Enable majority-of-3 sample smoothing (glitch correction).
+    pub glitch_filter: bool,
+    /// Consecutive agreeing evaluations required before the sampling
+    /// phase moves (jitter correction). 1 = move immediately.
+    pub phase_hysteresis: u32,
+    /// Unit intervals per decision window.
+    pub window: usize,
+}
+
+impl CdrConfig {
+    /// The paper's configuration: 5× oversampling, both corrections on.
+    pub fn paper_default() -> Self {
+        Self {
+            oversampling: 5,
+            glitch_filter: true,
+            phase_hysteresis: 2,
+            window: 32,
+        }
+    }
+
+    /// The configuration the RTL implements: no glitch filter,
+    /// hysteresis of one (the RTL keeps the decision datapath minimal
+    /// and leaves smoothing to the scan-bypassable wrapper).
+    pub fn rtl_equivalent(oversampling: usize) -> Self {
+        Self {
+            oversampling,
+            glitch_filter: false,
+            phase_hysteresis: 1,
+            window: 32,
+        }
+    }
+}
+
+impl Default for CdrConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Behavioural oversampling CDR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OversamplingCdr {
+    cfg: CdrConfig,
+    phase: usize,
+    edge_hist: Vec<u32>,
+    win_count: usize,
+    pending_target: Option<usize>,
+    pending_votes: u32,
+    last_sample: bool,
+    locked: bool,
+    phase_updates: u64,
+    uis: u64,
+}
+
+impl OversamplingCdr {
+    /// Creates a CDR starting at the centre phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oversampling < 3` or `window == 0`.
+    pub fn new(cfg: CdrConfig) -> Self {
+        assert!(cfg.oversampling >= 3, "need at least 3x oversampling");
+        assert!(cfg.window > 0, "decision window must be positive");
+        Self {
+            phase: cfg.oversampling / 2,
+            edge_hist: vec![0; cfg.oversampling],
+            win_count: 0,
+            pending_target: None,
+            pending_votes: 0,
+            last_sample: false,
+            locked: false,
+            phase_updates: 0,
+            uis: 0,
+            cfg,
+        }
+    }
+
+    /// The currently selected sampling phase index.
+    pub fn selected_phase(&self) -> usize {
+        self.phase
+    }
+
+    /// `true` once a decision window confirmed the current phase.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Number of phase changes so far (a jitter-tracking metric).
+    pub fn phase_updates(&self) -> u64 {
+        self.phase_updates
+    }
+
+    /// Unit intervals processed.
+    pub fn uis_processed(&self) -> u64 {
+        self.uis
+    }
+
+    /// Processes one unit interval worth of samples, returning the
+    /// recovered bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != oversampling`.
+    pub fn process_ui(&mut self, samples: &[bool]) -> bool {
+        let n = self.cfg.oversampling;
+        assert_eq!(samples.len(), n, "one UI is {n} samples");
+
+        // Glitch correction: majority-of-3 smoothing over the sample
+        // window (previous UI's last sample patches the left edge).
+        let smoothed: Vec<bool> = if self.cfg.glitch_filter {
+            (0..n)
+                .map(|i| {
+                    let prev = if i == 0 { self.last_sample } else { samples[i - 1] };
+                    let next = if i + 1 < n { samples[i + 1] } else { samples[i] };
+                    (prev as u8 + samples[i] as u8 + next as u8) >= 2
+                })
+                .collect()
+        } else {
+            samples.to_vec()
+        };
+
+        let bit = smoothed[self.phase];
+
+        // Window bookkeeping matches the RTL: on the window's last UI the
+        // decision is evaluated from the accumulated histogram and the
+        // histogram clears (that UI's edges are not counted).
+        if self.win_count == self.cfg.window - 1 {
+            self.evaluate();
+            self.edge_hist.iter_mut().for_each(|c| *c = 0);
+            self.win_count = 0;
+        } else {
+            for i in 0..n {
+                let prev = if i == 0 { self.last_sample } else { smoothed[i - 1] };
+                if prev != smoothed[i] {
+                    self.edge_hist[i] += 1;
+                }
+            }
+            self.win_count += 1;
+        }
+
+        self.last_sample = *smoothed.last().expect("n >= 3");
+        self.uis += 1;
+        bit
+    }
+
+    fn evaluate(&mut self) {
+        let n = self.cfg.oversampling;
+        if self.edge_hist.iter().all(|&c| c == 0) {
+            // No transitions (long run): keep the phase, keep lock state.
+            return;
+        }
+        // Modal edge position; first maximum wins (matches the RTL fold).
+        let mut best = 0usize;
+        for i in 1..n {
+            if self.edge_hist[i] > self.edge_hist[best] {
+                best = i;
+            }
+        }
+        let target = (best + n / 2) % n;
+        if target == self.phase {
+            self.locked = true;
+            self.pending_target = None;
+            self.pending_votes = 0;
+            return;
+        }
+        // Jitter correction: require `phase_hysteresis` consecutive
+        // windows agreeing on the same move.
+        if self.pending_target == Some(target) {
+            self.pending_votes += 1;
+        } else {
+            self.pending_target = Some(target);
+            self.pending_votes = 1;
+        }
+        if self.pending_votes >= self.cfg.phase_hysteresis {
+            self.phase = target;
+            self.phase_updates += 1;
+            self.locked = true;
+            self.pending_target = None;
+            self.pending_votes = 0;
+        }
+    }
+
+    /// Convenience: processes a flattened oversampled stream
+    /// (`len = k · oversampling`), returning the recovered bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream length is not a whole number of UIs.
+    pub fn recover(&mut self, stream: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            stream.len() % self.cfg.oversampling,
+            0,
+            "stream must be whole UIs"
+        );
+        stream
+            .chunks(self.cfg.oversampling)
+            .map(|ui| self.process_ui(ui))
+            .collect()
+    }
+}
+
+/// Generates an oversampled sample stream from a bit sequence: `n`
+/// samples per UI, the whole stream shifted by `phase_frac` of a UI,
+/// each edge additionally jittered by a deterministic per-edge offset
+/// drawn from a seeded Gaussian of `rj_sigma_ui` UIs.
+pub fn oversample_bits(
+    bits: &[bool],
+    n: usize,
+    phase_frac: f64,
+    rj_sigma_ui: f64,
+    seed: u64,
+) -> Vec<bool> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let jitter: Vec<f64> = (0..=bits.len())
+        .map(|_| {
+            if rj_sigma_ui <= 0.0 {
+                0.0
+            } else {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * std::f64::consts::PI * u2).cos()
+                    * rj_sigma_ui
+            }
+        })
+        .collect();
+    let mut out = Vec::with_capacity(bits.len() * n);
+    for i in 0..bits.len() {
+        for j in 0..n {
+            // Sample time in UI units, then locate the governing bit.
+            let t = i as f64 + (j as f64 + 0.5) / n as f64 + phase_frac;
+            let idx = t.floor() as isize;
+            let frac = t - idx as f64;
+            let idx = idx.clamp(0, bits.len() as isize - 1) as usize;
+            // The edge at the start of bit `idx` moves by jitter[idx].
+            let bit = if frac < jitter[idx] && idx > 0 {
+                bits[idx - 1]
+            } else {
+                bits[idx]
+            };
+            out.push(bit);
+        }
+    }
+    out
+}
+
+/// Emits the CDR decision datapath as synthesizable RTL (for the area
+/// and power budget): edge detector, per-phase 6-bit edge counters, a
+/// 5-bit window counter, an argmax comparator tree, the phase register
+/// and the output sample mux. Implements
+/// [`CdrConfig::rtl_equivalent`] semantics.
+///
+/// # Panics
+///
+/// Panics if `oversampling` is not in `3..=8`.
+pub fn cdr_design(oversampling: usize) -> Design {
+    assert!(
+        (3..=8).contains(&oversampling),
+        "RTL supports 3..=8 phases"
+    );
+    let n = oversampling;
+    let mut d = Design::new("cdr");
+    let samples = d.input_bus("samples", n);
+    let last = d.reg();
+    d.connect_reg(last, samples[n - 1]);
+
+    // Edge detector.
+    let edges: Vec<_> = (0..n)
+        .map(|i| {
+            let prev = if i == 0 { last } else { samples[i - 1] };
+            d.xor(prev, samples[i])
+        })
+        .collect();
+
+    // Window counter: 0..=31.
+    let win = d.reg_bus(5);
+    let win_inc = d.incr(&win);
+    let window_end = d.eq_const(&win, 31);
+    let zero5 = d.const_bus(5, 0);
+    let win_next = d.mux_bus(&win_inc, &zero5, window_end);
+    d.connect_reg_bus(&win, &win_next);
+
+    // Per-phase 6-bit edge counters, cleared at window end.
+    let zero6 = d.const_bus(6, 0);
+    let counters: Vec<Vec<_>> = (0..n)
+        .map(|i| {
+            let cnt = d.reg_bus(6);
+            let inc = d.incr(&cnt);
+            let bumped = d.mux_bus(&cnt, &inc, edges[i]);
+            let next = d.mux_bus(&bumped, &zero6, window_end);
+            d.connect_reg_bus(&cnt, &next);
+            cnt
+        })
+        .collect();
+
+    // Argmax fold: first maximum wins (strict greater-than to advance).
+    let mut best_val = counters[0].clone();
+    let mut best_idx = d.const_bus(3, 0);
+    for (i, cnt) in counters.iter().enumerate().skip(1) {
+        let is_gt = d.gt(cnt, &best_val);
+        best_val = d.mux_bus(&best_val, cnt, is_gt);
+        let idx_const = d.const_bus(3, i as u64);
+        best_idx = d.mux_bus(&best_idx, &idx_const, is_gt);
+    }
+
+    // Any edges seen this window?
+    let all_cnt_bits: Vec<_> = counters.iter().flatten().copied().collect();
+    let any_edges = d.or_reduce(&all_cnt_bits);
+
+    // The register stores the modal *edge* position; at power-up (0) the
+    // sampling phase is the centre `n/2`, matching the behavioural model.
+    let edge_pos = d.reg_bus(3);
+    let update = d.and(window_end, any_edges);
+    let edge_next = d.mux_bus(&edge_pos, &best_idx, update);
+    d.connect_reg_bus(&edge_pos, &edge_next);
+    // The argmax is consumed only once per 32-UI window and the link
+    // tolerates the phase decision landing several UIs late, so the
+    // comparator tree is a declared multicycle path (factor 8,
+    // conservative against the 32-cycle window).
+    for &q in &edge_pos {
+        d.set_multicycle(q, 8);
+    }
+
+    // Sampling phase = (edge_pos + n/2) mod n, via constant lookup.
+    let sel: Vec<_> = (0..3)
+        .map(|b| {
+            let leaves: Vec<_> = (0..8)
+                .map(|idx| {
+                    let t = if idx < n { (idx + n / 2) % n } else { 0 };
+                    d.constant(t >> b & 1 == 1)
+                })
+                .collect();
+            d.mux_tree(&leaves, &edge_pos)
+        })
+        .collect();
+
+    // Recovered bit: samples[sel] (leaves padded to 8).
+    let padded: Vec<_> = (0..8).map(|i| samples[i.min(n - 1)]).collect();
+    let bit = d.mux_tree(&padded, &sel);
+    d.output("bit_out", bit);
+    d.output_bus("phase", &sel);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbs::{PrbsGenerator, PrbsOrder};
+    use openserdes_flow::ir::IrSim;
+
+    fn prbs_bits(n: usize) -> Vec<bool> {
+        PrbsGenerator::new(PrbsOrder::Prbs15).take_bits(n)
+    }
+
+    #[test]
+    fn locks_and_recovers_clean_stream() {
+        let bits = prbs_bits(2_000);
+        let stream = oversample_bits(&bits, 5, 0.0, 0.0, 1);
+        let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+        let out = cdr.recover(&stream);
+        assert!(cdr.is_locked());
+        // After the first decision window everything matches.
+        let skip = 2 * 32;
+        assert_eq!(out[skip..], bits[skip..], "post-lock recovery is exact");
+    }
+
+    #[test]
+    fn finds_optimal_phase_for_offset_stream() {
+        // Shift the eye by 2/5 UI: the edge lands near sample 0/1, so the
+        // best sampling phase moves away from the initial centre.
+        let bits = prbs_bits(3_000);
+        for frac in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let stream = oversample_bits(&bits, 5, frac, 0.0, 1);
+            let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+            let out = cdr.recover(&stream);
+            let skip = 4 * 32;
+            // Allow ±1 bit of alignment slack: phase offsets near a UI
+            // boundary legitimately shift the recovered stream by one
+            // bit (leading or lagging).
+            let errors_at = |lag: isize| -> usize {
+                out[skip..]
+                    .iter()
+                    .zip(&bits[(skip as isize + lag) as usize..])
+                    .filter(|(a, b)| a != b)
+                    .count()
+            };
+            let best = [-1, 0, 1].map(errors_at);
+            assert!(
+                best.contains(&0),
+                "offset {frac}: errors at lags -1/0/+1 = {best:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_jittered_stream() {
+        let bits = prbs_bits(5_000);
+        let stream = oversample_bits(&bits, 5, 0.1, 0.05, 7);
+        let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+        let out = cdr.recover(&stream);
+        let skip = 4 * 32;
+        let errors = out[skip..]
+            .iter()
+            .zip(&bits[skip..])
+            .filter(|(a, b)| a != b)
+            .count();
+        let ber = errors as f64 / (out.len() - skip) as f64;
+        assert!(ber < 0.01, "jittered BER = {ber}");
+        assert!(cdr.is_locked());
+    }
+
+    #[test]
+    fn glitch_filter_cleans_single_sample_glitches() {
+        let bits = prbs_bits(2_000);
+        let mut stream = oversample_bits(&bits, 5, 0.0, 0.0, 1);
+        // Inject isolated glitch samples (every 37th sample flipped).
+        for i in (0..stream.len()).step_by(37) {
+            stream[i] = !stream[i];
+        }
+        let run = |filter: bool| {
+            let mut cfg = CdrConfig::paper_default();
+            cfg.glitch_filter = filter;
+            let mut cdr = OversamplingCdr::new(cfg);
+            let out = cdr.recover(&stream);
+            let skip = 4 * 32;
+            out[skip..]
+                .iter()
+                .zip(&bits[skip..])
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with < without,
+            "glitch filter must help: {with} vs {without}"
+        );
+        assert_eq!(with, 0, "filtered stream recovers perfectly");
+    }
+
+    #[test]
+    fn hysteresis_suppresses_phase_hunting() {
+        // Alternate the stream offset every window to tempt the CDR into
+        // hunting; high hysteresis should move the phase less.
+        let bits = prbs_bits(4_000);
+        let run = |hyst: u32| {
+            let mut cfg = CdrConfig::paper_default();
+            cfg.phase_hysteresis = hyst;
+            let mut cdr = OversamplingCdr::new(cfg);
+            for (k, chunk) in bits.chunks(32).enumerate() {
+                let frac = if k % 2 == 0 { 0.05 } else { 0.25 };
+                let stream = oversample_bits(chunk, 5, frac, 0.0, 3);
+                let _ = cdr.recover(&stream);
+            }
+            cdr.phase_updates()
+        };
+        let nervous = run(1);
+        let calm = run(4);
+        assert!(calm <= nervous, "hysteresis: {calm} vs {nervous}");
+    }
+
+    #[test]
+    fn long_runs_hold_phase() {
+        // All-zero data has no edges: the CDR must keep its phase.
+        let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+        let before = cdr.selected_phase();
+        let stream = vec![false; 5 * 500];
+        let out = cdr.recover(&stream);
+        assert_eq!(cdr.selected_phase(), before);
+        assert!(out.iter().all(|&b| !b));
+        assert_eq!(cdr.phase_updates(), 0);
+    }
+
+    #[test]
+    fn rtl_matches_behavioural_on_clean_stream() {
+        let bits = prbs_bits(1_500);
+        let stream = oversample_bits(&bits, 5, 0.3, 0.0, 1);
+        // Behavioural reference in RTL-equivalent mode.
+        let mut cdr = OversamplingCdr::new(CdrConfig::rtl_equivalent(5));
+        let expect = cdr.recover(&stream);
+
+        let design = cdr_design(5);
+        let mut sim = IrSim::new(&design);
+        let out_sig = design
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == "bit_out")
+            .expect("bit_out")
+            .1;
+        let mut got = Vec::new();
+        for ui in stream.chunks(5) {
+            for (i, &s) in ui.iter().enumerate() {
+                sim.set_by_name(&format!("samples[{i}]"), s);
+            }
+            // Output is combinational from the current samples + phase.
+            sim.settle();
+            got.push(sim.get(out_sig));
+            sim.tick();
+        }
+        assert_eq!(got, expect, "RTL and behavioural CDR must agree");
+    }
+
+    #[test]
+    fn rtl_synthesizes() {
+        let lib = openserdes_pdk::library::Library::sky130(
+            openserdes_pdk::corner::Pvt::nominal(),
+        );
+        let res = openserdes_flow::synthesize(&cdr_design(5), &lib).expect("ok");
+        // 1 last + 5 win + 5×6 counters + 3 phase = 39 flops.
+        assert_eq!(res.netlist.flop_count(), 39);
+        assert!(res.netlist.cell_count() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x")]
+    fn low_oversampling_rejected() {
+        let mut cfg = CdrConfig::paper_default();
+        cfg.oversampling = 2;
+        let _ = OversamplingCdr::new(cfg);
+    }
+
+    #[test]
+    fn oversample_helper_produces_n_per_bit() {
+        let bits = [true, false, true];
+        let s = oversample_bits(&bits, 4, 0.0, 0.0, 1);
+        assert_eq!(s.len(), 12);
+        assert_eq!(&s[..4], &[true; 4]);
+        assert_eq!(&s[4..8], &[false; 4]);
+    }
+}

@@ -1,0 +1,223 @@
+//! The FSM deserializer (paper §IV-B-c).
+//!
+//! Collects serial bits back into 8 parallel streams of 32 bits and
+//! raises a frame-valid flag every 256 bits. The synthesizable RTL
+//! ([`deserializer_design`]) carries a 256-bit capture bank with a full
+//! 8-bit write decoder, which is exactly why the deserializer dominates
+//! the paper's layout area (60 % in Fig. 11).
+
+use crate::serializer::{Frame, FRAME_BITS, WORD_BITS};
+use openserdes_flow::ir::Design;
+
+/// Cycle-accurate behavioural deserializer FSM.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Deserializer {
+    bank: Frame,
+    index: usize,
+    frames_received: u64,
+}
+
+impl Deserializer {
+    /// Creates an empty deserializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bits captured into the current partial frame.
+    pub fn fill_level(&self) -> usize {
+        self.index
+    }
+
+    /// Frames completed so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// One clock with the received serial bit; returns the completed
+    /// frame on every 256th bit.
+    pub fn tick(&mut self, bit: bool) -> Option<Frame> {
+        let lane = self.index / WORD_BITS;
+        let pos = self.index % WORD_BITS;
+        if bit {
+            self.bank[lane] |= 1 << pos;
+        } else {
+            self.bank[lane] &= !(1 << pos);
+        }
+        self.index += 1;
+        if self.index == FRAME_BITS {
+            self.index = 0;
+            self.frames_received += 1;
+            Some(self.bank)
+        } else {
+            None
+        }
+    }
+
+    /// Pushes a slice of bits, returning every completed frame.
+    pub fn push_bits(&mut self, bits: &[bool]) -> Vec<Frame> {
+        bits.iter().filter_map(|&b| self.tick(b)).collect()
+    }
+
+    /// Resets the bit counter (frame alignment), e.g. after CDR lock.
+    pub fn realign(&mut self) {
+        self.index = 0;
+    }
+}
+
+/// Emits the deserializer as synthesizable RTL: an 8-bit position
+/// counter, a 256-bit capture bank with per-bit write-enable decode, and
+/// a frame-valid output.
+pub fn deserializer_design() -> Design {
+    let mut d = Design::new("deserializer");
+    let serial_in = d.input("serial_in");
+    let enable = d.input("enable");
+    let counter = d.reg_bus(8);
+    let bank = d.reg_bus(FRAME_BITS);
+
+    // Counter advances whenever enabled.
+    let inc = d.incr(&counter);
+    let cnt_next = d.mux_bus(&counter, &inc, enable);
+    d.connect_reg_bus(&counter, &cnt_next);
+
+    // Per-bit capture: bank[i] <= (counter == i && enable) ? serial_in.
+    for (i, &q) in bank.iter().enumerate() {
+        let hit = d.eq_const(&counter, i as u64);
+        let we = d.and(hit, enable);
+        let next = d.mux(q, serial_in, we);
+        d.connect_reg(q, next);
+    }
+
+    // Frame valid pulses while the counter points at the last bit.
+    let last = d.eq_const(&counter, (FRAME_BITS - 1) as u64);
+    let valid = d.and(last, enable);
+    let valid_q = d.reg();
+    d.connect_reg(valid_q, valid);
+    d.output("frame_valid", valid_q);
+    d.output_bus("data", &bank);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::{frame_to_bits, Serializer, LANES};
+    use openserdes_flow::ir::IrSim;
+
+    fn test_frame() -> Frame {
+        [
+            0xCAFE_BABE,
+            0x0000_0001,
+            0x8000_0000,
+            0x5555_AAAA,
+            0xF0F0_F0F0,
+            0x0F0F_0F0F,
+            0x1111_2222,
+            0x3333_4444,
+        ]
+    }
+
+    #[test]
+    fn serializer_deserializer_identity() {
+        let mut ser = Serializer::new();
+        let mut des = Deserializer::new();
+        let frames = [test_frame(), [0u32; LANES], [u32::MAX; LANES]];
+        for f in frames {
+            let bits = ser.serialize(f);
+            let out = des.push_bits(&bits);
+            assert_eq!(out, vec![f], "round trip must be the identity");
+        }
+        assert_eq!(des.frames_received(), 3);
+    }
+
+    #[test]
+    fn partial_frame_not_emitted() {
+        let mut des = Deserializer::new();
+        let out = des.push_bits(&[true; 255]);
+        assert!(out.is_empty());
+        assert_eq!(des.fill_level(), 255);
+        let done = des.tick(false);
+        assert!(done.is_some());
+        assert_eq!(des.fill_level(), 0);
+    }
+
+    #[test]
+    fn realign_restarts_frame() {
+        let mut des = Deserializer::new();
+        let _ = des.push_bits(&[true; 100]);
+        des.realign();
+        assert_eq!(des.fill_level(), 0);
+        let frames = des.push_bits(&frame_to_bits(&test_frame()));
+        assert_eq!(frames, vec![test_frame()]);
+    }
+
+    #[test]
+    fn rtl_matches_behavioural_model() {
+        let design = deserializer_design();
+        let mut sim = IrSim::new(&design);
+        let f = test_frame();
+        let bits = frame_to_bits(&f);
+        sim.set_by_name("enable", true);
+        let valid_sig = design
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == "frame_valid")
+            .expect("valid")
+            .1;
+        let data_sigs: Vec<_> = (0..FRAME_BITS)
+            .map(|i| {
+                design
+                    .outputs()
+                    .iter()
+                    .find(|(n, _)| *n == format!("data[{i}]"))
+                    .expect("data bit")
+                    .1
+            })
+            .collect();
+        let mut seen_valid = 0;
+        for &b in &bits {
+            sim.set_by_name("serial_in", b);
+            sim.tick();
+            if sim.get(valid_sig) {
+                seen_valid += 1;
+            }
+        }
+        assert_eq!(seen_valid, 1, "one frame_valid pulse per frame");
+        let got: Vec<bool> = data_sigs.iter().map(|&s| sim.get(s)).collect();
+        assert_eq!(got, bits, "captured bank must equal the sent frame");
+    }
+
+    #[test]
+    fn rtl_enable_gates_capture() {
+        let design = deserializer_design();
+        let mut sim = IrSim::new(&design);
+        sim.set_by_name("enable", false);
+        sim.set_by_name("serial_in", true);
+        for _ in 0..10 {
+            sim.tick();
+        }
+        let any_set = design
+            .outputs()
+            .iter()
+            .filter(|(n, _)| n.starts_with("data"))
+            .any(|(_, s)| sim.get(*s));
+        assert!(!any_set, "disabled deserializer must not capture");
+    }
+
+    #[test]
+    fn rtl_is_bigger_than_serializer() {
+        // The decoder makes the deserializer the largest block (Fig. 11).
+        let lib = openserdes_pdk::library::Library::sky130(
+            openserdes_pdk::corner::Pvt::nominal(),
+        );
+        let des = openserdes_flow::synthesize(&deserializer_design(), &lib).expect("ok");
+        let ser =
+            openserdes_flow::synthesize(&crate::serializer::serializer_design(), &lib)
+                .expect("ok");
+        assert!(
+            des.netlist.cell_count() > ser.netlist.cell_count(),
+            "des {} vs ser {}",
+            des.netlist.cell_count(),
+            ser.netlist.cell_count()
+        );
+    }
+}

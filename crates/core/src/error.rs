@@ -1,0 +1,74 @@
+//! Error type for link-level operations.
+
+use openserdes_analog::SolverError;
+use openserdes_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Failures surfaced by link simulation and budget computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    /// The analog solver failed (DC or transient).
+    Solver(SolverError),
+    /// Synthesis produced an invalid netlist (an internal bug, surfaced).
+    Netlist(NetlistError),
+    /// The CDR failed to lock within the run.
+    CdrUnlocked {
+        /// Unit intervals processed before giving up.
+        uis: u64,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Solver(e) => write!(f, "analog solver failed: {e}"),
+            LinkError::Netlist(e) => write!(f, "netlist error: {e}"),
+            LinkError::CdrUnlocked { uis } => {
+                write!(f, "cdr failed to lock within {uis} unit intervals")
+            }
+        }
+    }
+}
+
+impl Error for LinkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LinkError::Solver(e) => Some(e),
+            LinkError::Netlist(e) => Some(e),
+            LinkError::CdrUnlocked { .. } => None,
+        }
+    }
+}
+
+impl From<SolverError> for LinkError {
+    fn from(e: SolverError) -> Self {
+        LinkError::Solver(e)
+    }
+}
+
+impl From<NetlistError> for LinkError {
+    fn from(e: NetlistError) -> Self {
+        LinkError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: LinkError = SolverError::NonConvergence { time: 1e-9 }.into();
+        assert!(e.to_string().contains("analog solver"));
+        assert!(Error::source(&e).is_some());
+        let e = LinkError::CdrUnlocked { uis: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinkError>();
+    }
+}

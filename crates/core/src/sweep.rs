@@ -1,0 +1,301 @@
+//! Parameter sweeps: sensitivity and maximum channel loss vs data rate
+//! (the paper's Fig. 9).
+//!
+//! Two independent routes to the same curve:
+//!
+//! * [`sensitivity_sweep`] — the model route: the front end's
+//!   small-signal characterization evaluated across rates,
+//! * [`max_loss_bisect`] — the measurement route: bisect channel
+//!   attenuation at each rate for the zero-BER boundary using the full
+//!   link (serializer + statistical PHY + CDR + deserializer).
+//!
+//! Agreement between the two validates the behavioural model.
+
+use crate::ber::BerTest;
+use crate::error::LinkError;
+use crate::link::LinkConfig;
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::units::{Hertz, Volt};
+use openserdes_phy::{ChannelModel, FrontEndConfig, RxFrontEnd};
+
+/// One point of the Fig. 9 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Data rate.
+    pub data_rate: Hertz,
+    /// Receiver sensitivity (minimum pp input swing).
+    pub sensitivity: Volt,
+    /// Maximum channel loss for error-free operation at full TX swing.
+    pub max_loss_db: f64,
+}
+
+/// Sensitivity and maximum loss across data rates, from the front-end
+/// model (fast; regenerates Fig. 9's two curves).
+///
+/// # Errors
+///
+/// Propagates solver failures from the characterization.
+pub fn sensitivity_sweep(pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, LinkError> {
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
+    let tx_swing = pvt.vdd;
+    rates
+        .iter()
+        .map(|&rate| {
+            let sensitivity = fe.sensitivity(rate)?;
+            let max_loss_db = fe.max_loss_db(rate, tx_swing)?;
+            Ok(SweepPoint {
+                data_rate: rate,
+                sensitivity,
+                max_loss_db,
+            })
+        })
+        .collect()
+}
+
+/// Bisects the maximum channel attenuation (dB) at which a PRBS link run
+/// of `frames` frames is still error-free, to within `tol_db`.
+///
+/// # Errors
+///
+/// Propagates link failures.
+pub fn max_loss_bisect(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+) -> Result<f64, LinkError> {
+    let mut lo = 0.0f64; // known good
+    let mut hi = 60.0f64; // known bad
+    let error_free = |db: f64| -> Result<bool, LinkError> {
+        let mut cfg = base.clone();
+        cfg.channel = ChannelModel {
+            attenuation_db: db,
+            ..base.channel.clone()
+        };
+        BerTest::prbs31(cfg, frames).is_error_free()
+    };
+    // Establish brackets (the interface may already fail at 0 dB for
+    // absurd rates — report 0 in that case).
+    if !error_free(lo)? {
+        return Ok(0.0);
+    }
+    if error_free(hi)? {
+        return Ok(hi);
+    }
+    while hi - lo > tol_db {
+        let mid = 0.5 * (lo + hi);
+        if error_free(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// One point of a BER bathtub curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BathtubPoint {
+    /// Sampling phase within the unit interval, `0.0..1.0`.
+    pub phase_ui: f64,
+    /// Measured bit-error ratio at that phase.
+    pub ber: f64,
+}
+
+/// Monte-Carlo BER bathtub: sweeps the sampling phase across the unit
+/// interval at the given operating point and measures the BER at each
+/// phase over `nbits` PRBS bits — the classic serial-link margin plot
+/// (high BER walls at the bit edges, a floor at the centre).
+///
+/// The per-bit model matches the fast link path: transition edges carry
+/// the channel's RJ (Gaussian) and DJ (sinusoidal) jitter; sampling on
+/// the wrong side of a jittered edge misreads the bit; amplitude noise
+/// adds `Q(margin/σ)` flips everywhere.
+///
+/// # Errors
+///
+/// Propagates solver failures from the front-end characterization.
+pub fn bathtub(
+    config: &LinkConfig,
+    nbits: usize,
+    phases: usize,
+    seed: u64,
+) -> Result<Vec<BathtubPoint>, LinkError> {
+    use crate::prbs::{PrbsGenerator, PrbsOrder};
+    use openserdes_phy::{q_function, AnalogLink, BehavioralLink};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let analog = AnalogLink::paper_default(config.pvt, config.channel.clone());
+    let behavioural = BehavioralLink::from_analog(&analog, config.data_rate)?;
+    let margin = behavioural.margin().value();
+    let sigma_n = config.channel.noise_sigma.value().max(1e-9);
+    let flip = if margin <= 0.0 {
+        0.5
+    } else {
+        q_function(margin / sigma_n)
+    };
+    let ui = 1.0 / config.data_rate.value();
+    let rj_ui = config.channel.rj_sigma.value() / ui;
+    let dj_ui = 0.5 * config.channel.dj_pp.value() / ui;
+    // Finite transition time of the restored edge at the sampler: within
+    // this window around a data edge the slicer output is indeterminate
+    // (the restored rise/fall occupies ~15 % of the UI at 2 Gb/s).
+    let blur_ui = 0.15;
+
+    let bits = PrbsGenerator::new(PrbsOrder::Prbs31).take_bits(nbits);
+    let mut out = Vec::with_capacity(phases);
+    for k in 0..phases {
+        let phase = (k as f64 + 0.5) / phases as f64;
+        let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
+        let mut errors = 0u64;
+        for i in 1..bits.len() {
+            // The edge ahead of bit i sits at offset `jitter` into the UI.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let jitter = rj_ui * gauss
+                + dj_ui * (2.0 * std::f64::consts::PI * 0.01 * i as f64).sin();
+            // Distance to the nearest data edge (leading edge of this UI
+            // or trailing edge into the next one), where an edge exists.
+            let lead = (bits[i - 1] != bits[i]).then_some(phase - jitter);
+            let trail = (i + 1 < bits.len() && bits[i] != bits[i + 1])
+                .then_some(phase - (1.0 + jitter));
+            let in_blur = |d: f64| d.abs() < blur_ui / 2.0;
+            let sampled = match (lead, trail) {
+                (Some(d), _) if in_blur(d) => rng.gen::<bool>().then_some(bits[i - 1]),
+                (_, Some(d)) if in_blur(d) => rng.gen::<bool>().then_some(bits[i + 1]),
+                (Some(d), _) if d < 0.0 => Some(bits[i - 1]),
+                (_, Some(d)) if d > 0.0 => Some(bits[i + 1]),
+                _ => Some(bits[i]),
+            };
+            let sampled = sampled.unwrap_or(bits[i]);
+            let noise_flip = rng.gen::<f64>() < flip;
+            if (sampled != bits[i]) ^ noise_flip {
+                errors += 1;
+            }
+        }
+        out.push(BathtubPoint {
+            phase_ui: phase,
+            ber: errors as f64 / (bits.len() - 1) as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Horizontal eye opening at a BER target: the widest contiguous span of
+/// bathtub phases at or below `target` BER, in UI fractions.
+pub fn eye_width_at(curve: &[BathtubPoint], target: f64) -> f64 {
+    let step = 1.0 / curve.len().max(1) as f64;
+    let mut best = 0usize;
+    let mut run = 0usize;
+    for p in curve {
+        if p.ber <= target {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best as f64 * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shapes_hold() {
+        // Sensitivity grows and max loss falls with data rate, with the
+        // paper's anchor points: ≈32 mV and ≈34 dB at 2 GHz.
+        let rates: Vec<Hertz> = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+            .iter()
+            .map(|&g| Hertz::from_ghz(g))
+            .collect();
+        let pts = sensitivity_sweep(Pvt::nominal(), &rates).expect("sweeps");
+        for w in pts.windows(2) {
+            assert!(w[1].sensitivity > w[0].sensitivity, "sensitivity rises");
+            assert!(w[1].max_loss_db < w[0].max_loss_db, "loss budget falls");
+        }
+        let at2g = &pts[3];
+        assert!(
+            (20.0..48.0).contains(&at2g.sensitivity.mv()),
+            "sens@2G = {:.1} mV (paper: 32)",
+            at2g.sensitivity.mv()
+        );
+        assert!(
+            (30.0..40.0).contains(&at2g.max_loss_db),
+            "loss@2G = {:.1} dB (paper: 34)",
+            at2g.max_loss_db
+        );
+    }
+
+    #[test]
+    fn bisected_loss_agrees_with_model() {
+        let base = LinkConfig::paper_default();
+        let measured = max_loss_bisect(&base, 8, 0.5).expect("bisects");
+        let model = sensitivity_sweep(Pvt::nominal(), &[base.data_rate])
+            .expect("sweeps")[0]
+            .max_loss_db;
+        assert!(
+            (measured - model).abs() < 4.0,
+            "measured {measured:.1} dB vs model {model:.1} dB"
+        );
+        assert!(measured >= 30.0, "paper claims 34 dB at 2 Gb/s");
+    }
+
+    #[test]
+    fn bathtub_has_walls_and_a_floor() {
+        let cfg = LinkConfig::paper_default();
+        let curve = bathtub(&cfg, 20_000, 20, 3).expect("runs");
+        assert_eq!(curve.len(), 20);
+        let edge_left = curve.first().expect("points").ber;
+        let edge_right = curve.last().expect("points").ber;
+        let centre = curve[10].ber;
+        assert!(
+            edge_left > 1e-3 || edge_right > 1e-3,
+            "edges must show errors: {edge_left:.2e}/{edge_right:.2e}"
+        );
+        assert!(centre < 1e-3, "centre must be clean: {centre:.2e}");
+        // Usable eye width at BER 1e-3 covers most of the UI.
+        let width = eye_width_at(&curve, 1e-3);
+        assert!((0.5..=1.0).contains(&width), "eye width = {width} UI");
+    }
+
+    #[test]
+    fn bathtub_narrows_with_more_jitter() {
+        let clean = LinkConfig::paper_default();
+        let mut dirty = clean.clone();
+        dirty.channel.rj_sigma = openserdes_pdk::units::Time::from_ps(30.0);
+        let w_clean = eye_width_at(&bathtub(&clean, 10_000, 20, 5).expect("ok"), 1e-3);
+        let w_dirty = eye_width_at(&bathtub(&dirty, 10_000, 20, 5).expect("ok"), 1e-3);
+        assert!(
+            w_dirty < w_clean,
+            "jitter must narrow the eye: {w_dirty} vs {w_clean}"
+        );
+    }
+
+    #[test]
+    fn eye_width_helper() {
+        let mk = |bers: &[f64]| -> Vec<BathtubPoint> {
+            bers.iter()
+                .enumerate()
+                .map(|(i, &ber)| BathtubPoint {
+                    phase_ui: i as f64 / bers.len() as f64,
+                    ber,
+                })
+                .collect()
+        };
+        let c = mk(&[0.5, 1e-6, 1e-6, 1e-6, 0.5]);
+        assert!((eye_width_at(&c, 1e-3) - 0.6).abs() < 1e-12);
+        let closed = mk(&[0.5, 0.5]);
+        assert_eq!(eye_width_at(&closed, 1e-3), 0.0);
+    }
+
+    #[test]
+    fn slow_corner_shrinks_loss_budget() {
+        let rates = [Hertz::from_ghz(2.0)];
+        let tt = sensitivity_sweep(Pvt::nominal(), &rates).expect("tt")[0];
+        let ss = sensitivity_sweep(Pvt::worst_case(), &rates).expect("ss")[0];
+        assert!(ss.max_loss_db < tt.max_loss_db);
+    }
+}

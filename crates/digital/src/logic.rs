@@ -1,0 +1,271 @@
+//! Four-value logic (`0`, `1`, `X`, `Z`) with pessimistic X propagation.
+//!
+//! The digital simulators model unknown start-up state (`X`) and
+//! undriven nets (`Z`) the way an RTL simulator does: controlling values
+//! short-circuit (`0 NAND X = 1`), everything else propagates `X`. `Z`
+//! reads as unknown at a gate input.
+
+use openserdes_pdk::stdcell::LogicFn;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A four-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Strong logic low.
+    Zero,
+    /// Strong logic high.
+    One,
+    /// Unknown value.
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Converts from `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Converts to `bool` when the value is known, `None` for `X`/`Z`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// `true` for `0` or `1`.
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Treats `Z` as `X` (what a CMOS gate input effectively sees).
+    fn resolved(self) -> Logic {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// Evaluates a library cell function over four-valued inputs with
+    /// controlling-value short-circuits.
+    ///
+    /// For sequential functions this evaluates the next-state function,
+    /// mirroring [`LogicFn::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != function.input_count()`.
+    pub fn eval_fn(function: LogicFn, inputs: &[Logic]) -> Logic {
+        assert_eq!(
+            inputs.len(),
+            function.input_count(),
+            "{function} expects {} inputs",
+            function.input_count()
+        );
+        let v: Vec<Logic> = inputs.iter().map(|l| l.resolved()).collect();
+        match function {
+            LogicFn::Inv => !v[0],
+            LogicFn::Buf | LogicFn::ClkBuf | LogicFn::Dff => v[0],
+            LogicFn::Nand2 => !(v[0] & v[1]),
+            LogicFn::Nand3 => !(v[0] & v[1] & v[2]),
+            LogicFn::Nor2 => !(v[0] | v[1]),
+            LogicFn::Nor3 => !(v[0] | v[1] | v[2]),
+            LogicFn::And2 => v[0] & v[1],
+            LogicFn::Or2 => v[0] | v[1],
+            LogicFn::Xor2 => v[0] ^ v[1],
+            LogicFn::Xnor2 => !(v[0] ^ v[1]),
+            LogicFn::Mux2 => match v[2] {
+                Logic::Zero => v[0],
+                Logic::One => v[1],
+                // Unknown select: output known only if both inputs agree.
+                _ => {
+                    if v[0] == v[1] && v[0].is_known() {
+                        v[0]
+                    } else {
+                        Logic::X
+                    }
+                }
+            },
+            LogicFn::Aoi21 => !((v[0] & v[1]) | v[2]),
+            LogicFn::Oai21 => !((v[0] | v[1]) & v[2]),
+            LogicFn::DffRstN => v[0] & v[1],
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        match self.resolved() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self.resolved(), rhs.resolved()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self.resolved(), rhs.resolved()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.resolved(), rhs.resolved()) {
+            (a, b) if a.is_known() && b.is_known() => Logic::from_bool(a != b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Z.to_bool(), None);
+        assert_eq!(Logic::from(true), Logic::One);
+    }
+
+    #[test]
+    fn and_controlling_zero() {
+        for &v in &ALL {
+            assert_eq!(Logic::Zero & v, Logic::Zero);
+            assert_eq!(v & Logic::Zero, Logic::Zero);
+        }
+        assert_eq!(Logic::One & Logic::One, Logic::One);
+        assert_eq!(Logic::One & Logic::X, Logic::X);
+        assert_eq!(Logic::One & Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn or_controlling_one() {
+        for &v in &ALL {
+            assert_eq!(Logic::One | v, Logic::One);
+            assert_eq!(v | Logic::One, Logic::One);
+        }
+        assert_eq!(Logic::Zero | Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::Zero | Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn xor_never_shortcircuits() {
+        assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+        assert_eq!(Logic::One ^ Logic::X, Logic::X);
+        assert_eq!(Logic::Zero ^ Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn not_unknown_stays_unknown() {
+        assert_eq!(!Logic::X, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+        assert_eq!(!Logic::One, Logic::Zero);
+    }
+
+    #[test]
+    fn nand_with_zero_is_one_despite_x() {
+        assert_eq!(
+            Logic::eval_fn(LogicFn::Nand2, &[Logic::Zero, Logic::X]),
+            Logic::One
+        );
+        assert_eq!(
+            Logic::eval_fn(LogicFn::Nor2, &[Logic::One, Logic::X]),
+            Logic::Zero
+        );
+    }
+
+    #[test]
+    fn mux_with_unknown_select() {
+        // Both data inputs equal and known -> output known.
+        assert_eq!(
+            Logic::eval_fn(LogicFn::Mux2, &[Logic::One, Logic::One, Logic::X]),
+            Logic::One
+        );
+        // Data inputs differ -> X.
+        assert_eq!(
+            Logic::eval_fn(LogicFn::Mux2, &[Logic::One, Logic::Zero, Logic::X]),
+            Logic::X
+        );
+    }
+
+    #[test]
+    fn eval_matches_bool_eval_on_known_inputs() {
+        for &function in &LogicFn::ALL {
+            let n = function.input_count();
+            for bits in 0..(1u32 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let logics: Vec<Logic> =
+                    bools.iter().map(|&b| Logic::from_bool(b)).collect();
+                assert_eq!(
+                    Logic::eval_fn(function, &logics),
+                    Logic::from_bool(function.eval(&bools)),
+                    "mismatch for {function} on {bools:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_chars() {
+        let s: String = ALL.iter().map(|l| l.to_string()).collect();
+        assert_eq!(s, "01xz");
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

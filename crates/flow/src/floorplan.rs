@@ -1,0 +1,105 @@
+//! Floorplanning: die sizing and standard-cell row geometry.
+//!
+//! Mirrors the OpenLANE floorplan stage: given the synthesized cell area
+//! and a target utilization, compute a die outline and a set of placement
+//! rows at the standard-cell site height.
+
+use openserdes_pdk::units::{AreaUm2, Micron};
+
+/// Height of one placement row (the sky130_fd_sc_hd site height).
+pub const ROW_HEIGHT_UM: f64 = 2.72;
+
+/// A row-based floorplan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    /// Core width.
+    pub width: Micron,
+    /// Core height.
+    pub height: Micron,
+    /// Number of placement rows.
+    pub rows: usize,
+    /// Target utilization the plan was sized for.
+    pub utilization: f64,
+}
+
+impl Floorplan {
+    /// Sizes a floorplan for `cell_area` at the given `utilization`
+    /// (0 < u ≤ 1) and aspect ratio (width / height).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]` or `aspect <= 0`.
+    pub fn for_area(cell_area: AreaUm2, utilization: f64, aspect: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        assert!(aspect > 0.0, "aspect ratio must be positive");
+        let core = (cell_area.value() / utilization).max(ROW_HEIGHT_UM * ROW_HEIGHT_UM);
+        let width = (core * aspect).sqrt();
+        let height = core / width;
+        let rows = (height / ROW_HEIGHT_UM).ceil().max(1.0) as usize;
+        Self {
+            width: Micron::new(width),
+            height: Micron::new(rows as f64 * ROW_HEIGHT_UM),
+            rows,
+            utilization,
+        }
+    }
+
+    /// Core area of the plan.
+    pub fn area(&self) -> AreaUm2 {
+        self.width * self.height
+    }
+
+    /// The y-coordinate of the centre of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows`.
+    pub fn row_y(&self, i: usize) -> Micron {
+        assert!(i < self.rows, "row index out of range");
+        Micron::new((i as f64 + 0.5) * ROW_HEIGHT_UM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_covers_cells_with_margin() {
+        let fp = Floorplan::for_area(AreaUm2::new(1000.0), 0.5, 1.0);
+        assert!(fp.area().value() >= 2000.0 * 0.95);
+        assert!(fp.rows >= 1);
+    }
+
+    #[test]
+    fn aspect_ratio_respected() {
+        let fp = Floorplan::for_area(AreaUm2::new(10_000.0), 0.7, 4.0);
+        let ratio = fp.width.value() / fp.height.value();
+        // Row quantization perturbs it slightly.
+        assert!((2.5..6.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rows_are_inside_core() {
+        let fp = Floorplan::for_area(AreaUm2::new(5000.0), 0.6, 1.0);
+        for i in 0..fp.rows {
+            assert!(fp.row_y(i).value() < fp.height.value());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn utilization_validated() {
+        let _ = Floorplan::for_area(AreaUm2::new(100.0), 1.5, 1.0);
+    }
+
+    #[test]
+    fn tiny_designs_get_minimum_die() {
+        let fp = Floorplan::for_area(AreaUm2::new(1.0), 1.0, 1.0);
+        assert!(fp.rows >= 1);
+        assert!(fp.width.value() > 0.0);
+    }
+}

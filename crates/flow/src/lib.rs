@@ -1,0 +1,50 @@
+//! # openserdes-flow
+//!
+//! An OpenLANE-substitute RTL→layout flow, the automation backbone of the
+//! paper ("Automated SerDes Design", §IV): the serializer, deserializer
+//! and CDR are written once as RTL and pushed through synthesis,
+//! placement, clock-tree estimation, routing, timing and power signoff to
+//! obtain the area/power numbers of Figs. 10–11 — all re-runnable at any
+//! PVT point, which is the process-portability claim in executable form.
+//!
+//! * [`ir`] — a word-friendly RTL IR with a golden interpreter,
+//! * [`synth`] — folding, structural hashing and technology mapping,
+//! * [`floorplan`] / [`place`] / [`route`] — row-based floorplan, greedy +
+//!   simulated-annealing placement, global-routing estimate,
+//! * [`sta`] — NLDM static timing analysis with wire delays,
+//! * [`power`] — activity-based switching/internal/clock/leakage power,
+//! * [`flow`] — the staged driver ([`run_flow`]) mirroring Fig. 12.
+//!
+//! ```
+//! use openserdes_flow::ir::Design;
+//! use openserdes_flow::{run_flow, FlowConfig};
+//! use openserdes_pdk::units::Hertz;
+//!
+//! let mut d = Design::new("counter4");
+//! let q = d.reg_bus(4);
+//! let next = d.incr(&q);
+//! d.connect_reg_bus(&q, &next);
+//! d.output_bus("q", &q);
+//!
+//! let result = run_flow(&d, &FlowConfig::at_clock(Hertz::from_mhz(500.0)))?;
+//! assert!(result.timing.clean());
+//! # Ok::<(), openserdes_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod floorplan;
+pub mod flow;
+pub mod ir;
+pub mod place;
+pub mod power;
+pub mod route;
+pub mod sta;
+pub mod synth;
+
+pub use export::{to_def, to_verilog};
+pub use flow::{optimize_timing, run_flow, CtsReport, FlowConfig, FlowResult};
+pub use power::{analyze_power, PowerConfig, PowerReport};
+pub use sta::{analyze, StaConfig, StaReport};
+pub use synth::{synthesize, SynthResult};

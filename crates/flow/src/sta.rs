@@ -1,0 +1,517 @@
+//! Static timing analysis over a mapped (and optionally routed) netlist.
+//!
+//! Plays the role OpenSTA plays in the paper's flow: propagate arrival
+//! times and slews from launch points (primary inputs, flop Q pins)
+//! through the combinational cloud using the library NLDM tables plus
+//! wire Elmore delays, then check every capture point (flop D pins,
+//! primary outputs) against the clock period. Reports worst negative
+//! slack, total negative slack, the critical path and the maximum
+//! achievable clock frequency.
+
+use crate::route::RouteResult;
+use openserdes_netlist::{CellId, NetId, Netlist, NetlistError};
+use openserdes_pdk::library::Library;
+use openserdes_pdk::units::{Farad, Hertz, Time};
+use openserdes_pdk::wire::WireloadModel;
+
+/// STA configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaConfig {
+    /// Target clock frequency.
+    pub clock: Hertz,
+    /// Transition time assumed at primary inputs.
+    pub input_slew: Time,
+    /// Multicycle exceptions: paths ending at these flops get
+    /// `factor` clock periods (e.g. a decision consumed every N cycles).
+    pub multicycle: Vec<(CellId, u32)>,
+}
+
+impl StaConfig {
+    /// A configuration at the given clock frequency with a 40 ps input
+    /// slew and no timing exceptions.
+    pub fn at_clock(clock: Hertz) -> Self {
+        Self {
+            clock,
+            input_slew: Time::from_ps(40.0),
+            multicycle: Vec::new(),
+        }
+    }
+}
+
+/// A timing endpoint check result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Endpoint {
+    /// Human-readable endpoint description (flop instance or output port).
+    pub name: String,
+    /// Data arrival time at the endpoint.
+    pub arrival: Time,
+    /// Setup requirement subtracted from the period (zero for ports).
+    pub setup: Time,
+    /// Slack at the configured clock.
+    pub slack: Time,
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// The clock the design was checked against.
+    pub clock: Hertz,
+    /// Worst (most negative) slack.
+    pub wns: Time,
+    /// Total negative slack.
+    pub tns: Time,
+    /// Number of violated endpoints.
+    pub violations: usize,
+    /// Maximum clock frequency the worst path supports.
+    pub fmax: Hertz,
+    /// Cells along the critical path, launch to capture.
+    pub critical_path: Vec<CellId>,
+    /// All endpoint checks, worst first.
+    pub endpoints: Vec<Endpoint>,
+    /// Worst hold slack across flop endpoints (positive = clean).
+    pub hold_wns: Time,
+    /// Number of hold violations.
+    pub hold_violations: usize,
+    arrivals: Vec<Time>,
+}
+
+impl StaReport {
+    /// Arrival time on a net (max over paths).
+    pub fn arrival(&self, net: NetId) -> Time {
+        self.arrivals[net.index()]
+    }
+
+    /// `true` when every endpoint meets timing.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Runs static timing analysis.
+///
+/// When `route` is provided, per-net wire RC from the global route is
+/// used; otherwise the pre-layout wireload model estimates it.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the netlist fails validation.
+pub fn analyze(
+    netlist: &Netlist,
+    library: &Library,
+    route: Option<&RouteResult>,
+    config: StaConfig,
+) -> Result<StaReport, NetlistError> {
+    netlist.validate()?;
+    let order = netlist.topo_order()?;
+    let fanout = netlist.fanout_table();
+    let wireload = WireloadModel::small_block();
+
+    // Per-net capacitive load (pins + wire) and wire Elmore delay.
+    let n_nets = netlist.net_count();
+    let mut load = vec![0.0f64; n_nets];
+    let mut wire_delay = vec![0.0f64; n_nets];
+    for net in netlist.net_ids() {
+        let sinks = &fanout[net.index()];
+        let mut pin_c = 0.0;
+        for &s in sinks {
+            let inst = netlist.instance(s);
+            let cell = library
+                .cell(inst.function, inst.drive)
+                .expect("library cell");
+            pin_c += if inst.clock == Some(net) && !inst.inputs.contains(&net) {
+                cell.clock_cap.value()
+            } else {
+                cell.input_cap.value()
+            };
+        }
+        let (wire_c, wire_r) = match route {
+            Some(r) => {
+                let rn = r.net(net);
+                (rn.capacitance().value(), rn.resistance().value())
+            }
+            None => (
+                wireload.capacitance(sinks.len()).value(),
+                wireload.resistance(sinks.len()).value(),
+            ),
+        };
+        load[net.index()] = pin_c + wire_c;
+        wire_delay[net.index()] = wire_r * (0.5 * wire_c + pin_c);
+    }
+
+    // Launch arrivals.
+    let mut arrival = vec![0.0f64; n_nets]; // seconds
+    let mut slew = vec![config.input_slew.value(); n_nets];
+    let mut pred: Vec<Option<CellId>> = vec![None; n_nets];
+    for (id, inst) in netlist.instances() {
+        if inst.is_sequential() {
+            let cell = library
+                .cell(inst.function, inst.drive)
+                .expect("library cell");
+            let seq = cell.seq.expect("flop has seq data");
+            let arc = cell.arc(
+                Time::from_ps(40.0),
+                Farad::new(load[inst.output.index()]),
+            );
+            let out = inst.output.index();
+            arrival[out] = seq.clk_to_q.value() + wire_delay[out];
+            slew[out] = arc.out_slew.value();
+            pred[out] = Some(id);
+        }
+    }
+
+    // Propagate through the combinational cloud in topological order.
+    for &id in &order {
+        let inst = netlist.instance(id);
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let mut worst_in = 0.0f64;
+        let mut worst_slew = config.input_slew.value();
+        for &i in &inst.inputs {
+            if arrival[i.index()] > worst_in {
+                worst_in = arrival[i.index()];
+            }
+            worst_slew = worst_slew.max(slew[i.index()]);
+        }
+        let arc = cell.arc(
+            Time::new(worst_slew),
+            Farad::new(load[inst.output.index()]),
+        );
+        let out = inst.output.index();
+        let t = worst_in + arc.delay.value() + wire_delay[out];
+        if t > arrival[out] {
+            arrival[out] = t;
+            slew[out] = arc.out_slew.value();
+            pred[out] = Some(id);
+        }
+    }
+
+    // Min-delay (hold) propagation: the *shortest* path to each net.
+    // Primary inputs are left unconstrained (no input-delay assertions),
+    // so only flop-launched races are checked — the standard default.
+    let mut min_arrival = vec![f64::INFINITY; n_nets];
+    for (_, inst) in netlist.instances() {
+        if inst.is_sequential() {
+            let cell = library
+                .cell(inst.function, inst.drive)
+                .expect("library cell");
+            min_arrival[inst.output.index()] =
+                cell.seq.expect("flop").clk_to_q.value();
+        }
+    }
+    for &id in &order {
+        let inst = netlist.instance(id);
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let fastest_in = inst
+            .inputs
+            .iter()
+            .map(|i| min_arrival[i.index()])
+            .fold(f64::INFINITY, f64::min);
+        let arc = cell.arc(
+            Time::new(config.input_slew.value()),
+            Farad::new(load[inst.output.index()]),
+        );
+        let t = fastest_in + arc.delay.value();
+        let out = inst.output.index();
+        if t < min_arrival[out] {
+            min_arrival[out] = t;
+        }
+    }
+
+    // Hold checks: data must not race through before the same edge's
+    // hold window closes at the capturing flop.
+    let mut hold_wns = f64::INFINITY;
+    let mut hold_violations = 0usize;
+    for (_, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let hold = cell.seq.expect("flop").hold.value();
+        let early = min_arrival[inst.inputs[0].index()];
+        if early.is_finite() {
+            let slack = early - hold;
+            hold_wns = hold_wns.min(slack);
+            if slack < 0.0 {
+                hold_violations += 1;
+            }
+        }
+    }
+    if !hold_wns.is_finite() {
+        hold_wns = 0.0;
+    }
+
+    // Endpoint checks.
+    let period = 1.0 / config.clock.value();
+    let mut endpoints = Vec::new();
+    let mut worst_datapath = 0.0f64;
+    let mut worst_net: Option<NetId> = None;
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let setup = cell.seq.expect("flop").setup.value();
+        let factor = config
+            .multicycle
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map(|(_, f)| *f as f64)
+            .unwrap_or(1.0);
+        let d_net = inst.inputs[0];
+        let arr = arrival[d_net.index()];
+        endpoints.push(Endpoint {
+            name: inst.name.clone(),
+            arrival: Time::new(arr),
+            setup: Time::new(setup),
+            slack: Time::new(factor * period - setup - arr),
+        });
+        // Normalize multicycle endpoints to per-period datapath demand.
+        if (arr + setup) / factor > worst_datapath {
+            worst_datapath = (arr + setup) / factor;
+            worst_net = Some(d_net);
+        }
+    }
+    for (name, net) in netlist.primary_outputs() {
+        let arr = arrival[net.index()];
+        endpoints.push(Endpoint {
+            name: format!("port:{name}"),
+            arrival: Time::new(arr),
+            setup: Time::new(0.0),
+            slack: Time::new(period - arr),
+        });
+        if arr > worst_datapath {
+            worst_datapath = arr;
+            worst_net = Some(*net);
+        }
+    }
+    endpoints.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"));
+
+    let wns = endpoints
+        .first()
+        .map(|e| e.slack)
+        .unwrap_or(Time::new(period));
+    let tns: f64 = endpoints
+        .iter()
+        .map(|e| e.slack.value().min(0.0))
+        .sum();
+    let violations = endpoints.iter().filter(|e| e.slack.value() < 0.0).count();
+    let fmax = if worst_datapath > 0.0 {
+        Hertz::new(1.0 / worst_datapath)
+    } else {
+        Hertz::from_ghz(1000.0)
+    };
+
+    // Critical path: backtrack predecessor cells from the worst endpoint.
+    let mut critical_path = Vec::new();
+    let mut cursor = worst_net;
+    while let Some(net) = cursor {
+        match pred[net.index()] {
+            Some(cell) => {
+                critical_path.push(cell);
+                let inst = netlist.instance(cell);
+                if inst.is_sequential() {
+                    break; // reached the launching flop
+                }
+                // Follow the worst input.
+                cursor = inst
+                    .inputs
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| {
+                        arrival[a.index()]
+                            .partial_cmp(&arrival[b.index()])
+                            .expect("finite arrivals")
+                    });
+            }
+            None => break, // reached a primary input
+        }
+    }
+    critical_path.reverse();
+
+    Ok(StaReport {
+        clock: config.clock,
+        wns,
+        tns: Time::new(tns),
+        violations,
+        fmax,
+        critical_path,
+        endpoints,
+        hold_wns: Time::new(hold_wns),
+        hold_violations,
+        arrivals: arrival.into_iter().map(Time::new).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openserdes_pdk::corner::{ProcessCorner, Pvt};
+    use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+
+    fn lib() -> Library {
+        Library::sky130(Pvt::nominal())
+    }
+
+    /// flop -> N inverters -> flop pipeline.
+    fn pipeline(n: usize) -> Netlist {
+        let mut nl = Netlist::new("pipe");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q0 = nl.dff(d, clk, DriveStrength::X1);
+        let mut s = q0;
+        for _ in 0..n {
+            s = nl.gate(LogicFn::Inv, DriveStrength::X1, &[s]);
+        }
+        let q1 = nl.dff(s, clk, DriveStrength::X1);
+        nl.mark_output("q", q1);
+        nl
+    }
+
+    #[test]
+    fn longer_paths_have_less_slack() {
+        let l = lib();
+        let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        let short = analyze(&pipeline(2), &l, None, cfg.clone()).expect("ok");
+        let long = analyze(&pipeline(20), &l, None, cfg).expect("ok");
+        assert!(long.wns < short.wns);
+        assert!(long.fmax.value() < short.fmax.value());
+    }
+
+    #[test]
+    fn violations_appear_at_high_clock() {
+        let l = lib();
+        let nl = pipeline(30);
+        let slow = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_mhz(100.0)))
+            .expect("ok");
+        assert!(slow.clean(), "100 MHz must close on 30 inverters");
+        let fast = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(5.0)))
+            .expect("ok");
+        assert!(!fast.clean(), "5 GHz must fail on 30 inverters");
+        assert!(fast.tns.value() < 0.0);
+    }
+
+    #[test]
+    fn fmax_consistent_with_slack() {
+        let l = lib();
+        let nl = pipeline(10);
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
+            .expect("ok");
+        // Exactly at fmax the design should be (just) clean.
+        let at_fmax = analyze(
+            &nl,
+            &l,
+            None,
+            StaConfig::at_clock(Hertz::new(r.fmax.value() * 0.999)),
+        )
+        .expect("ok");
+        assert!(at_fmax.clean(), "wns at 0.999·fmax = {}", at_fmax.wns);
+        let above = analyze(
+            &nl,
+            &l,
+            None,
+            StaConfig::at_clock(Hertz::new(r.fmax.value() * 1.05)),
+        )
+        .expect("ok");
+        assert!(!above.clean());
+    }
+
+    #[test]
+    fn critical_path_traverses_the_chain() {
+        let l = lib();
+        let nl = pipeline(8);
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
+            .expect("ok");
+        // Path = launch flop + 8 inverters.
+        assert_eq!(r.critical_path.len(), 9);
+        let first = nl.instance(r.critical_path[0]);
+        assert!(first.is_sequential(), "path starts at the launch flop");
+    }
+
+    #[test]
+    fn slow_corner_lowers_fmax() {
+        let nl = pipeline(10);
+        let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        let tt = analyze(&nl, &lib(), None, cfg.clone()).expect("ok");
+        let ss_lib = Library::sky130(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0));
+        let ss = analyze(&nl, &ss_lib, None, cfg).expect("ok");
+        assert!(ss.fmax.value() < tt.fmax.value());
+    }
+
+    #[test]
+    fn endpoint_list_sorted_by_slack() {
+        let l = lib();
+        let nl = pipeline(12);
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0)))
+            .expect("ok");
+        for w in r.endpoints.windows(2) {
+            assert!(w[0].slack <= w[1].slack);
+        }
+        assert!(!r.endpoints.is_empty());
+    }
+
+    #[test]
+    fn hold_clean_with_library_flops() {
+        // clk→Q (150 ps) far exceeds hold (20 ps): back-to-back flops
+        // are hold-clean by construction in this library.
+        let l = lib();
+        let r = analyze(&pipeline(0), &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
+            .expect("ok");
+        assert_eq!(r.hold_violations, 0);
+        assert!(r.hold_wns.ps() > 50.0, "hold slack = {} ps", r.hold_wns.ps());
+    }
+
+    #[test]
+    fn hold_slack_grows_with_path_depth() {
+        let l = lib();
+        let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        let short = analyze(&pipeline(0), &l, None, cfg.clone()).expect("ok");
+        let long = analyze(&pipeline(10), &l, None, cfg).expect("ok");
+        assert!(long.hold_wns >= short.hold_wns);
+    }
+
+    #[test]
+    fn multicycle_exception_relaxes_endpoint() {
+        let l = lib();
+        let nl = pipeline(30);
+        let flop = nl
+            .instances()
+            .filter(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id)
+            .nth(1)
+            .expect("capture flop");
+        let tight = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0)))
+            .expect("ok");
+        assert!(!tight.clean(), "30 inverters fail at 2 GHz single-cycle");
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(2.0));
+        cfg.multicycle = vec![(flop, 8)];
+        let relaxed = analyze(&nl, &l, None, cfg).expect("ok");
+        assert!(
+            relaxed.clean(),
+            "an 8-cycle exception must absorb the path: wns = {}",
+            relaxed.wns
+        );
+        assert!(relaxed.fmax.value() > tight.fmax.value());
+    }
+
+    #[test]
+    fn pure_combinational_design_checks_ports() {
+        let l = lib();
+        let mut nl = Netlist::new("comb");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
+        nl.mark_output("y", y);
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
+            .expect("ok");
+        assert_eq!(r.endpoints.len(), 1);
+        assert!(r.endpoints[0].name.starts_with("port:"));
+        assert!(r.clean());
+    }
+}

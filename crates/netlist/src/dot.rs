@@ -1,0 +1,104 @@
+//! Graphviz DOT export for netlist inspection.
+
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Renders the netlist as a Graphviz `digraph`: instances become boxes,
+/// primary inputs become ellipses, and edges follow nets from driver to
+/// sink.
+///
+/// ```
+/// use openserdes_netlist::{Netlist, to_dot};
+/// use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+///
+/// let mut nl = Netlist::new("buf2");
+/// let a = nl.add_input("a");
+/// let y = nl.gate(LogicFn::Buf, DriveStrength::X1, &[a]);
+/// nl.mark_output("y", y);
+/// let dot = to_dot(&nl);
+/// assert!(dot.starts_with("digraph buf2"));
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for &pi in netlist.primary_inputs() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=ellipse,label=\"{}\"];",
+            pi,
+            netlist.net_name(pi)
+        );
+    }
+    for (id, inst) in netlist.instances() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=box,label=\"{} {}\"];",
+            id, inst.function, inst.drive
+        );
+    }
+    let drivers = netlist.driver_table();
+    for (id, inst) in netlist.instances() {
+        for &n in inst.inputs.iter().chain(inst.clock.iter()) {
+            match drivers[n.index()] {
+                Some(src) => {
+                    let _ = writeln!(out, "  {src} -> {id};");
+                }
+                None => {
+                    let _ = writeln!(out, "  {n} -> {id};");
+                }
+            }
+        }
+    }
+    for (name, net) in netlist.primary_outputs() {
+        let _ = writeln!(out, "  out_{} [shape=ellipse,label=\"{}\"];", net, name);
+        match drivers[net.index()] {
+            Some(src) => {
+                let _ = writeln!(out, "  {src} -> out_{net};");
+            }
+            None => {
+                let _ = writeln!(out, "  {net} -> out_{net};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+
+    #[test]
+    fn dot_contains_all_instances_and_edges() {
+        let mut nl = Netlist::new("half adder");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
+        nl.mark_output("sum", s);
+        let dot = to_dot(&nl);
+        assert!(dot.starts_with("digraph half_adder"));
+        assert!(dot.contains("xor2"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn clock_edges_are_drawn() {
+        let mut nl = Netlist::new("ff");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, clk, DriveStrength::X1);
+        nl.mark_output("q", q);
+        let dot = to_dot(&nl);
+        // Both d and clk fan into the flop: two edges into c0.
+        assert_eq!(dot.matches("-> c0;").count(), 2);
+    }
+}

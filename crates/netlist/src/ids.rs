@@ -1,0 +1,59 @@
+//! Index newtypes for netlist entities.
+//!
+//! Netlists are arena-style: instances and nets live in `Vec`s and refer to
+//! each other by index. The newtypes here keep cell and net indices from
+//! being interchanged.
+
+use std::fmt;
+
+/// Identifier of a cell instance within one [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a net (wire) within one [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(CellId(3).to_string(), "c3");
+        assert_eq!(NetId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CellId(1) < CellId(2));
+        assert!(NetId(0) < NetId(9));
+        assert_eq!(NetId(4).index(), 4);
+    }
+}

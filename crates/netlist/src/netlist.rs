@@ -1,0 +1,565 @@
+//! Flat gate-level netlists with builder, validation and graph queries.
+//!
+//! A [`Netlist`] is the contract between the synthesis side of the flow
+//! (which produces one), the digital simulator (which executes one), the
+//! placer and the timing/power analyzers (which annotate one). It is a
+//! flat arena of [`Instance`]s connected by nets, mirroring what OpenLANE
+//! hands from yosys to OpenSTA in the paper's flow.
+//!
+//! ```
+//! use openserdes_netlist::Netlist;
+//! use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+//!
+//! let mut nl = Netlist::new("half_adder");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let sum = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
+//! let carry = nl.gate(LogicFn::And2, DriveStrength::X1, &[a, b]);
+//! nl.mark_output("sum", sum);
+//! nl.mark_output("carry", carry);
+//! assert!(nl.validate().is_ok());
+//! ```
+
+use crate::error::NetlistError;
+use crate::ids::{CellId, NetId};
+use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+use std::collections::VecDeque;
+
+/// One placed-and-routable cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// The library function this instance implements.
+    pub function: LogicFn,
+    /// Drive strength of the chosen cell.
+    pub drive: DriveStrength,
+    /// Data input nets, in pin order (`function.input_count()` entries).
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+    /// Clock net for sequential cells, `None` for combinational.
+    pub clock: Option<NetId>,
+}
+
+impl Instance {
+    /// `true` if this instance is a flip-flop.
+    pub fn is_sequential(&self) -> bool {
+        self.function.is_sequential()
+    }
+}
+
+/// A flat gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    instances: Vec<Instance>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an internal net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.into());
+        id
+    }
+
+    /// Adds a primary input (also creates its net).
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares `net` as the primary output called `name`.
+    pub fn mark_output(&mut self, name: impl Into<String>, net: NetId) {
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Instantiates a combinational gate reading `inputs`, creating and
+    /// returning a fresh output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `function` is sequential (use [`Netlist::dff`]) or if the
+    /// input count does not match the function arity.
+    pub fn gate(&mut self, function: LogicFn, drive: DriveStrength, inputs: &[NetId]) -> NetId {
+        let out = self.add_net(format!("{}_{}", function, self.instances.len()));
+        self.gate_into(function, drive, inputs, out);
+        out
+    }
+
+    /// Instantiates a combinational gate driving an existing net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequential functions or arity mismatch.
+    pub fn gate_into(
+        &mut self,
+        function: LogicFn,
+        drive: DriveStrength,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> CellId {
+        assert!(
+            !function.is_sequential(),
+            "use dff()/dff_rstn() for sequential cells"
+        );
+        assert_eq!(
+            inputs.len(),
+            function.input_count(),
+            "{function} expects {} inputs",
+            function.input_count()
+        );
+        let id = CellId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            name: format!("u_{}_{}", function, id.0),
+            function,
+            drive,
+            inputs: inputs.to_vec(),
+            output,
+            clock: None,
+        });
+        id
+    }
+
+    /// Instantiates a D flip-flop clocked by `clk`, returning its Q net.
+    pub fn dff(&mut self, d: NetId, clk: NetId, drive: DriveStrength) -> NetId {
+        let q = self.add_net(format!("dff_q_{}", self.instances.len()));
+        self.dff_into(d, clk, drive, q);
+        q
+    }
+
+    /// Instantiates a D flip-flop driving an existing Q net.
+    pub fn dff_into(&mut self, d: NetId, clk: NetId, drive: DriveStrength, q: NetId) -> CellId {
+        let id = CellId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            name: format!("u_dff_{}", id.0),
+            function: LogicFn::Dff,
+            drive,
+            inputs: vec![d],
+            output: q,
+            clock: Some(clk),
+        });
+        id
+    }
+
+    /// Instantiates a resettable D flip-flop (active-low async reset),
+    /// returning its Q net.
+    pub fn dff_rstn(&mut self, d: NetId, rst_n: NetId, clk: NetId, drive: DriveStrength) -> NetId {
+        let q = self.add_net(format!("dffr_q_{}", self.instances.len()));
+        let id = CellId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            name: format!("u_dffr_{}", id.0),
+            function: LogicFn::DffRstN,
+            drive,
+            inputs: vec![d, rst_n],
+            output: q,
+            clock: Some(clk),
+        });
+        let _ = id;
+        q
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets (including primary inputs).
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn flop_count(&self) -> usize {
+        self.instances.iter().filter(|i| i.is_sequential()).count()
+    }
+
+    /// The instance with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn instance(&self, id: CellId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// Mutable access to an instance (used by post-synthesis passes such
+    /// as drive resizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn instance_mut(&mut self, id: CellId) -> &mut Instance {
+        &mut self.instances[id.index()]
+    }
+
+    /// Iterates over `(CellId, &Instance)` pairs.
+    pub fn instances(&self) -> impl Iterator<Item = (CellId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (CellId(i as u32), inst))
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.instances.len() as u32).map(CellId)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.net_names.len() as u32).map(NetId)
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, net)` pairs, in declaration order.
+    pub fn primary_outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// `true` if `net` is a primary input.
+    pub fn is_primary_input(&self, net: NetId) -> bool {
+        self.inputs.contains(&net)
+    }
+
+    /// The instance driving `net`, if any.
+    pub fn driver_of(&self, net: NetId) -> Option<CellId> {
+        self.instances()
+            .find(|(_, inst)| inst.output == net)
+            .map(|(id, _)| id)
+    }
+
+    /// All instances reading `net` (through data or clock pins).
+    pub fn fanout_of(&self, net: NetId) -> Vec<CellId> {
+        self.instances()
+            .filter(|(_, inst)| inst.inputs.contains(&net) || inst.clock == Some(net))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Per-net driver table: `drivers[net] = Some(cell)` for instance
+    /// outputs, `None` for primary inputs and floating nets.
+    pub fn driver_table(&self) -> Vec<Option<CellId>> {
+        let mut t = vec![None; self.net_count()];
+        for (id, inst) in self.instances() {
+            t[inst.output.index()] = Some(id);
+        }
+        t
+    }
+
+    /// Per-net fanout table (cells reading each net through any pin).
+    pub fn fanout_table(&self) -> Vec<Vec<CellId>> {
+        let mut t = vec![Vec::new(); self.net_count()];
+        for (id, inst) in self.instances() {
+            for &n in &inst.inputs {
+                t[n.index()].push(id);
+            }
+            if let Some(c) = inst.clock {
+                t[c.index()].push(id);
+            }
+        }
+        t
+    }
+
+    /// Structural validation: arity (checked at build time), dangling net
+    /// references, exactly one driver per read net, no combinational
+    /// loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let nets = self.net_count();
+        for (id, inst) in self.instances() {
+            for &n in inst.inputs.iter().chain(inst.clock.iter()) {
+                if n.index() >= nets {
+                    return Err(NetlistError::DanglingNet { cell: id, net: n });
+                }
+            }
+            if inst.output.index() >= nets {
+                return Err(NetlistError::DanglingNet {
+                    cell: id,
+                    net: inst.output,
+                });
+            }
+            if inst.function.is_sequential() && inst.clock.is_none() {
+                return Err(NetlistError::MissingClock(id));
+            }
+        }
+        // Driver uniqueness: instance outputs must not collide with each
+        // other or with primary inputs.
+        let mut drivers: Vec<Vec<CellId>> = vec![Vec::new(); nets];
+        for (id, inst) in self.instances() {
+            drivers[inst.output.index()].push(id);
+        }
+        for (ni, d) in drivers.iter().enumerate() {
+            let net = NetId(ni as u32);
+            let pi = self.is_primary_input(net);
+            if d.len() > 1 || (pi && !d.is_empty()) {
+                return Err(NetlistError::MultipleDrivers {
+                    net,
+                    drivers: d.clone(),
+                });
+            }
+        }
+        // Every read net must be driven by an instance or a primary input.
+        let fanout = self.fanout_table();
+        for ni in 0..nets {
+            let net = NetId(ni as u32);
+            let read =
+                !fanout[ni].is_empty() || self.outputs.iter().any(|(_, n)| *n == net);
+            if read && drivers[ni].is_empty() && !self.is_primary_input(net) {
+                return Err(NetlistError::UndrivenNet(net));
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Topological order of the *combinational* instances.
+    ///
+    /// Primary inputs and flip-flop outputs are treated as sources;
+    /// flip-flops themselves are excluded from the order (they break
+    /// timing paths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] listing the cells stuck
+    /// in a cycle.
+    pub fn topo_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        // In-degree counts only edges from combinational drivers.
+        let driver = self.driver_table();
+        let comb = |id: CellId| !self.instances[id.index()].is_sequential();
+        let mut indeg = vec![0usize; self.instances.len()];
+        for (id, inst) in self.instances() {
+            if !comb(id) {
+                continue;
+            }
+            for &n in &inst.inputs {
+                if let Some(d) = driver[n.index()] {
+                    if comb(d) {
+                        indeg[id.index()] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: VecDeque<CellId> = self
+            .cell_ids()
+            .filter(|&id| comb(id) && indeg[id.index()] == 0)
+            .collect();
+        let fanout = self.fanout_table();
+        let mut order = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            let out = self.instances[id.index()].output;
+            for &sink in &fanout[out.index()] {
+                if comb(sink) {
+                    indeg[sink.index()] -= 1;
+                    if indeg[sink.index()] == 0 {
+                        queue.push_back(sink);
+                    }
+                }
+            }
+        }
+        let comb_total = self.cell_ids().filter(|&id| comb(id)).count();
+        if order.len() != comb_total {
+            let stuck: Vec<CellId> = self
+                .cell_ids()
+                .filter(|&id| comb(id) && !order.contains(&id))
+                .collect();
+            return Err(NetlistError::CombinationalLoop(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Maximum fanout over all nets.
+    pub fn max_fanout(&self) -> usize {
+        self.fanout_table().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut nl = Netlist::new("half_adder");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
+        let c = nl.gate(LogicFn::And2, DriveStrength::X1, &[a, b]);
+        nl.mark_output("sum", s);
+        nl.mark_output("carry", c);
+        nl
+    }
+
+    #[test]
+    fn builder_produces_valid_netlist() {
+        let nl = half_adder();
+        assert_eq!(nl.cell_count(), 2);
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.flop_count(), 0);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn driver_and_fanout_queries() {
+        let nl = half_adder();
+        let a = nl.primary_inputs()[0];
+        assert_eq!(nl.driver_of(a), None);
+        assert_eq!(nl.fanout_of(a).len(), 2);
+        let (_, sum_net) = nl.primary_outputs()[0].clone();
+        let d = nl.driver_of(sum_net).expect("sum is driven");
+        assert_eq!(nl.instance(d).function, LogicFn::Xor2);
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let out = nl.add_net("out");
+        nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[a], out);
+        nl.gate_into(LogicFn::Buf, DriveStrength::X1, &[a], out);
+        nl.mark_output("out", out);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn driving_a_primary_input_is_an_error() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[a], b);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut nl = Netlist::new("bad");
+        let float = nl.add_net("floating");
+        let out = nl.gate(LogicFn::Inv, DriveStrength::X1, &[float]);
+        nl.mark_output("out", out);
+        assert_eq!(nl.validate(), Err(NetlistError::UndrivenNet(float)));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut nl = Netlist::new("latchy");
+        let a = nl.add_input("a");
+        let fb = nl.add_net("fb");
+        let x = nl.gate(LogicFn::Nand2, DriveStrength::X1, &[a, fb]);
+        nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[x], fb);
+        nl.mark_output("out", x);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn loop_through_flop_is_legal() {
+        // Classic toggle flop: q -> inv -> d -> q.
+        let mut nl = Netlist::new("toggle");
+        let clk = nl.add_input("clk");
+        let q = nl.add_net("q");
+        let d = nl.gate(LogicFn::Inv, DriveStrength::X1, &[q]);
+        nl.dff_into(d, clk, DriveStrength::X1, q);
+        nl.mark_output("q", q);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.flop_count(), 1);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let x1 = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+        let x2 = nl.gate(LogicFn::Inv, DriveStrength::X1, &[x1]);
+        let x3 = nl.gate(LogicFn::Inv, DriveStrength::X1, &[x2]);
+        nl.mark_output("y", x3);
+        let order = nl.topo_order().expect("acyclic");
+        assert_eq!(order.len(), 3);
+        let pos = |c: CellId| order.iter().position(|&o| o == c).unwrap();
+        assert!(pos(order[0]) < pos(order[2]));
+        // Drivers come before their sinks.
+        for w in order.windows(2) {
+            let early = nl.instance(w[0]).output;
+            assert!(nl.instance(w[1]).inputs.contains(&early));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_mismatch_panics() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let _ = nl.gate(LogicFn::Nand2, DriveStrength::X1, &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn sequential_via_gate_panics() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let _ = nl.gate(LogicFn::Dff, DriveStrength::X1, &[a]);
+    }
+
+    #[test]
+    fn dff_rstn_builds() {
+        let mut nl = Netlist::new("reg");
+        let clk = nl.add_input("clk");
+        let rst_n = nl.add_input("rst_n");
+        let d = nl.add_input("d");
+        let q = nl.dff_rstn(d, rst_n, clk, DriveStrength::X1);
+        nl.mark_output("q", q);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.flop_count(), 1);
+    }
+
+    #[test]
+    fn max_fanout_counts_all_pins() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        for _ in 0..5 {
+            let o = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+            nl.mark_output(format!("o{o}"), o);
+        }
+        assert_eq!(nl.max_fanout(), 5);
+    }
+}

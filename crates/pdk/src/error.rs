@@ -1,0 +1,53 @@
+//! Error types for PDK queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by library and model lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdkError {
+    /// The requested cell does not exist in the library.
+    UnknownCell(String),
+    /// A model parameter was outside its physically valid range.
+    InvalidParameter {
+        /// The offending parameter name.
+        name: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdkError::UnknownCell(name) => write!(f, "unknown standard cell `{name}`"),
+            PdkError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PdkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = PdkError::UnknownCell("foo_x9".into());
+        assert_eq!(e.to_string(), "unknown standard cell `foo_x9`");
+        let e = PdkError::InvalidParameter {
+            name: "w_um",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("w_um"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PdkError>();
+    }
+}

@@ -1,0 +1,452 @@
+//! The all-digital receiver front end (paper §IV-B, Figs. 5–6).
+//!
+//! An AC-coupling capacitor feeds a **resistive-feedback inverter**: a
+//! CMOS inverter whose PMOS pseudo-resistor feedback self-biases the
+//! input at the switching threshold (≈ 0.5·VDD), where both devices are
+//! in saturation and the stage behaves as a high-gain amplifier for
+//! millivolt inputs. A second CMOS inverter restores rail-to-rail
+//! levels for the flip-flop sampler. The price of synthesizability is a
+//! static current (both devices always on) — quantified by
+//! [`RxFrontEnd::static_power`].
+//!
+//! Besides full transient simulation ([`RxFrontEnd::receive`]), the type
+//! exposes a small-signal characterization
+//! ([`RxFrontEnd::small_signal`]) from which a fast behavioural
+//! sensitivity model is derived ([`RxFrontEnd::sensitivity`]): the
+//! minimum input swing that still restores clean logic levels at a given
+//! data rate. This is the model behind the paper's Fig. 9 sweeps.
+
+use openserdes_analog::primitives::{
+    add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
+};
+use openserdes_analog::solver::{dc_operating_point, dc_sweep, transient, SolverError, TransientConfig};
+use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::mos::{MosDevice, MosParams};
+use openserdes_pdk::units::{AreaUm2, Farad, Hertz, Time, Volt, Watt};
+
+/// Receiver front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontEndConfig {
+    /// Scale of the gain-stage inverter relative to a unit inverter.
+    pub gain_stage_scale: f64,
+    /// Scale of the restoring inverter.
+    pub restorer_scale: f64,
+    /// Feedback element.
+    pub feedback: FeedbackKind,
+    /// AC-coupling capacitor (off-chip in the paper).
+    pub coupling_cap: Farad,
+    /// Overdrive the restorer input needs past its threshold to slew
+    /// rail-to-rail within a bit, plus mismatch/offset guardband between
+    /// the amplifier bias and the restorer threshold.
+    pub offset_margin: Volt,
+    /// Multiplicative guardband for noise, jitter and PVT in the
+    /// behavioural sensitivity model.
+    pub snr_margin: f64,
+}
+
+impl FrontEndConfig {
+    /// The paper's front end.
+    pub fn paper_default() -> Self {
+        Self {
+            gain_stage_scale: 24.0,
+            restorer_scale: 24.0,
+            feedback: FeedbackKind::PseudoResistor { w: 1.0, l: 0.5 },
+            coupling_cap: Farad::from_pf(10.0),
+            offset_margin: Volt::from_mv(260.0),
+            snr_margin: 2.0,
+        }
+    }
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Waveforms from a front-end transient run.
+#[derive(Debug, Clone)]
+pub struct FrontEndWaveforms {
+    /// The incoming (channel output) waveform.
+    pub input: Waveform,
+    /// The AC-coupled, self-biased amplifier input node.
+    pub coupled: Waveform,
+    /// The gain-stage output.
+    pub amplified: Waveform,
+    /// The restored rail-to-rail output.
+    pub restored: Waveform,
+}
+
+/// Small-signal characterization of the front end at its bias point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmallSignal {
+    /// Self-bias voltage of the amplifier input/output.
+    pub bias: Volt,
+    /// Low-frequency voltage gain (positive magnitude).
+    pub gain: f64,
+    /// Output resistance of the gain stage.
+    pub rout: f64,
+    /// Capacitive load at the gain-stage output.
+    pub cout: Farad,
+    /// Dominant pole frequency.
+    pub pole: Hertz,
+}
+
+impl SmallSignal {
+    /// Effective gain for an NRZ pulse of one unit interval: the
+    /// single-pole step response sampled at the end of the bit,
+    /// `A·(1 − e^(−T/τ))`.
+    pub fn gain_at_rate(&self, data_rate: Hertz) -> f64 {
+        let t = 1.0 / data_rate.value();
+        let tau = self.rout * self.cout.value();
+        self.gain * (1.0 - (-t / tau).exp())
+    }
+}
+
+/// The receiver front end bound to a PVT point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxFrontEnd {
+    config: FrontEndConfig,
+    pvt: Pvt,
+}
+
+impl RxFrontEnd {
+    /// Creates a front end.
+    pub fn new(config: FrontEndConfig, pvt: Pvt) -> Self {
+        Self { config, pvt }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrontEndConfig {
+        &self.config
+    }
+
+    /// Builds the front-end circuit; returns `(src, vin, vmid, vout)`.
+    fn build(&self, c: &mut Circuit) -> (Node, Node, Node, Node) {
+        let vdd_v = self.pvt.vdd.value();
+        let vdd = c.node("vdd");
+        c.vsource(vdd, Stimulus::Dc(vdd_v));
+        let src = c.node("rx_src");
+        let vin = c.node("rx_in");
+        let vmid = c.node("rx_amp");
+        let vout = c.node("rx_out");
+        c.capacitor(src, vin, self.config.coupling_cap.value());
+        add_resistive_feedback_inverter(
+            c,
+            &self.pvt,
+            InverterSize::scaled(self.config.gain_stage_scale),
+            self.config.feedback,
+            vin,
+            vmid,
+            vdd,
+        );
+        add_inverter(
+            c,
+            &self.pvt,
+            InverterSize::scaled(self.config.restorer_scale),
+            vmid,
+            vout,
+            vdd,
+        );
+        // Sampler load at the restored output.
+        c.capacitor(vout, c.gnd(), 5e-15);
+        (src, vin, vmid, vout)
+    }
+
+    /// Transient run of the front end on an incoming waveform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn receive(&self, input: &Waveform) -> Result<FrontEndWaveforms, SolverError> {
+        let mut c = Circuit::new();
+        let (src, vin, vmid, vout) = self.build(&mut c);
+        // The AC-coupling capacitor's steady-state charge centres the
+        // signal on its mean (reached after ~R_fb·C_c, far beyond any
+        // transient span). Model it by pinning the source's first few
+        // samples to the mean so the DC operating point charges the cap
+        // to the steady-state value.
+        let mean = input.mean();
+        let settle = input.t0() + 3.0 * input.dt();
+        let centered = Waveform::from_fn(input.t0(), input.dt(), input.len(), |t| {
+            if t < settle {
+                mean
+            } else {
+                input.sample_at(t)
+            }
+        });
+        c.vsource(src, Stimulus::Wave(centered));
+        let dt = (input.dt()).min(2.0e-12);
+        let res = transient(&c, &TransientConfig::with_dt(input.t_end(), dt))?;
+        Ok(FrontEndWaveforms {
+            input: input.clone(),
+            coupled: res.waveform(vin).clone(),
+            amplified: res.waveform(vmid).clone(),
+            restored: res.waveform(vout).clone(),
+        })
+    }
+
+    /// The DC self-bias point of the amplifier input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn self_bias(&self) -> Result<Volt, SolverError> {
+        let mut c = Circuit::new();
+        let (src, vin, _, _) = self.build(&mut c);
+        c.vsource(src, Stimulus::Dc(0.0));
+        let v = dc_operating_point(&c)?;
+        Ok(Volt::new(v[vin.index()]))
+    }
+
+    /// DC voltage-transfer curve of the bare gain-stage inverter
+    /// (Fig. 6a), as `(vin, vout)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn vtc(&self, points: usize) -> Result<Vec<(f64, f64)>, SolverError> {
+        let vdd_v = self.pvt.vdd.value();
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        c.vsource(vdd, Stimulus::Dc(vdd_v));
+        let vin = c.node("vin");
+        c.vsource(vin, Stimulus::Dc(0.0));
+        let vout = c.node("vout");
+        add_inverter(
+            &mut c,
+            &self.pvt,
+            InverterSize::scaled(self.config.gain_stage_scale),
+            vin,
+            vout,
+            vdd,
+        );
+        let xs: Vec<f64> = (0..points)
+            .map(|i| vdd_v * i as f64 / (points - 1) as f64)
+            .collect();
+        let sweep = dc_sweep(&c, 1, &xs)?;
+        Ok(xs
+            .into_iter()
+            .zip(sweep.iter().map(|v| v[vout.index()]))
+            .collect())
+    }
+
+    /// Small-signal characterization at the self-bias point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn small_signal(&self) -> Result<SmallSignal, SolverError> {
+        let bias = self.self_bias()?.value();
+        let vdd = self.pvt.vdd.value();
+        let k = self.config.gain_stage_scale;
+        let nmos = MosDevice::new(MosParams::sky130_nmos(&self.pvt), 0.65 * k, 0.15);
+        let pmos = MosDevice::new(MosParams::sky130_pmos(&self.pvt), 1.0 * k, 0.15);
+        let en = nmos.eval(bias, bias);
+        let ep = pmos.eval(vdd - bias, vdd - bias);
+        let g_fb = match self.config.feedback {
+            FeedbackKind::Ideal(r) => 1.0 / r,
+            FeedbackKind::PseudoResistor { w, l } => {
+                let dev = MosDevice::new(MosParams::sky130_pmos(&self.pvt), w, l);
+                // Conductance of the near-off device around zero bias.
+                dev.eval(0.0, 0.05).id / 0.05
+            }
+        };
+        let gm = en.gm + ep.gm;
+        let gout = en.gds + ep.gds + g_fb;
+        let rk = self.config.restorer_scale;
+        let rest_n = MosDevice::new(MosParams::sky130_nmos(&self.pvt), 0.65 * rk, 0.15);
+        let rest_p = MosDevice::new(MosParams::sky130_pmos(&self.pvt), 1.0 * rk, 0.15);
+        let cout = rest_n.gate_cap().value()
+            + rest_p.gate_cap().value()
+            + nmos.drain_cap().value()
+            + pmos.drain_cap().value();
+        let rout = 1.0 / gout;
+        Ok(SmallSignal {
+            bias: Volt::new(bias),
+            gain: gm * rout,
+            rout,
+            cout: Farad::new(cout),
+            pole: Hertz::new(1.0 / (2.0 * std::f64::consts::PI * rout * cout)),
+        })
+    }
+
+    /// Behavioural sensitivity: the minimum peak-to-peak input swing
+    /// that still yields rail-to-rail restored output at `data_rate`.
+    ///
+    /// Model: the restorer needs its input to move
+    /// `VDD/2 / A_eff + offset_margin` past its threshold within a bit;
+    /// the gain stage provides `A_eff`; `snr_margin` guards noise,
+    /// jitter and PVT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the characterization.
+    pub fn sensitivity(&self, data_rate: Hertz) -> Result<Volt, SolverError> {
+        let ss = self.small_signal()?;
+        let a_eff = ss.gain_at_rate(data_rate).max(1e-3);
+        let vdd = self.pvt.vdd.value();
+        let restorer_need = 0.5 * vdd / a_eff + self.config.offset_margin.value();
+        Ok(Volt::new(
+            2.0 * restorer_need / a_eff * self.config.snr_margin,
+        ))
+    }
+
+    /// Maximum tolerable channel loss in dB at `data_rate` for a
+    /// transmitter swing of `tx_swing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn max_loss_db(&self, data_rate: Hertz, tx_swing: Volt) -> Result<f64, SolverError> {
+        let sens = self.sensitivity(data_rate)?;
+        Ok(20.0 * (tx_swing.value() / sens.value()).log10())
+    }
+
+    /// Static power: the quiescent current of both always-on inverters
+    /// times the supply — the cost of the synthesizable analog front end
+    /// the paper calls out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn static_power(&self) -> Result<Watt, SolverError> {
+        let bias = self.self_bias()?.value();
+        let vdd = self.pvt.vdd.value();
+        let mut current = 0.0;
+        for k in [self.config.gain_stage_scale, self.config.restorer_scale] {
+            let nmos = MosDevice::new(MosParams::sky130_nmos(&self.pvt), 0.65 * k, 0.15);
+            current += nmos.ids(bias, bias);
+        }
+        Ok(Watt::new(current * vdd))
+    }
+
+    /// Area estimate (device width at standard-cell density plus the
+    /// pseudo-resistor and local routing).
+    pub fn area(&self) -> AreaUm2 {
+        let w_total = (0.65 + 1.0) * (self.config.gain_stage_scale + self.config.restorer_scale);
+        AreaUm2::new(w_total * 2.3 + 20.0)
+    }
+
+    /// Recovers bits by slicing the restored output at bit centres.
+    pub fn slice(
+        &self,
+        waves: &FrontEndWaveforms,
+        bit_time: Time,
+        phase: Time,
+        count: usize,
+    ) -> Vec<bool> {
+        waves.restored.slice_bits(
+            bit_time.value(),
+            phase.value(),
+            0.5 * self.pvt.vdd.value(),
+            count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe() -> RxFrontEnd {
+        RxFrontEnd::new(FrontEndConfig::paper_default(), Pvt::nominal())
+    }
+
+    #[test]
+    fn self_bias_near_half_vdd() {
+        let b = fe().self_bias().expect("solves").value();
+        assert!((0.7..1.1).contains(&b), "bias = {b:.3} V (Fig. 6a)");
+    }
+
+    #[test]
+    fn vtc_is_an_inverter_curve() {
+        let vtc = fe().vtc(37).expect("sweeps");
+        assert!(vtc.first().expect("points").1 > 1.7);
+        assert!(vtc.last().expect("points").1 < 0.1);
+        for w in vtc.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "monotone falling");
+        }
+    }
+
+    #[test]
+    fn small_signal_gain_is_high() {
+        let ss = fe().small_signal().expect("solves");
+        assert!(ss.gain > 10.0, "A0 = {:.1}", ss.gain);
+        assert!(ss.pole.mhz() > 50.0, "pole = {:.0} MHz", ss.pole.mhz());
+        // Effective gain falls with data rate.
+        let g1 = ss.gain_at_rate(Hertz::from_ghz(1.0));
+        let g4 = ss.gain_at_rate(Hertz::from_ghz(4.0));
+        assert!(g4 < g1);
+    }
+
+    #[test]
+    fn sensitivity_tens_of_mv_at_2g() {
+        // Paper: ≈ 32 mV at 2 GHz.
+        let s = fe().sensitivity(Hertz::from_ghz(2.0)).expect("solves");
+        assert!(
+            (10.0..120.0).contains(&s.mv()),
+            "sensitivity = {:.1} mV",
+            s.mv()
+        );
+    }
+
+    #[test]
+    fn sensitivity_degrades_with_rate() {
+        let f = fe();
+        let mut prev = 0.0;
+        for ghz in [0.5, 1.0, 2.0, 3.0] {
+            let s = f.sensitivity(Hertz::from_ghz(ghz)).expect("solves").mv();
+            assert!(s > prev, "sensitivity must grow with rate ({ghz} GHz)");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn max_loss_falls_with_rate() {
+        let f = fe();
+        let l1 = f
+            .max_loss_db(Hertz::from_ghz(1.0), Volt::new(1.8))
+            .expect("ok");
+        let l3 = f
+            .max_loss_db(Hertz::from_ghz(3.0), Volt::new(1.8))
+            .expect("ok");
+        assert!(l1 > l3, "loss tolerance must shrink with rate");
+        assert!((20.0..50.0).contains(&l1), "max loss @1G = {l1:.1} dB");
+    }
+
+    #[test]
+    fn static_power_nonzero() {
+        // The paper's §IV-B-a: always-on path from supply to ground.
+        let p = fe().static_power().expect("solves");
+        assert!(p.mw() > 0.1, "static power = {:.3} mW", p.mw());
+        assert!(p.mw() < 20.0);
+    }
+
+    #[test]
+    fn recovers_attenuated_pattern_end_to_end() {
+        // 60 mV swing around mid-rail at 1 Gb/s — must restore cleanly.
+        let bits = [true, false, true, true, false, false, true, false];
+        let input = Waveform::nrz(&bits, 1e-9, 50e-12, 0.87, 0.93, 128);
+        let f = fe();
+        let waves = f.receive(&input).expect("transient runs");
+        assert!(
+            waves.restored.amplitude() > 1.5,
+            "restored swing = {:.2} V",
+            waves.restored.amplitude()
+        );
+        // The gain stage inverts; the restorer inverts again: polarity
+        // preserved. Skip the first 2 bits (bias settling).
+        let got = waves.restored.slice_bits(1e-9, 2.5e-9, 0.9, bits.len() - 3);
+        let expect: Vec<bool> = bits[2..bits.len() - 1].to_vec();
+        assert_eq!(got[..expect.len().min(got.len())], expect[..]);
+    }
+
+    #[test]
+    fn area_is_small() {
+        let a = fe().area().value();
+        assert!((50.0..5000.0).contains(&a), "area = {a:.0} µm²");
+    }
+}
+

@@ -1,0 +1,257 @@
+//! Receive-side equalization — the RX equalization block of the paper's
+//! generic SerDes architecture (§III, Fig. 3): a CTLE (continuous-time
+//! linear equalizer) that peaks the high frequencies a lossy channel
+//! attenuated, and a DFE (decision-feedback equalizer) that subtracts
+//! the trailing ISI of already-decided bits.
+//!
+//! Like the TX FFE these are extensions: the paper's all-digital design
+//! relies on the resistive-feedback inverter alone because its channels
+//! are flat, but §III names CTLE/DFE as the standard alternatives, and a
+//! downstream user pointing this SerDes at a real PCIe trace will want
+//! them.
+
+use crate::channel::ChannelModel;
+use openserdes_analog::{EyeDiagram, Waveform};
+use openserdes_pdk::units::Hertz;
+
+/// A first-order peaking CTLE: one zero (boost onset) and one pole
+/// (bandwidth limit), unity DC gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ctle {
+    /// Peaking strength: how much of the high-pass content is added
+    /// back (0 = flat, 2–4 = typical 6–12 dB of peaking).
+    pub boost: f64,
+    /// Zero frequency — boost engages above this.
+    pub zero: Hertz,
+    /// Pole frequency — the equalizer's own bandwidth.
+    pub pole: Hertz,
+}
+
+impl Ctle {
+    /// A CTLE tuned for NRZ at `rate`: zero at rate/4, pole at rate,
+    /// with the given boost.
+    pub fn for_rate(rate: Hertz, boost: f64) -> Self {
+        Self {
+            boost,
+            zero: Hertz::new(rate.value() / 4.0),
+            pole: rate,
+        }
+    }
+
+    /// One-pole low-pass IIR over a waveform.
+    fn lowpass(w: &Waveform, corner: Hertz) -> Waveform {
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * corner.value());
+        let alpha = w.dt() / (tau + w.dt());
+        let mut y = w.samples()[0];
+        let out: Vec<f64> = w
+            .samples()
+            .iter()
+            .map(|&x| {
+                y += alpha * (x - y);
+                y
+            })
+            .collect();
+        Waveform::new(w.t0(), w.dt(), out)
+    }
+
+    /// Applies the equalizer: `y = LP_pole(x + boost · (x − LP_zero(x)))`.
+    /// DC passes at unity; content above the zero is boosted by up to
+    /// `1 + boost` until the pole rolls it off.
+    pub fn apply(&self, input: &Waveform) -> Waveform {
+        let lp_z = Self::lowpass(input, self.zero);
+        let peaked = input.zip_with(&lp_z, |x, l| x + self.boost * (x - l));
+        Self::lowpass(&peaked, self.pole)
+    }
+
+    /// Eye height through `channel` with and without this CTLE,
+    /// `(without, with)` in volts.
+    pub fn eye_improvement(
+        &self,
+        bits: &[bool],
+        ui: f64,
+        vdd: f64,
+        channel: &ChannelModel,
+    ) -> (f64, f64) {
+        let tx = Waveform::nrz(bits, ui, ui / 10.0, 0.0, vdd, 32);
+        let rx = channel.apply(&tx);
+        let eq = self.apply(&rx);
+        let measure = |w: &Waveform| {
+            EyeDiagram::analyze(w, ui, 4.0 * ui, w.mean())
+                .map(|e| e.height.max(0.0))
+                .unwrap_or(0.0)
+        };
+        (measure(&rx), measure(&eq))
+    }
+}
+
+/// A decision-feedback equalizer operating on the sampled waveform:
+/// each decision subtracts the trailing ISI of the previous `taps.len()`
+/// decided symbols before slicing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfe {
+    /// Tap weights in volts per previous symbol (tap 0 = 1 UI back).
+    pub taps: Vec<f64>,
+}
+
+impl Dfe {
+    /// A single-tap DFE cancelling the first post-cursor of a one-pole
+    /// channel: `tap = a · swing/2` where `a = e^(−T/τ)`.
+    pub fn one_tap_for(channel: &ChannelModel, ui: f64, rx_swing: f64) -> Self {
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * channel.bandwidth.value());
+        let a = (-ui / tau).exp();
+        Self {
+            taps: vec![a * rx_swing / 2.0],
+        }
+    }
+
+    /// Slices `count` bits from `waveform` at `phase + k·ui`, applying
+    /// decision feedback around `threshold`. Returns the decided bits.
+    pub fn decide(
+        &self,
+        waveform: &Waveform,
+        ui: f64,
+        phase: f64,
+        threshold: f64,
+        count: usize,
+    ) -> Vec<bool> {
+        let mut decided: Vec<bool> = Vec::with_capacity(count);
+        for k in 0..count {
+            let raw = waveform.sample_at(waveform.t0() + phase + k as f64 * ui);
+            let feedback: f64 = self
+                .taps
+                .iter()
+                .enumerate()
+                .map(|(j, &tap)| {
+                    let sym = match decided.len().checked_sub(j + 1) {
+                        Some(i) => {
+                            if decided[i] {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        }
+                        None => 0.0,
+                    };
+                    tap * sym
+                })
+                .sum();
+            decided.push(raw - feedback > threshold);
+        }
+        decided
+    }
+
+    /// Error counts slicing `bits` through `channel` with and without
+    /// the DFE, `(without, with)`.
+    pub fn error_improvement(
+        &self,
+        bits: &[bool],
+        ui: f64,
+        vdd: f64,
+        channel: &ChannelModel,
+    ) -> (usize, usize) {
+        let tx = Waveform::nrz(bits, ui, ui / 10.0, 0.0, vdd, 32);
+        let rx = channel.apply(&tx);
+        let threshold = rx.mean();
+        let phase = 0.75 * ui; // late sampling: post-cursor dominated
+        let plain = Dfe { taps: vec![] }.decide(&rx, ui, phase, threshold, bits.len());
+        let with = self.decide(&rx, ui, phase, threshold, bits.len());
+        let score = |got: &[bool]| {
+            got.iter()
+                .zip(bits)
+                .skip(8)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        (score(&plain), score(&with))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChannelModel;
+
+    fn test_bits() -> Vec<bool> {
+        let mut x = 0xACE1u32;
+        (0..256)
+            .map(|_| {
+                x = x.wrapping_mul(1103515245).wrapping_add(12345);
+                (x >> 16) & 1 == 1
+            })
+            .collect()
+    }
+
+    fn harsh_channel() -> ChannelModel {
+        let mut ch = ChannelModel::ideal();
+        ch.bandwidth = Hertz::from_mhz(400.0); // 2 Gb/s data
+        ch.attenuation_db = 8.0;
+        ch
+    }
+
+    #[test]
+    fn ctle_preserves_dc() {
+        let ctle = Ctle::for_rate(Hertz::from_ghz(2.0), 3.0);
+        let flat = Waveform::constant(0.9, 0.0, 10e-12, 500);
+        let out = ctle.apply(&flat);
+        assert!((out.sample_at(4e-9) - 0.9).abs() < 1e-6, "unity DC gain");
+    }
+
+    #[test]
+    fn ctle_boosts_fast_edges() {
+        // A step through the CTLE overshoots (the high-frequency boost).
+        let ctle = Ctle::for_rate(Hertz::from_ghz(2.0), 3.0);
+        let step = Waveform::from_fn(0.0, 2e-12, 2000, |t| if t > 0.5e-9 { 1.0 } else { 0.0 });
+        let out = ctle.apply(&step);
+        assert!(out.max() > 1.1, "peaking overshoot: max = {}", out.max());
+        assert!((out.sample_at(3.9e-9) - 1.0).abs() < 0.02, "settles to DC");
+    }
+
+    #[test]
+    fn ctle_opens_a_band_limited_eye() {
+        let ctle = Ctle::for_rate(Hertz::from_ghz(2.0), 3.0);
+        let (without, with) = ctle.eye_improvement(&test_bits(), 500e-12, 1.8, &harsh_channel());
+        assert!(
+            with > without * 1.2,
+            "CTLE must open the eye: {with:.4} vs {without:.4}"
+        );
+    }
+
+    #[test]
+    fn dfe_cancels_post_cursor_errors() {
+        // A channel harsh enough that the plain slicer actually fails
+        // (pole at an eighth of the bit rate: a single-bit excursion no
+        // longer crosses the threshold by the sampling instant).
+        let mut ch = ChannelModel::ideal();
+        ch.bandwidth = Hertz::from_mhz(250.0);
+        ch.attenuation_db = 8.0;
+        let rx_swing = 1.8 * ch.gain();
+        let dfe = Dfe::one_tap_for(&ch, 500e-12, rx_swing);
+        let (without, with) = dfe.error_improvement(&test_bits(), 500e-12, 1.8, &ch);
+        assert!(without > 0, "the plain slicer must fail here");
+        assert!(
+            with < without,
+            "DFE must reduce errors: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn empty_dfe_is_a_plain_slicer() {
+        let w = Waveform::nrz(&[true, false, true], 1e-9, 50e-12, 0.0, 1.0, 32);
+        let dfe = Dfe { taps: vec![] };
+        let got = dfe.decide(&w, 1e-9, 0.5e-9, 0.5, 3);
+        assert_eq!(got, vec![true, false, true]);
+    }
+
+    #[test]
+    fn one_tap_sizing_tracks_channel() {
+        let mild = {
+            let mut c = ChannelModel::ideal();
+            c.bandwidth = Hertz::from_ghz(4.0);
+            c
+        };
+        let harsh = harsh_channel();
+        let t_mild = Dfe::one_tap_for(&mild, 500e-12, 0.1).taps[0];
+        let t_harsh = Dfe::one_tap_for(&harsh, 500e-12, 0.1).taps[0];
+        assert!(t_harsh > t_mild, "more ISI, bigger tap");
+    }
+}

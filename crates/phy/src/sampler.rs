@@ -1,0 +1,138 @@
+//! The flip-flop sampling element (paper §IV-B-b).
+//!
+//! The restored rail-to-rail signal is captured by a D flip-flop on the
+//! recovered clock. The model slices at the clock instant and flags
+//! *metastability* when the data crosses the threshold inside the
+//! setup/hold aperture — the failure mode the oversampling CDR exists to
+//! avoid by picking a sampling phase away from the edges.
+
+use openserdes_analog::Waveform;
+use openserdes_pdk::units::{Time, Volt};
+
+/// Outcome of one sampling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// A clean captured bit.
+    Bit(bool),
+    /// The input moved through the threshold inside the aperture: the
+    /// captured value is unreliable.
+    Metastable,
+}
+
+impl SampleOutcome {
+    /// The captured bit, if clean.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            SampleOutcome::Bit(b) => Some(b),
+            SampleOutcome::Metastable => None,
+        }
+    }
+}
+
+/// A D flip-flop sampler model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    /// Decision threshold.
+    pub threshold: Volt,
+    /// Setup time (aperture before the clock edge).
+    pub setup: Time,
+    /// Hold time (aperture after the clock edge).
+    pub hold: Time,
+    /// Clock-to-Q delay (latency bookkeeping).
+    pub clk_to_q: Time,
+}
+
+impl Sampler {
+    /// The library flop at the given supply: mid-rail threshold,
+    /// 60 ps/20 ps aperture, 150 ps clock-to-Q.
+    pub fn paper_default(vdd: Volt) -> Self {
+        Self {
+            threshold: Volt::new(0.5 * vdd.value()),
+            setup: Time::from_ps(60.0),
+            hold: Time::from_ps(20.0),
+            clk_to_q: Time::from_ps(150.0),
+        }
+    }
+
+    /// Samples `waveform` at absolute time `t`.
+    pub fn sample_at(&self, waveform: &Waveform, t: f64) -> SampleOutcome {
+        let th = self.threshold.value();
+        let v = waveform.sample_at(t);
+        // Any threshold crossing inside [t-setup, t+hold] is a violation.
+        let lo = t - self.setup.value();
+        let hi = t + self.hold.value();
+        let crossed = waveform
+            .crossings(th, true)
+            .into_iter()
+            .chain(waveform.crossings(th, false))
+            .any(|tc| tc >= lo && tc <= hi);
+        if crossed {
+            SampleOutcome::Metastable
+        } else {
+            SampleOutcome::Bit(v > th)
+        }
+    }
+
+    /// Samples a periodic stream: `n` samples starting at `t0`, spaced
+    /// `period`.
+    pub fn sample_stream(
+        &self,
+        waveform: &Waveform,
+        t0: f64,
+        period: f64,
+        n: usize,
+    ) -> Vec<SampleOutcome> {
+        (0..n)
+            .map(|k| self.sample_at(waveform, t0 + k as f64 * period))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> Sampler {
+        Sampler::paper_default(Volt::new(1.8))
+    }
+
+    #[test]
+    fn clean_levels_sample_cleanly() {
+        let bits = [true, false, true];
+        let w = Waveform::nrz(&bits, 1e-9, 50e-12, 0.0, 1.8, 64);
+        let s = sampler();
+        assert_eq!(s.sample_at(&w, 0.5e-9), SampleOutcome::Bit(true));
+        assert_eq!(s.sample_at(&w, 1.5e-9), SampleOutcome::Bit(false));
+        assert_eq!(s.sample_at(&w, 2.5e-9), SampleOutcome::Bit(true));
+    }
+
+    #[test]
+    fn edge_sampling_is_metastable() {
+        let w = Waveform::nrz(&[false, true], 1e-9, 100e-12, 0.0, 1.8, 256);
+        let s = sampler();
+        // The 0→1 edge crosses mid-rail near t = 1.05 ns.
+        let edge_t = w.crossings(0.9, true)[0];
+        assert_eq!(s.sample_at(&w, edge_t), SampleOutcome::Metastable);
+        assert_eq!(s.sample_at(&w, edge_t + 10e-12), SampleOutcome::Metastable);
+        // Far from the edge it is clean.
+        assert_eq!(s.sample_at(&w, edge_t + 500e-12), SampleOutcome::Bit(true));
+    }
+
+    #[test]
+    fn stream_sampling_counts() {
+        let bits = [true, false, true, true];
+        let w = Waveform::nrz(&bits, 1e-9, 50e-12, 0.0, 1.8, 64);
+        let out = sampler().sample_stream(&w, 0.5e-9, 1e-9, 4);
+        let got: Vec<Option<bool>> = out.into_iter().map(SampleOutcome::bit).collect();
+        assert_eq!(
+            got,
+            vec![Some(true), Some(false), Some(true), Some(true)]
+        );
+    }
+
+    #[test]
+    fn outcome_bit_accessor() {
+        assert_eq!(SampleOutcome::Bit(true).bit(), Some(true));
+        assert_eq!(SampleOutcome::Metastable.bit(), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run the paper's headline link — 8×32-bit frames at
+//! 2 Gb/s, PRBS-31-like payloads, over the 34 dB evaluation channel —
+//! and print a link report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use openserdes::core::{LinkConfig, PrbsGenerator, PrbsOrder, SerdesLink, LANES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = LinkConfig::paper_default();
+    println!(
+        "OpenSerDes quickstart: {} Gb/s over a {} dB channel at {}",
+        config.data_rate.ghz(),
+        config.channel.attenuation_db,
+        config.pvt
+    );
+
+    // Build 64 frames of PRBS-31 payload (8 lanes x 32 bits each).
+    let mut prbs = PrbsGenerator::new(PrbsOrder::Prbs31);
+    let frames: Vec<[u32; LANES]> = (0..64)
+        .map(|_| {
+            let mut frame = [0u32; LANES];
+            for word in frame.iter_mut() {
+                for bit in 0..32 {
+                    if prbs.next_bit() {
+                        *word |= 1 << bit;
+                    }
+                }
+            }
+            frame
+        })
+        .collect();
+
+    let link = SerdesLink::new(config);
+    let report = link.run_frames(&frames, 2021)?;
+
+    println!();
+    println!("frames sent       : {}", report.frames_sent);
+    println!("bits compared     : {}", report.bits);
+    println!("bit errors        : {}", report.bit_errors);
+    println!("BER               : {:.2e}", report.ber().max(1e-12));
+    println!("CDR locked        : {}", report.cdr_locked);
+    println!("CDR phase updates : {}", report.cdr_phase_updates);
+    println!(
+        "verdict           : {}",
+        if report.error_free() {
+            "error-free (the paper's zero-BER claim reproduces)"
+        } else {
+            "errors observed"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # openserdes
+//!
+//! A from-scratch Rust reproduction of *"OpenSerDes: An Open Source
+//! Process-Portable All-Digital Serial Link"* (DATE 2021): the first
+//! open-source all-digital SerDes, originally built on the Skywater
+//! 130 nm open PDK with the OpenLANE RTL→GDS flow.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | layer | crate | stands in for |
+//! |-------|-------|----------------|
+//! | [`pdk`] | `openserdes-pdk` | the sky130 PDK (devices, cells, corners) |
+//! | [`netlist`] | `openserdes-netlist` | yosys/OpenLANE netlists |
+//! | [`digital`] | `openserdes-digital` | Verilog event/cycle simulation |
+//! | [`flow`] | `openserdes-flow` | OpenLANE (synth, P&R, STA, power) |
+//! | [`analog`] | `openserdes-analog` | SPICE/Virtuoso transients |
+//! | [`phy`] | `openserdes-phy` | driver, channel, RX front end |
+//! | [`core`] | `openserdes-core` | the SerDes itself |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use openserdes::core::{LinkConfig, SerdesLink};
+//!
+//! // The paper's headline operating point: 2 Gb/s over a 34 dB channel.
+//! let link = SerdesLink::new(LinkConfig::paper_default());
+//! let frames = [[0xDEAD_BEEF_u32, 1, 2, 3, 4, 5, 6, 7]; 4];
+//! let report = link.run_frames(&frames, 42)?;
+//! assert!(report.error_free());
+//! # Ok::<(), openserdes::core::LinkError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios (PCIe lanes, EMIB chiplet
+//! links, pushing the RTL through the flow) and `crates/bench` for the
+//! binaries regenerating every figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use openserdes_analog as analog;
+pub use openserdes_core as core;
+pub use openserdes_digital as digital;
+pub use openserdes_flow as flow;
+pub use openserdes_netlist as netlist;
+pub use openserdes_pdk as pdk;
+pub use openserdes_phy as phy;

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the analog substrate validated against the
+//! behavioural models that the fast link path uses.
+
+use openserdes::analog::{EyeDiagram, Waveform};
+use openserdes::pdk::corner::Pvt;
+use openserdes::pdk::units::{Hertz, Time, Volt};
+use openserdes::phy::{
+    AnalogLink, BehavioralLink, ChannelModel, FrontEndConfig, RxFrontEnd,
+};
+
+#[test]
+fn analog_transient_brackets_behavioural_sensitivity() {
+    // The behavioural sensitivity (~32 mV pp at 2 Gb/s) carries a
+    // deliberate guardband for mismatch, noise and PVT that the ideal
+    // (mismatch-free) transistor simulation does not exhibit. The
+    // bracket that must hold: at the modelled sensitivity the ideal
+    // front end restores rail-to-rail comfortably (the guardband is
+    // conservative, never optimistic), while far below it — sub-mV
+    // inputs — restoration collapses.
+    let pvt = Pvt::nominal();
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
+    let sens = fe.sensitivity(Hertz::from_ghz(2.0)).expect("model");
+    assert!(sens.mv() > 10.0, "guardbanded sensitivity is tens of mV");
+    let bits = [true, false, true, false, true, true, false, false, true, false];
+
+    let run = |pp: f64| {
+        let mid = 0.9;
+        let input = Waveform::nrz(&bits, 500e-12, 25e-12, mid - pp / 2.0, mid + pp / 2.0, 128);
+        fe.receive(&input).expect("transient").restored.amplitude()
+    };
+    let at_sens = run(sens.value());
+    let tiny = run(0.4e-3);
+    assert!(
+        at_sens > 1.5,
+        "the modelled sensitivity must restore rail-to-rail, got {at_sens:.2} V"
+    );
+    assert!(
+        tiny < 1.2,
+        "0.4 mV must fail to restore, got {tiny:.2} V"
+    );
+    assert!(tiny < at_sens);
+}
+
+#[test]
+fn channel_eye_closes_with_attenuation() {
+    let bits: Vec<bool> = (0..48).map(|i| (i * 5) % 3 != 0).collect();
+    let tx = Waveform::nrz(&bits, 500e-12, 50e-12, 0.0, 1.8, 64);
+    let eye_at = |db: f64| {
+        let out = ChannelModel::lossy(db).apply(&tx);
+        EyeDiagram::analyze(&out, 500e-12, 2e-9, out.mean())
+            .map(|e| e.height)
+            .unwrap_or(0.0)
+    };
+    let open = eye_at(10.0);
+    let tight = eye_at(34.0);
+    assert!(open > 10.0 * tight, "attenuation must shrink the eye");
+    assert!(tight > 0.0, "34 dB still leaves a usable eye");
+}
+
+#[test]
+fn behavioural_link_margin_predicts_analog_recovery() {
+    // Where the fast model says the margin is comfortably positive, the
+    // transistor-level path recovers bits with zero errors.
+    let pvt = Pvt::nominal();
+    let channel = ChannelModel::lossy(24.0);
+    let analog = AnalogLink::paper_default(pvt, channel);
+    let fast = BehavioralLink::from_analog(&analog, Hertz::from_ghz(2.0)).expect("model");
+    assert!(
+        fast.margin().value() > 0.005,
+        "24 dB leaves ample margin: {}",
+        fast.margin().value()
+    );
+    let bits = [true, false, true, true, false, false, true, false, true, true, false, true];
+    let run = analog
+        .transmit(&bits, Time::from_ps(500.0))
+        .expect("transients");
+    let (_, errors) = run.recover(&analog.sampler, 3);
+    assert_eq!(errors, 0, "analog path must agree with the positive margin");
+}
+
+#[test]
+fn driver_output_feeds_channel_with_full_swing() {
+    let analog = AnalogLink::paper_default(Pvt::nominal(), ChannelModel::lossy(34.0));
+    let bits = [false, true, true, false, true, false];
+    let run = analog
+        .transmit(&bits, Time::from_ps(500.0))
+        .expect("transients");
+    assert!(run.tx.output.amplitude() > 1.7, "TX swings rail-to-rail");
+    let rx_pp = run.channel_out.amplitude();
+    // 34 dB of 1.8 V ≈ 36 mV, plus noise.
+    assert!(
+        (0.02..0.08).contains(&rx_pp),
+        "RX sees {:.1} mV",
+        rx_pp * 1e3
+    );
+}
+
+#[test]
+fn front_end_self_bias_tracks_supply() {
+    // The self-biased input must ride at the inverter threshold at any
+    // supply — the property that makes the circuit process-portable.
+    for vdd in [1.62, 1.8, 1.98] {
+        let pvt = Pvt::new(openserdes::pdk::corner::ProcessCorner::Typical, vdd, 25.0);
+        let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
+        let bias = fe.self_bias().expect("solves");
+        let rel = bias.value() / vdd;
+        assert!(
+            (0.38..0.62).contains(&rel),
+            "bias/vdd = {rel:.2} at vdd = {vdd}"
+        );
+    }
+}
+
+#[test]
+fn sensitivity_model_consistent_between_api_layers() {
+    // phy's sensitivity and core's sweep must report the same numbers.
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), Pvt::nominal());
+    let direct = fe.sensitivity(Hertz::from_ghz(2.0)).expect("ok");
+    let swept = openserdes::core::sensitivity_sweep(Pvt::nominal(), &[Hertz::from_ghz(2.0)])
+        .expect("ok")[0]
+        .sensitivity;
+    assert!((direct.value() - swept.value()).abs() < 1e-12);
+    let _ = Volt::from_mv(direct.mv());
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: the complete SerDes link exercised at the
+//! paper's operating points and across PVT corners.
+
+use openserdes::core::{
+    frame_to_bits, BerTest, Deserializer, LinkConfig, PrbsGenerator, PrbsOrder, SerdesLink,
+    Serializer, LANES,
+};
+use openserdes::pdk::corner::{ProcessCorner, Pvt};
+use openserdes::pdk::units::Hertz;
+use openserdes::phy::ChannelModel;
+
+fn prbs_frames(count: usize, order: PrbsOrder) -> Vec<[u32; LANES]> {
+    let mut g = PrbsGenerator::new(order);
+    (0..count)
+        .map(|_| {
+            let mut f = [0u32; LANES];
+            for w in f.iter_mut() {
+                for b in 0..32 {
+                    if g.next_bit() {
+                        *w |= 1 << b;
+                    }
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+#[test]
+fn paper_figure8_scenario_is_error_free() {
+    // 2 Gb/s, PRBS-31, 34 dB — the paper's central claim.
+    let link = SerdesLink::new(LinkConfig::paper_default());
+    let report = link
+        .run_frames(&prbs_frames(60, PrbsOrder::Prbs31), 8)
+        .expect("link runs");
+    assert!(report.cdr_locked);
+    assert!(report.error_free(), "ber = {:.2e}", report.ber());
+    assert!(report.bits > 14_000);
+}
+
+#[test]
+fn loss_sweep_has_a_sharp_waterfall() {
+    // Below the budget: clean. Above: broken. The transition is where
+    // Fig. 9's max-loss curve sits.
+    let at = |db: f64| {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::lossy(db);
+        SerdesLink::new(cfg)
+            .run_frames(&prbs_frames(12, PrbsOrder::Prbs31), 5)
+            .expect("runs")
+            .ber()
+    };
+    assert_eq!(at(25.0), 0.0, "25 dB must be clean");
+    assert_eq!(at(32.0), 0.0, "32 dB must be clean");
+    assert!(at(42.0) > 1e-2, "42 dB must fail hard");
+}
+
+#[test]
+fn rate_scaling_trades_against_loss() {
+    // At low loss, higher rates still work; at the 2 GHz loss budget,
+    // pushing the rate breaks the link (Fig. 9's tradeoff).
+    let run = |ghz: f64, db: f64| {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.data_rate = Hertz::from_ghz(ghz);
+        cfg.channel = ChannelModel::lossy(db);
+        SerdesLink::new(cfg)
+            .run_frames(&prbs_frames(10, PrbsOrder::Prbs31), 3)
+            .expect("runs")
+            .ber()
+    };
+    assert_eq!(run(3.0, 20.0), 0.0, "3 GHz over 20 dB is inside budget");
+    assert!(run(3.0, 34.0) > 0.0, "3 GHz over 34 dB must fail");
+}
+
+#[test]
+fn serdes_identity_through_an_ideal_phy() {
+    // With the PHY removed from the equation the FSM pair is exact.
+    let frames = prbs_frames(20, PrbsOrder::Prbs23);
+    let mut ser = Serializer::new();
+    let mut des = Deserializer::new();
+    for &f in &frames {
+        let bits = ser.serialize(f);
+        assert_eq!(bits, frame_to_bits(&f));
+        assert_eq!(des.push_bits(&bits), vec![f]);
+    }
+}
+
+#[test]
+fn corners_shift_the_operating_envelope() {
+    // The same link config marginally passes at nominal and fails at the
+    // slow corner — the reason signoff uses corners at all.
+    let at_pvt = |pvt: Pvt, db: f64| {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.pvt = pvt;
+        cfg.channel = ChannelModel::lossy(db);
+        SerdesLink::new(cfg)
+            .run_frames(&prbs_frames(10, PrbsOrder::Prbs31), 11)
+            .expect("runs")
+            .ber()
+    };
+    let nominal = at_pvt(Pvt::nominal(), 33.0);
+    let slow = at_pvt(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0), 33.0);
+    assert_eq!(nominal, 0.0, "nominal must pass at 33 dB");
+    assert!(
+        slow >= nominal,
+        "the slow corner can only be worse: {slow} vs {nominal}"
+    );
+}
+
+#[test]
+fn ber_harness_confidence_bounds() {
+    let t = BerTest::prbs31(LinkConfig::paper_default(), 30);
+    let est = t.run().expect("runs");
+    assert_eq!(est.errors, 0);
+    // Rule of three: < 3/7000 at 95 %.
+    assert!(est.ber_upper95() < 5e-4);
+}
+
+#[test]
+fn different_prbs_orders_all_pass() {
+    for order in [PrbsOrder::Prbs7, PrbsOrder::Prbs15, PrbsOrder::Prbs23] {
+        let mut t = BerTest::prbs31(LinkConfig::paper_default(), 10);
+        t.prbs = order;
+        assert!(
+            t.is_error_free().expect("runs"),
+            "order {order} must pass at the paper point"
+        );
+    }
+}

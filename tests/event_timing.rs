@@ -1,0 +1,129 @@
+//! Cross-crate integration: synthesized netlists executed in the
+//! *event-driven* (timing-accurate) simulator — RTL → gates → events,
+//! with real NLDM delays between clock edges.
+
+use openserdes::digital::{EventSim, Logic};
+use openserdes::flow::ir::Design;
+use openserdes::flow::synthesize;
+use openserdes::pdk::corner::{ProcessCorner, Pvt};
+use openserdes::pdk::library::Library;
+
+/// A 4-bit counter design.
+fn counter4() -> Design {
+    let mut d = Design::new("cnt4");
+    let q = d.reg_bus(4);
+    let next = d.incr(&q);
+    d.connect_reg_bus(&q, &next);
+    d.output_bus("q", &q);
+    d
+}
+
+#[test]
+fn synthesized_counter_counts_under_a_real_clock() {
+    let library = Library::sky130(Pvt::nominal());
+    let synth = synthesize(&counter4(), &library).expect("synthesizes");
+    let mut sim = EventSim::new(&synth.netlist, &library).expect("valid");
+    // Reset the state by forcing the register outputs low once.
+    let q_nets: Vec<_> = synth.outputs.iter().map(|(_, n)| *n).collect();
+    for &q in &q_nets {
+        sim.schedule(10, q, Logic::Zero);
+    }
+    if let Some(c0) = synth.const0 {
+        sim.set_input(c0, Logic::Zero);
+    }
+    if let Some(c1) = synth.const1 {
+        sim.set_input(c1, Logic::One);
+    }
+    // 1 GHz clock, rising edges at 1000, 2000, ...
+    let period = 1_000u64;
+    sim.drive_clock(synth.clk, period, period, 12 * period);
+    // Sample just before each edge: the counter must have settled.
+    for k in 1..=10u64 {
+        sim.run_until(k * period + period - 50);
+        let got: u64 = q_nets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ((sim.value(n) == Logic::One) as u64) << i)
+            .sum();
+        assert_eq!(got, k % 16, "count after edge {k}");
+    }
+}
+
+#[test]
+fn slow_corner_needs_a_longer_period() {
+    // At a too-fast clock the combinational cloud misses the next edge
+    // and the counter skips/corrupts; at a comfortable clock it counts.
+    // The threshold period is corner-dependent.
+    let run = |pvt: Pvt, period: u64| -> bool {
+        let library = Library::sky130(pvt);
+        let synth = synthesize(&counter4(), &library).expect("ok");
+        let mut sim = EventSim::new(&synth.netlist, &library).expect("valid");
+        let q_nets: Vec<_> = synth.outputs.iter().map(|(_, n)| *n).collect();
+        for &q in &q_nets {
+            sim.schedule(5, q, Logic::Zero);
+        }
+        if let Some(c1) = synth.const1 {
+            sim.set_input(c1, Logic::One);
+        }
+        if let Some(c0) = synth.const0 {
+            sim.set_input(c0, Logic::Zero);
+        }
+        sim.drive_clock(synth.clk, period, period, 10 * period);
+        let mut ok = true;
+        for k in 1..=8u64 {
+            sim.run_until(k * period + period - 10);
+            let got: u64 = q_nets
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| ((sim.value(n) == Logic::One) as u64) << i)
+                .sum();
+            ok &= got == k % 16;
+        }
+        ok
+    };
+    let tt = Pvt::nominal();
+    assert!(run(tt, 2_000), "tt counts at 500 MHz");
+    // The slow corner still counts at a relaxed clock.
+    let ss = Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0);
+    assert!(run(ss, 4_000), "ss counts at 250 MHz");
+}
+
+#[test]
+fn event_sim_matches_cycle_sim_on_the_counter() {
+    let library = Library::sky130(Pvt::nominal());
+    let synth = synthesize(&counter4(), &library).expect("ok");
+    // Cycle-accurate reference.
+    let mut cyc = openserdes::digital::CycleSim::new(&synth.netlist).expect("valid");
+    cyc.reset_flops();
+    if let Some(c1) = synth.const1 {
+        cyc.set_bit(c1, true);
+    }
+    if let Some(c0) = synth.const0 {
+        cyc.set_bit(c0, false);
+    }
+    // Timing simulation.
+    let mut evt = EventSim::new(&synth.netlist, &library).expect("valid");
+    let q_nets: Vec<_> = synth.outputs.iter().map(|(_, n)| *n).collect();
+    for &q in &q_nets {
+        evt.schedule(5, q, Logic::Zero);
+    }
+    if let Some(c1) = synth.const1 {
+        evt.set_input(c1, Logic::One);
+    }
+    if let Some(c0) = synth.const0 {
+        evt.set_input(c0, Logic::Zero);
+    }
+    let period = 2_000u64;
+    evt.drive_clock(synth.clk, period, period, 9 * period);
+    for k in 1..=8u64 {
+        cyc.tick();
+        evt.run_until(k * period + period - 10);
+        for &q in &q_nets {
+            assert_eq!(
+                cyc.value(q),
+                evt.value(q),
+                "cycle vs event divergence at edge {k}"
+            );
+        }
+    }
+}

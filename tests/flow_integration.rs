@@ -1,0 +1,164 @@
+//! Cross-crate integration: the RTL→layout flow on the real SerDes
+//! blocks, including gate-level equivalence of the mapped netlists
+//! against the behavioural FSMs.
+
+use openserdes::core::{
+    cdr_design, deserializer_design, frame_to_bits, serializer_design, Serializer, FRAME_BITS,
+};
+use openserdes::digital::CycleSim;
+use openserdes::flow::{run_flow, synthesize, FlowConfig};
+use openserdes::pdk::corner::{ProcessCorner, Pvt};
+use openserdes::pdk::library::Library;
+use openserdes::pdk::units::Hertz;
+
+#[test]
+fn serializer_netlist_equals_behavioural_fsm() {
+    // Synthesize the serializer RTL and run the *gate-level* netlist
+    // cycle by cycle against the behavioural model.
+    let library = Library::sky130(Pvt::nominal());
+    let design = serializer_design();
+    let synth = synthesize(&design, &library).expect("synthesizes");
+    let mut sim = CycleSim::new(&synth.netlist).expect("valid netlist");
+    sim.reset_flops();
+    if let Some(c0) = synth.const0 {
+        sim.set_bit(c0, false);
+    }
+    if let Some(c1) = synth.const1 {
+        sim.set_bit(c1, true);
+    }
+    let name_of = |n: &str| -> openserdes::netlist::NetId {
+        let idx = design
+            .input_names()
+            .iter()
+            .position(|x| x == n)
+            .unwrap_or_else(|| panic!("no input {n}"));
+        synth.inputs[idx]
+    };
+    let out_net = synth
+        .outputs
+        .iter()
+        .find(|(n, _)| n == "serial_out")
+        .expect("out")
+        .1;
+
+    let frame = [0x0F1E_2D3C_u32, 0x4B5A_6978, 0x8796_A5B4, 0xC3D2_E1F0, 1, 2, 3, 4];
+    let bits = frame_to_bits(&frame);
+
+    sim.set_bit(name_of("load"), true);
+    for (i, &b) in bits.iter().enumerate() {
+        sim.set_bit(name_of(&format!("data[{i}]")), b);
+    }
+    sim.tick();
+    sim.set_bit(name_of("load"), false);
+
+    let mut behavioural = Serializer::new();
+    behavioural.load(frame);
+    for k in 0..FRAME_BITS {
+        let expect = behavioural.tick().expect("busy");
+        let got = sim.value(out_net).to_bool().expect("driven");
+        assert_eq!(got, expect, "bit {k} diverged");
+        sim.tick();
+    }
+}
+
+#[test]
+fn all_three_blocks_complete_the_flow() {
+    let cfg = {
+        let mut c = FlowConfig::at_clock(Hertz::from_ghz(2.0));
+        c.anneal_iterations = 2_000;
+        c
+    };
+    let ser = run_flow(&serializer_design(), &cfg).expect("serializer flow");
+    let des = run_flow(&deserializer_design(), &cfg).expect("deserializer flow");
+    let cdr = run_flow(&cdr_design(5), &cfg).expect("cdr flow");
+
+    // Area ordering of Fig. 11: DES > SER > CDR.
+    assert!(des.area().value() > ser.area().value());
+    assert!(ser.area().value() > cdr.area().value());
+
+    // Every block produces nonzero power, wirelength and a finite fmax.
+    for (name, r) in [("ser", &ser), ("des", &des), ("cdr", &cdr)] {
+        assert!(r.total_power().mw() > 0.0, "{name} power");
+        assert!(r.route.total_length.value() > 0.0, "{name} wirelength");
+        assert!(r.timing.fmax.ghz().is_finite(), "{name} fmax");
+        assert!(r.stats.flop_count > 0, "{name} flops");
+    }
+}
+
+#[test]
+fn flow_retargets_across_corners_without_rtl_changes() {
+    // The paper's process-portability claim: the identical Design runs
+    // at every corner; timing and power move the right way.
+    let design = cdr_design(5);
+    let run_at = |pvt: Pvt| {
+        let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.pvt = pvt;
+        cfg.anneal_iterations = 1_000;
+        run_flow(&design, &cfg).expect("flow runs")
+    };
+    let tt = run_at(Pvt::nominal());
+    let ss = run_at(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0));
+    let ff = run_at(Pvt::new(ProcessCorner::FastFast, 1.98, -40.0));
+    assert!(ss.timing.fmax.value() < tt.timing.fmax.value());
+    assert!(tt.timing.fmax.value() < ff.timing.fmax.value());
+    // Identical netlist structure at every corner (same RTL, same map).
+    assert_eq!(ss.stats.cell_count, tt.stats.cell_count);
+    assert_eq!(ff.stats.flop_count, tt.stats.flop_count);
+}
+
+#[test]
+fn serializer_timing_envelope() {
+    // The paper claims 2 Gb/s operation; the serial *datapath* (shift
+    // register, one mux level) meets that easily, while the bit counter
+    // is the flow's critical path. Our deliberately conservative NLDM
+    // characterization signs the counter off around 1.3 GHz at tt —
+    // within the envelope real sky130 silicon exhibits (official FO4
+    // ≈ 90 ps). EXPERIMENTS.md discusses the gap to the paper's claim.
+    let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
+    cfg.anneal_iterations = 4_000;
+    let r = run_flow(&serializer_design(), &cfg).expect("flow runs");
+    assert!(
+        r.timing.fmax.ghz() >= 1.1,
+        "serializer fmax = {:.2} GHz",
+        r.timing.fmax.ghz()
+    );
+    // The counter (sequential depth through the incrementer) must be the
+    // limiter, not the shift-register datapath: the critical path ends
+    // at a counter/flag flop, not a bank flop fed by the 1-mux shift.
+    assert!(
+        r.timing.critical_path.len() > 3,
+        "critical path should be the multi-level counter, got {} cells",
+        r.timing.critical_path.len()
+    );
+}
+
+#[test]
+fn deserializer_dominates_cell_count() {
+    let library = Library::sky130(Pvt::nominal());
+    let des = synthesize(&deserializer_design(), &library).expect("ok");
+    let ser = synthesize(&serializer_design(), &library).expect("ok");
+    let cdr = synthesize(&cdr_design(5), &library).expect("ok");
+    assert!(des.netlist.cell_count() > ser.netlist.cell_count());
+    assert!(ser.netlist.cell_count() > cdr.netlist.cell_count());
+    // The deserializer's decoder makes it a multi-thousand-cell block.
+    assert!(des.netlist.cell_count() > 1_000);
+}
+
+#[test]
+fn whole_chip_top_completes_the_flow() {
+    // The composed serdes_top (serializer + CDR + deserializer + scan)
+    // through the full flow: one die, one clock, multicycle exceptions
+    // carried through composition.
+    let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
+    cfg.anneal_iterations = 2_000;
+    let top = openserdes::core::serdes_digital_top(5);
+    let r = run_flow(&top, &cfg).expect("top-level flow");
+    assert_eq!(r.stats.flop_count, 583);
+    assert!(r.stats.cell_count > 2_000);
+    // The whole digital chip is bigger than any single block.
+    let des = run_flow(&deserializer_design(), &cfg).expect("des flow");
+    assert!(r.area().value() > des.area().value());
+    // Hold-clean and with a finite setup envelope.
+    assert_eq!(r.timing.hold_violations, 0);
+    assert!(r.timing.fmax.ghz() > 0.8);
+}

@@ -1,0 +1,172 @@
+//! Property-based invariants across the workspace (proptest).
+
+use openserdes::core::{
+    bits_to_frame, frame_to_bits, oversample_bits, CdrConfig, Deserializer, OversamplingCdr,
+    PrbsChecker, PrbsGenerator, PrbsOrder, Serializer, FRAME_BITS, LANES,
+};
+use openserdes::digital::{CycleSim, Logic};
+use openserdes::flow::ir::{Design, IrSim};
+use openserdes::flow::synthesize;
+use openserdes::netlist::Netlist;
+use openserdes::pdk::corner::Pvt;
+use openserdes::pdk::library::Library;
+use openserdes::pdk::stdcell::{DriveStrength, LogicFn};
+use openserdes::pdk::units::{Farad, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serializer followed by deserializer is the identity on any frame.
+    #[test]
+    fn serdes_round_trip(frame in prop::array::uniform8(any::<u32>())) {
+        let mut ser = Serializer::new();
+        let mut des = Deserializer::new();
+        let bits = ser.serialize(frame);
+        prop_assert_eq!(bits.len(), FRAME_BITS);
+        let out = des.push_bits(&bits);
+        prop_assert_eq!(out, vec![frame]);
+    }
+
+    /// Frame <-> bit conversion is a bijection.
+    #[test]
+    fn frame_bits_bijection(frame in prop::array::uniform8(any::<u32>())) {
+        prop_assert_eq!(bits_to_frame(&frame_to_bits(&frame)), frame);
+    }
+
+    /// The PRBS checker synchronizes on any clean window of the sequence.
+    #[test]
+    fn prbs_checker_syncs_anywhere(offset in 0usize..5000, len in 200usize..1000) {
+        let mut g = PrbsGenerator::new(PrbsOrder::Prbs23);
+        let bits = g.take_bits(offset + len);
+        let mut c = PrbsChecker::new(PrbsOrder::Prbs23);
+        c.push_all(&bits[offset..]);
+        prop_assert_eq!(c.errors(), 0);
+    }
+
+    /// The CDR recovers any clean oversampled stream at any static phase
+    /// offset, modulo one bit of alignment.
+    #[test]
+    fn cdr_recovers_any_offset(
+        offset in 0.0f64..1.0,
+        seed in 0u64..1000,
+        n in prop::sample::select(vec![3usize, 4, 5, 7]),
+    ) {
+        let bits = PrbsGenerator::with_seed(PrbsOrder::Prbs15, 1 + seed as u32)
+            .take_bits(1500);
+        let stream = oversample_bits(&bits, n, offset, 0.0, seed);
+        let mut cfg = CdrConfig::paper_default();
+        cfg.oversampling = n;
+        let mut cdr = OversamplingCdr::new(cfg);
+        let out = cdr.recover(&stream);
+        let skip = 4 * cfg.window;
+        let best = [-1isize, 0, 1]
+            .iter()
+            .map(|&lag| {
+                out[skip..]
+                    .iter()
+                    .zip(&bits[(skip as isize + lag) as usize..])
+                    .filter(|(a, b)| a != b)
+                    .count()
+            })
+            .min()
+            .expect("lags");
+        prop_assert_eq!(best, 0, "offset {} with {}x oversampling", offset, n);
+    }
+
+    /// Synthesized random expression networks are functionally equal to
+    /// the IR golden model on every input vector.
+    #[test]
+    fn synthesis_preserves_function(ops in prop::collection::vec(0u8..6, 1..24), vectors in prop::collection::vec(any::<u8>(), 8)) {
+        let mut d = Design::new("rand_expr");
+        let inputs: Vec<_> = (0..4).map(|i| d.input(format!("i{i}"))).collect();
+        let mut sigs = inputs.clone();
+        for (k, &op) in ops.iter().enumerate() {
+            let a = sigs[k % sigs.len()];
+            let b = sigs[(k * 7 + 3) % sigs.len()];
+            let c = sigs[(k * 5 + 1) % sigs.len()];
+            let s = match op {
+                0 => d.not(a),
+                1 => d.and(a, b),
+                2 => d.or(a, b),
+                3 => d.xor(a, b),
+                4 => d.mux(a, b, c),
+                _ => {
+                    let t = d.and(a, b);
+                    d.not(t)
+                }
+            };
+            sigs.push(s);
+        }
+        let out = *sigs.last().expect("nonempty");
+        d.output("y", out);
+
+        let library = Library::sky130(Pvt::nominal());
+        let res = synthesize(&d, &library).expect("synthesizes");
+        let mut golden = IrSim::new(&d);
+        let mut gate = CycleSim::new(&res.netlist).expect("valid");
+        gate.reset_flops();
+        if let Some(c0) = res.const0 { gate.set_bit(c0, false); }
+        if let Some(c1) = res.const1 { gate.set_bit(c1, true); }
+        for &vec in &vectors {
+            for (i, &sig) in inputs.iter().enumerate() {
+                golden.set(sig, vec >> i & 1 == 1);
+            }
+            for (i, &net) in res.inputs.iter().enumerate() {
+                gate.set_bit(net, vec >> i & 1 == 1);
+            }
+            golden.settle();
+            gate.settle();
+            let expect = golden.get(out);
+            let got = res.outputs[0].1;
+            prop_assert_eq!(gate.value(got), Logic::from_bool(expect));
+        }
+    }
+
+    /// NLDM delays are monotone in load for every cell of the library.
+    #[test]
+    fn library_delay_monotone_in_load(
+        slew_ps in 5.0f64..300.0,
+        load_a in 1.0f64..150.0,
+        delta in 1.0f64..150.0,
+    ) {
+        let library = Library::sky130(Pvt::nominal());
+        for cell in library.iter() {
+            let d1 = cell.arc(Time::from_ps(slew_ps), Farad::from_ff(load_a)).delay;
+            let d2 = cell
+                .arc(Time::from_ps(slew_ps), Farad::from_ff(load_a + delta))
+                .delay;
+            prop_assert!(d2 >= d1, "{} delay fell with load", cell.name);
+        }
+    }
+
+    /// Event simulation of an inverter tree is deterministic and ends in
+    /// a consistent state regardless of stimulus order within a step.
+    #[test]
+    fn gate_sim_settles_consistently(bits in prop::collection::vec(any::<bool>(), 1..12)) {
+        let mut nl = Netlist::new("tree");
+        let a = nl.add_input("a");
+        let x1 = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+        let x2 = nl.gate(LogicFn::Inv, DriveStrength::X2, &[x1]);
+        let y = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[x1, x2]);
+        nl.mark_output("y", y);
+        let library = Library::sky130(Pvt::nominal());
+        let mut sim = openserdes::digital::EventSim::new(&nl, &library).expect("valid");
+        sim.drive_bits(a, 0, 1_000, &bits);
+        sim.run_until(bits.len() as u64 * 1_000 + 10_000);
+        // An inverter and its complement always XOR to one.
+        prop_assert_eq!(sim.value(y), Logic::One);
+    }
+
+    /// All LANES * 32 bit positions survive a serializer round trip even
+    /// under single-bit frames.
+    #[test]
+    fn single_bit_frames_round_trip(lane in 0usize..LANES, bit in 0usize..32) {
+        let mut frame = [0u32; LANES];
+        frame[lane] = 1 << bit;
+        let mut ser = Serializer::new();
+        let mut des = Deserializer::new();
+        let out = des.push_bits(&ser.serialize(frame));
+        prop_assert_eq!(out, vec![frame]);
+    }
+}
