@@ -146,7 +146,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
     }
 

@@ -64,10 +64,7 @@ impl EyeDiagram {
             })
             .collect();
         let min_dev = deviations.iter().copied().fold(f64::INFINITY, f64::min);
-        let max_dev = deviations
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_dev = deviations.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let width = ui - (max_dev - min_dev);
         let mean_dev = deviations.iter().sum::<f64>() / deviations.len() as f64;
         let sampling_phase = (ref_phase + mean_dev + ui / 2.0).rem_euclid(ui);

@@ -89,10 +89,7 @@ mod tests {
     fn zero_sigma_is_identity() {
         let w = Waveform::constant(1.0, 0.0, 1e-12, 100);
         assert_eq!(add_gaussian_noise(&w, 0.0, 1).samples(), w.samples());
-        assert_eq!(
-            apply_jitter(&w, 0.0, 0.0, 1e9, 1).samples(),
-            w.samples()
-        );
+        assert_eq!(apply_jitter(&w, 0.0, 0.0, 1e9, 1).samples(), w.samples());
     }
 
     #[test]

@@ -225,7 +225,14 @@ mod tests {
         let vin = c.node("vin");
         let vout = c.node("vout");
         c.vsource(vin, Stimulus::Dc(0.0));
-        let cin = add_inverter(&mut c, &Pvt::nominal(), InverterSize::unit(), vin, vout, vdd);
+        let cin = add_inverter(
+            &mut c,
+            &Pvt::nominal(),
+            InverterSize::unit(),
+            vin,
+            vout,
+            vdd,
+        );
         // Unit inverter: ~1.65 µm of gate → ~3.3 fF.
         assert!((2.0e-15..5.0e-15).contains(&cin), "cin = {cin:.3e}");
     }

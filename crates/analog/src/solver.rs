@@ -285,8 +285,7 @@ impl<'c> Assembler<'c> {
         for _ in 0..max_iter {
             let (mut jac, mut res) = self.build(v, prev_dt, gmin);
             res.iter_mut().for_each(|r| *r = -*r);
-            let dv = solve_dense(&mut jac, &mut res)
-                .ok_or(SolverError::SingularMatrix { time })?;
+            let dv = solve_dense(&mut jac, &mut res).ok_or(SolverError::SingularMatrix { time })?;
             // Damping: limit the largest update to 0.4 V per iteration.
             let max_dv = dv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
             let scale = if max_dv > 0.4 { 0.4 / max_dv } else { 1.0 };
@@ -442,7 +441,10 @@ pub fn dc_sweep(
 /// # Errors
 ///
 /// Returns [`SolverError`] on DC or per-step Newton failure.
-pub fn transient(circuit: &Circuit, config: &TransientConfig) -> Result<TransientResult, SolverError> {
+pub fn transient(
+    circuit: &Circuit,
+    config: &TransientConfig,
+) -> Result<TransientResult, SolverError> {
     let asm = Assembler::new(circuit);
     let mut v = dc_at_time(circuit, 0.0)?;
     let steps = (config.t_end / config.dt).ceil() as usize;
@@ -465,13 +467,7 @@ pub fn transient(circuit: &Circuit, config: &TransientConfig) -> Result<Transien
     }
     let n_nodes = circuit.node_count();
     let waveforms = (0..n_nodes)
-        .map(|node| {
-            Waveform::new(
-                0.0,
-                config.dt,
-                history.iter().map(|h| h[node]).collect(),
-            )
-        })
+        .map(|node| Waveform::new(0.0, config.dt, history.iter().map(|h| h[node]).collect()))
         .collect();
     Ok(TransientResult { waveforms })
 }
@@ -494,7 +490,11 @@ mod tests {
         c.resistor(vin, mid, 1e3);
         c.resistor(mid, c.gnd(), 3e3);
         let v = dc_operating_point(&c).expect("solves");
-        assert!((v[mid.index()] - 1.35).abs() < 1e-6, "mid = {}", v[mid.index()]);
+        assert!(
+            (v[mid.index()] - 1.35).abs() < 1e-6,
+            "mid = {}",
+            v[mid.index()]
+        );
     }
 
     #[test]
@@ -532,7 +532,11 @@ mod tests {
         c.vsource(vin, Stimulus::Dc(0.0));
         inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
         let v = dc_operating_point(&c).expect("solves");
-        assert!(v[vout.index()] > VDD - 0.05, "out high: {}", v[vout.index()]);
+        assert!(
+            v[vout.index()] > VDD - 0.05,
+            "out high: {}",
+            v[vout.index()]
+        );
     }
 
     #[test]
@@ -632,8 +636,7 @@ mod tests {
         inverter(&mut c, b, a, vdd, 0.65, 1.0);
         // Nodeset (SPICE .nodeset) seeds the intended state; without it
         // Newton lands on the valid-but-metastable midpoint.
-        let v = dc_operating_point_with_nodeset(&c, &[(a, 0.0), (b, VDD)])
-            .expect("solves");
+        let v = dc_operating_point_with_nodeset(&c, &[(a, 0.0), (b, VDD)]).expect("solves");
         let (va, vb) = (v[a.index()], v[b.index()]);
         assert!(va < 0.2, "a pulled low: {va}");
         assert!(vb > VDD - 0.2, "b latched high: {vb}");
@@ -657,7 +660,11 @@ mod tests {
         let v = dc_operating_point(&c).expect("solves");
         // The divider midpoint sits well below the 0.2 V source and
         // above ground: the device is resistive, not off.
-        assert!(v[mid.index()] > 0.01 && v[mid.index()] < 0.19, "mid = {}", v[mid.index()]);
+        assert!(
+            v[mid.index()] > 0.01 && v[mid.index()] < 0.19,
+            "mid = {}",
+            v[mid.index()]
+        );
     }
 
     #[test]

@@ -42,7 +42,14 @@ impl Waveform {
     /// `bit_time` is the unit interval, `rise` the 0→100 % transition
     /// time, `v0`/`v1` the low/high levels; `oversample` samples are
     /// produced per unit interval.
-    pub fn nrz(bits: &[bool], bit_time: f64, rise: f64, v0: f64, v1: f64, oversample: usize) -> Self {
+    pub fn nrz(
+        bits: &[bool],
+        bit_time: f64,
+        rise: f64,
+        v0: f64,
+        v1: f64,
+        oversample: usize,
+    ) -> Self {
         assert!(oversample >= 2, "need at least 2 samples per UI");
         let dt = bit_time / oversample as f64;
         let n = bits.len() * oversample;
@@ -246,11 +253,7 @@ mod tests {
         });
         let rising = w.crossings(0.0, true);
         assert_eq!(rising.len(), 1);
-        assert!(
-            (rising[0] - 0.0398).abs() < 0.02,
-            "rising at {}",
-            rising[0]
-        );
+        assert!((rising[0] - 0.0398).abs() < 0.02, "rising at {}", rising[0]);
         let falling = w.crossings(0.0, false);
         assert_eq!(falling.len(), 1);
         assert!((falling[0] - 0.5398).abs() < 0.02);

@@ -4,17 +4,15 @@
 //! `cargo bench` records how the quality/runtime tradeoffs move.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use openserdes_core::{
-    oversample_bits, CdrConfig, OversamplingCdr, PrbsGenerator, PrbsOrder,
-};
+use openserdes_core::{oversample_bits, CdrConfig, OversamplingCdr, PrbsGenerator, PrbsOrder};
+use openserdes_flow::floorplan::Floorplan;
 use openserdes_flow::place::{anneal, hpwl, place_greedy};
 use openserdes_flow::{synthesize, FlowConfig};
-use openserdes_flow::floorplan::Floorplan;
 use openserdes_netlist::NetlistStats;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::library::Library;
 use openserdes_pdk::units::{Hertz, Time};
-use openserdes_phy::{DriverConfig, FrontEndConfig, RxFrontEnd, TxDriver, FeedbackKind};
+use openserdes_phy::{DriverConfig, FeedbackKind, FrontEndConfig, RxFrontEnd, TxDriver};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -51,9 +49,7 @@ fn ablate_driver_taper(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{stages}stages_x{taper}")),
             &driver,
-            |b, d| {
-                b.iter(|| black_box(d.drive(&bits, Time::from_ps(500.0)).expect("runs")))
-            },
+            |b, d| b.iter(|| black_box(d.drive(&bits, Time::from_ps(500.0)).expect("runs"))),
         );
     }
     g.finish();
@@ -67,7 +63,10 @@ fn ablate_feedback_r(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
     let variants: Vec<(&str, FeedbackKind)> = vec![
-        ("pseudo_w1_l0.5", FeedbackKind::PseudoResistor { w: 1.0, l: 0.5 }),
+        (
+            "pseudo_w1_l0.5",
+            FeedbackKind::PseudoResistor { w: 1.0, l: 0.5 },
+        ),
         ("ideal_1M", FeedbackKind::Ideal(1.0e6)),
         ("ideal_100M", FeedbackKind::Ideal(100.0e6)),
     ];
@@ -107,7 +106,12 @@ fn ablate_placement(c: &mut Criterion) {
 /// PRBS order: generation + self-sync checking throughput.
 fn ablate_prbs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate_prbs");
-    for order in [PrbsOrder::Prbs7, PrbsOrder::Prbs15, PrbsOrder::Prbs23, PrbsOrder::Prbs31] {
+    for order in [
+        PrbsOrder::Prbs7,
+        PrbsOrder::Prbs15,
+        PrbsOrder::Prbs23,
+        PrbsOrder::Prbs31,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{order}")),
             &order,

@@ -1,17 +1,27 @@
 //! Extension figure: BER bathtub at the paper's operating point — the
 //! horizontal-margin plot behind the CDR's sampling-phase choice.
+//!
+//! The curve is produced by the parallel sweep engine (seed-identical
+//! to the sequential path), and the run closes with the link's
+//! per-stage instrumentation at the same operating point.
 
 use openserdes_bench::report::table;
-use openserdes_core::{bathtub, eye_width_at, LinkConfig};
+use openserdes_core::sweep::parallel;
+use openserdes_core::{eye_width_at, BerTest, LinkConfig, SerdesLink};
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LinkConfig::paper_default();
+    let threads = parallel::default_threads();
     println!(
-        "BER bathtub @ {:.1} Gb/s / {:.0} dB (PRBS-31, 100k bits per phase)\n",
+        "BER bathtub @ {:.1} Gb/s / {:.0} dB (PRBS-31, 100k bits per phase, {} worker(s))\n",
         cfg.data_rate.ghz(),
-        cfg.channel.attenuation_db
+        cfg.channel.attenuation_db,
+        threads
     );
-    let curve = bathtub(&cfg, 100_000, 24, 11)?;
+    let t0 = Instant::now();
+    let curve = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, threads)?;
+    let elapsed = t0.elapsed();
     let rows: Vec<Vec<String>> = curve
         .iter()
         .map(|p| {
@@ -27,8 +37,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("{}", table(&["phase (UI)", "BER"], &rows));
     println!(
-        "horizontal eye at BER 1e-3: {:.2} UI",
-        eye_width_at(&curve, 1e-3)
+        "horizontal eye at BER 1e-3: {:.2} UI  ({} phases in {:.1} ms)",
+        eye_width_at(&curve, 1e-3),
+        curve.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    // Per-stage link instrumentation at the same operating point.
+    let bertest = BerTest::prbs31(cfg.clone(), 40);
+    let report = SerdesLink::new(cfg).run_frames(&bertest.stimulus(), bertest.seed)?;
+    let s = report.stats;
+    println!("\nlink stage stats (40 frames):");
+    println!(
+        "  serialize: {:>8} bits    {:>8.2} ms",
+        s.tx_bits,
+        s.serialize_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  phy:       {:>8} samples {:>8.2} ms",
+        s.phy_samples,
+        s.phy_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  cdr:       {:>8} bits    {:>8.2} ms",
+        s.recovered_bits,
+        s.cdr_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  score:     {:>8} bits    {:>8.2} ms",
+        s.compared_bits,
+        s.score_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  total:                      {:>8.2} ms",
+        s.total_time.as_secs_f64() * 1e3
     );
     Ok(())
 }

@@ -23,7 +23,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["node", "fab", "license", "traditional", "open PDK", "saving"],
+            &[
+                "node",
+                "fab",
+                "license",
+                "traditional",
+                "open PDK",
+                "saving"
+            ],
             &rows
         )
     );

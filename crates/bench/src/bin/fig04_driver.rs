@@ -10,7 +10,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", sparkline(&f.waves.input, 8, 72));
     println!("output (into the 2 pF channel termination):");
     println!("{}", sparkline(&f.waves.output, 8, 72));
-    println!("output swing      : {:.3} V (rail-to-rail target 1.8 V)", f.swing);
+    println!(
+        "output swing      : {:.3} V (rail-to-rail target 1.8 V)",
+        f.swing
+    );
     if let Some(rt) = f.rise_time_ps {
         println!("20-80% rise time  : {rt:.0} ps (UI = 500 ps)");
     }

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(vin, vout)| vec![format!("{vin:.2}"), format!("{vout:.3}")])
         .collect();
     println!("{}", table(&["vin (V)", "vout (V)"], &rows));
-    println!("self-bias point  : {:.3} V (≈0.5·VDD = 0.9 V)", f.bias.value());
+    println!(
+        "self-bias point  : {:.3} V (≈0.5·VDD = 0.9 V)",
+        f.bias.value()
+    );
     println!("DC gain          : {:.1}", f.small_signal.gain);
     println!("dominant pole    : {:.0} MHz", f.small_signal.pole.mhz());
     println!();

@@ -21,7 +21,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["input offset", "phase picked", "locked", "updates", "bit errors"],
+            &[
+                "input offset",
+                "phase picked",
+                "locked",
+                "updates",
+                "bit errors"
+            ],
             &rows
         )
     );

@@ -2,8 +2,10 @@
 
 use openserdes_bench::figures::fig09_sensitivity;
 use openserdes_bench::report::table;
-use openserdes_core::{max_loss_bisect, LinkConfig};
+use openserdes_core::sweep::parallel;
+use openserdes_core::{LinkConfig, SerdesLink};
 use openserdes_pdk::units::Hertz;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Fig. 9 — sensitivity & max channel loss vs frequency\n");
@@ -22,12 +24,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         table(&["rate (GHz)", "sensitivity (mV)", "max loss (dB)"], &rows)
     );
-    println!("cross-check: zero-BER bisection on the full link (PRBS-31):");
-    for ghz in [1.0, 2.0, 3.0] {
-        let mut cfg = LinkConfig::paper_default();
-        cfg.data_rate = Hertz::from_ghz(ghz);
-        let db = max_loss_bisect(&cfg, 8, 0.5)?;
-        println!("  {ghz:.0} GHz: measured max loss = {db:.1} dB");
+
+    let threads = parallel::default_threads();
+    let cfg = LinkConfig::paper_default();
+    println!(
+        "cross-check: zero-BER bisection on the full link (PRBS-31, {} worker(s)):",
+        threads
+    );
+    let rates: Vec<Hertz> = [1.0, 2.0, 3.0]
+        .iter()
+        .map(|&g| Hertz::from_ghz(g))
+        .collect();
+    let t0 = Instant::now();
+    let sweep = parallel::rate_sweep_parallel(&cfg, &rates, 8, 0.5, threads)?;
+    let elapsed = t0.elapsed();
+    for p in &sweep {
+        println!(
+            "  {:.0} GHz: measured max loss = {:.1} dB (sensitivity {:.1} mV)",
+            p.data_rate.ghz(),
+            p.max_loss_db,
+            p.sensitivity.mv()
+        );
     }
+    println!(
+        "  ({} rate points in {:.1} ms)",
+        sweep.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    // Per-stage instrumentation at the nominal operating point.
+    let bertest = openserdes_core::BerTest::prbs31(cfg.clone(), 8);
+    let report = SerdesLink::new(cfg).run_frames(&bertest.stimulus(), bertest.seed)?;
+    let s = report.stats;
+    println!(
+        "\nlink stage stats (8 frames): serialize {} bits / {:.2} ms, phy {} samples / {:.2} ms, cdr {} bits / {:.2} ms, score {} bits / {:.2} ms, total {:.2} ms",
+        s.tx_bits,
+        s.serialize_time.as_secs_f64() * 1e3,
+        s.phy_samples,
+        s.phy_time.as_secs_f64() * 1e3,
+        s.recovered_bits,
+        s.cdr_time.as_secs_f64() * 1e3,
+        s.compared_bits,
+        s.score_time.as_secs_f64() * 1e3,
+        s.total_time.as_secs_f64() * 1e3
+    );
     Ok(())
 }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 name.to_string(),
                 format!("{}", r.stats.cell_count),
                 format!("{}", r.stats.flop_count),
-                format!("{:.0}x{:.0}", r.floorplan.width.value(), r.floorplan.height.value()),
+                format!(
+                    "{:.0}x{:.0}",
+                    r.floorplan.width.value(),
+                    r.floorplan.height.value()
+                ),
                 format!("{:.0}", r.area().value()),
                 format!("{:.1} %", 100.0 * r.area().value() / total),
                 format!("{:.1}", r.route.total_length.value() / 1000.0),
@@ -25,7 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         table(
-            &["block", "cells", "flops", "die (µm)", "area (µm²)", "share", "wire (mm)", "fmax (GHz)"],
+            &[
+                "block",
+                "cells",
+                "flops",
+                "die (µm)",
+                "area (µm²)",
+                "share",
+                "wire (mm)",
+                "fmax (GHz)"
+            ],
             &rows
         )
     );

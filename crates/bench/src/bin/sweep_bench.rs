@@ -1,0 +1,82 @@
+//! Micro-benchmark behind `BENCH_sweep.json`: packed-bitstream kernels vs
+//! their per-bit equivalents, plus the parallel sweep engine at 1 worker vs
+//! the host default.
+//!
+//! Run with `cargo run --release -p openserdes-bench --bin sweep_bench`.
+
+use openserdes_core::sweep::parallel;
+use openserdes_core::{LinkConfig, OversamplingCdr, PrbsGenerator, PrbsOrder};
+use std::time::Instant;
+
+const STREAM_BITS: usize = 1_000_000;
+const REPS: usize = 20;
+
+fn time_ms(f: impl FnMut()) -> f64 {
+    let mut f = f;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / REPS as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut gen = PrbsGenerator::new(PrbsOrder::Prbs31);
+    let a = gen.take_bitvec(STREAM_BITS);
+    let mut b = a.clone();
+    for i in (0..STREAM_BITS).step_by(997) {
+        b.toggle(i);
+    }
+
+    // Error counting: packed XOR+popcount vs a per-bit loop.
+    let mut sink = 0u64;
+    let packed_ms = time_ms(|| {
+        sink = sink.wrapping_add(a.xor_errors(3, &b, 0, STREAM_BITS - 3));
+    });
+    let mut naive = 0u64;
+    let naive_ms = time_ms(|| {
+        let mut e = 0u64;
+        for i in 0..STREAM_BITS - 3 {
+            e += u64::from(a.get(i + 3) != b.get(i));
+        }
+        naive = naive.wrapping_add(e);
+    });
+    println!(
+        "xor_errors over {STREAM_BITS} bits: packed {packed_ms:.3} ms vs per-bit {naive_ms:.3} ms ({:.1}x)",
+        naive_ms / packed_ms
+    );
+
+    // CDR recovery: word-at-a-time vs per-bool.
+    let samples = gen.take_bitvec(STREAM_BITS);
+    let bools: Vec<bool> = (0..STREAM_BITS).map(|i| samples.get(i)).collect();
+    let cfg = LinkConfig::paper_default();
+    let cdr_packed_ms = time_ms(|| {
+        let mut cdr = OversamplingCdr::new(cfg.cdr);
+        sink = sink.wrapping_add(cdr.recover_packed(&samples).len() as u64);
+    });
+    let cdr_bool_ms = time_ms(|| {
+        let mut cdr = OversamplingCdr::new(cfg.cdr);
+        sink = sink.wrapping_add(cdr.recover(&bools).len() as u64);
+    });
+    println!(
+        "cdr recover over {STREAM_BITS} samples: packed {cdr_packed_ms:.3} ms vs bool {cdr_bool_ms:.3} ms ({:.1}x)",
+        cdr_bool_ms / cdr_packed_ms
+    );
+
+    // Parallel bathtub: 1 worker vs host default, seed identity checked.
+    let threads = parallel::default_threads();
+    let t0 = Instant::now();
+    let seq = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, 1)?;
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let par = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, threads)?;
+    let par_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(seq, par, "parallel bathtub must be seed-identical");
+    println!(
+        "bathtub 24 phases x 100k bits: 1 worker {seq_ms:.1} ms vs {threads} worker(s) {par_ms:.1} ms ({:.2}x), seed-identical",
+        seq_ms / par_ms
+    );
+
+    std::hint::black_box(sink);
+    Ok(())
+}

@@ -9,8 +9,8 @@
 use openserdes_analog::{EyeDiagram, Waveform};
 use openserdes_core::{
     cost::{cost_model, CostPoint},
-    oversample_bits, CdrConfig, LinkBudget, LinkConfig, LinkReport, OversamplingCdr,
-    PrbsGenerator, PrbsOrder, SerdesLink, SweepPoint,
+    oversample_bits, CdrConfig, LinkBudget, LinkConfig, LinkReport, OversamplingCdr, PrbsGenerator,
+    PrbsOrder, SerdesLink, SweepPoint,
 };
 use openserdes_flow::{run_flow, FlowConfig, FlowResult};
 use openserdes_pdk::corner::Pvt;
@@ -49,18 +49,14 @@ pub fn fig04_driver() -> Result<Fig04, openserdes_analog::SolverError> {
     let waves = driver.drive(&bits, Time::from_ps(500.0))?;
     let swing = waves.output.amplitude();
     let rise_time_ps = waves.output.rise_time().map(|t| t * 1e12);
-    let delay_ps = waves
-        .input
-        .crossings(0.9, true)
-        .first()
-        .and_then(|&t_in| {
-            waves
-                .output
-                .crossings(0.9, false)
-                .into_iter()
-                .find(|&t| t >= t_in)
-                .map(|t| (t - t_in) * 1e12)
-        });
+    let delay_ps = waves.input.crossings(0.9, true).first().and_then(|&t_in| {
+        waves
+            .output
+            .crossings(0.9, false)
+            .into_iter()
+            .find(|&t| t >= t_in)
+            .map(|t| (t - t_in) * 1e12)
+    });
     Ok(Fig04 {
         waves,
         swing,
@@ -358,12 +354,36 @@ pub fn headline() -> Result<Vec<HeadlineRow>, openserdes_core::LinkError> {
 /// Scenario presets from §VI-b: PCIe lane rates and EMIB chiplet links.
 pub fn application_channels() -> Vec<(&'static str, Hertz, ChannelModel)> {
     vec![
-        ("PCIe 1.x lane", Hertz::from_ghz(0.25), ChannelModel::pcie(20.0)),
-        ("PCIe 2.x lane", Hertz::from_ghz(0.5), ChannelModel::pcie(22.0)),
-        ("PCIe 3.x lane", Hertz::from_ghz(1.0), ChannelModel::pcie(25.0)),
-        ("PCIe 4.0 lane", Hertz::from_ghz(2.0), ChannelModel::pcie(28.0)),
-        ("EMIB chiplet 1dB", Hertz::from_ghz(2.0), ChannelModel::emib(1.0)),
-        ("EMIB chiplet 5dB", Hertz::from_ghz(4.0), ChannelModel::emib(5.0)),
+        (
+            "PCIe 1.x lane",
+            Hertz::from_ghz(0.25),
+            ChannelModel::pcie(20.0),
+        ),
+        (
+            "PCIe 2.x lane",
+            Hertz::from_ghz(0.5),
+            ChannelModel::pcie(22.0),
+        ),
+        (
+            "PCIe 3.x lane",
+            Hertz::from_ghz(1.0),
+            ChannelModel::pcie(25.0),
+        ),
+        (
+            "PCIe 4.0 lane",
+            Hertz::from_ghz(2.0),
+            ChannelModel::pcie(28.0),
+        ),
+        (
+            "EMIB chiplet 1dB",
+            Hertz::from_ghz(2.0),
+            ChannelModel::emib(1.0),
+        ),
+        (
+            "EMIB chiplet 5dB",
+            Hertz::from_ghz(4.0),
+            ChannelModel::emib(5.0),
+        ),
     ]
 }
 
@@ -388,7 +408,12 @@ mod tests {
     fn fig07_locks_everywhere() {
         for row in fig07_cdr() {
             assert!(row.locked, "offset {} must lock", row.offset_ui);
-            assert!(row.errors <= 2, "offset {}: {} errors", row.offset_ui, row.errors);
+            assert!(
+                row.errors <= 2,
+                "offset {}: {} errors",
+                row.offset_ui,
+                row.errors
+            );
         }
     }
 

@@ -47,8 +47,8 @@ pub fn sparkline(waveform: &Waveform, rows: usize, cols: usize) -> String {
             if start >= stop {
                 return 0;
             }
-            let mean: f64 = waveform.samples()[start..stop].iter().sum::<f64>()
-                / (stop - start) as f64;
+            let mean: f64 =
+                waveform.samples()[start..stop].iter().sum::<f64>() / (stop - start) as f64;
             (((mean - lo) / span) * (rows - 1) as f64).round() as usize
         })
         .collect();

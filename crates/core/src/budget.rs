@@ -69,10 +69,7 @@ fn measured_power(
             prev[i] = v;
         }
     }
-    let rates: Vec<f64> = toggles
-        .iter()
-        .map(|&t| t as f64 / cycles as f64)
-        .collect();
+    let rates: Vec<f64> = toggles.iter().map(|&t| t as f64 / cycles as f64).collect();
     let pcfg = PowerConfig {
         clock,
         activity: 0.5,
@@ -319,9 +316,8 @@ mod tests {
     fn serdes_blocks_dwarf_link_power() {
         // Fig. 10's headline shape: SER+DES+CDR ≫ TX+RX.
         let b = budget();
-        let serdes_power = b.block("serializer").power
-            + b.block("deserializer").power
-            + b.block("cdr").power;
+        let serdes_power =
+            b.block("serializer").power + b.block("deserializer").power + b.block("cdr").power;
         assert!(
             serdes_power.value() > 2.0 * b.link_power().value(),
             "serdes {:.2} mW vs link {:.2} mW",
@@ -367,7 +363,14 @@ mod tests {
     #[test]
     fn display_has_all_blocks() {
         let s = budget().to_string();
-        for name in ["tx_driver", "rx_frontend", "serializer", "deserializer", "cdr", "pJ/bit"] {
+        for name in [
+            "tx_driver",
+            "rx_frontend",
+            "serializer",
+            "deserializer",
+            "cdr",
+            "pJ/bit",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

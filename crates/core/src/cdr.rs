@@ -18,6 +18,7 @@
 //!   counters, argmax comparator tree, phase register, output mux) for
 //!   the flow's area/power budget.
 
+use crate::bitstream::BitVec;
 use openserdes_flow::ir::Design;
 
 /// CDR configuration (the paper's scan bits).
@@ -84,9 +85,13 @@ impl OversamplingCdr {
     ///
     /// # Panics
     ///
-    /// Panics if `oversampling < 3` or `window == 0`.
+    /// Panics if `oversampling` is outside `3..=64` or `window == 0`.
     pub fn new(cfg: CdrConfig) -> Self {
         assert!(cfg.oversampling >= 3, "need at least 3x oversampling");
+        assert!(
+            cfg.oversampling <= 64,
+            "one UI must fit a 64-bit sample word"
+        );
         assert!(cfg.window > 0, "decision window must be positive");
         Self {
             phase: cfg.oversampling / 2,
@@ -131,22 +136,32 @@ impl OversamplingCdr {
     pub fn process_ui(&mut self, samples: &[bool]) -> bool {
         let n = self.cfg.oversampling;
         assert_eq!(samples.len(), n, "one UI is {n} samples");
+        let mut word = 0u64;
+        for (i, &s) in samples.iter().enumerate() {
+            word |= (s as u64) << i;
+        }
+        self.process_ui_word(word)
+    }
+
+    /// One UI packed into the low `oversampling` bits of a word (sample
+    /// 0 in bit 0). Higher bits are ignored.
+    fn process_ui_word(&mut self, samples: u64) -> bool {
+        let n = self.cfg.oversampling;
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let samples = samples & mask;
 
         // Glitch correction: majority-of-3 smoothing over the sample
-        // window (previous UI's last sample patches the left edge).
-        let smoothed: Vec<bool> = if self.cfg.glitch_filter {
-            (0..n)
-                .map(|i| {
-                    let prev = if i == 0 { self.last_sample } else { samples[i - 1] };
-                    let next = if i + 1 < n { samples[i + 1] } else { samples[i] };
-                    (prev as u8 + samples[i] as u8 + next as u8) >= 2
-                })
-                .collect()
+        // window (previous UI's last sample patches the left edge, the
+        // right edge duplicates the last sample), computed word-wide.
+        let smoothed = if self.cfg.glitch_filter {
+            let prev = (samples << 1) | self.last_sample as u64;
+            let next = (samples >> 1) | (samples & (1u64 << (n - 1)));
+            ((prev & samples) | (prev & next) | (samples & next)) & mask
         } else {
-            samples.to_vec()
+            samples
         };
 
-        let bit = smoothed[self.phase];
+        let bit = smoothed >> self.phase & 1 == 1;
 
         // Window bookkeeping matches the RTL: on the window's last UI the
         // decision is evaluated from the accumulated histogram and the
@@ -156,16 +171,15 @@ impl OversamplingCdr {
             self.edge_hist.iter_mut().for_each(|c| *c = 0);
             self.win_count = 0;
         } else {
-            for i in 0..n {
-                let prev = if i == 0 { self.last_sample } else { smoothed[i - 1] };
-                if prev != smoothed[i] {
-                    self.edge_hist[i] += 1;
-                }
+            let mut edges = (smoothed ^ ((smoothed << 1) | self.last_sample as u64)) & mask;
+            while edges != 0 {
+                self.edge_hist[edges.trailing_zeros() as usize] += 1;
+                edges &= edges - 1;
             }
             self.win_count += 1;
         }
 
-        self.last_sample = *smoothed.last().expect("n >= 3");
+        self.last_sample = smoothed >> (n - 1) & 1 == 1;
         self.uis += 1;
         bit
     }
@@ -224,12 +238,34 @@ impl OversamplingCdr {
             .map(|ui| self.process_ui(ui))
             .collect()
     }
+
+    /// Packed fast path of [`Self::recover`]: each UI is one windowed
+    /// word read, the recovered bits come back packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream length is not a whole number of UIs.
+    pub fn recover_packed(&mut self, stream: &BitVec) -> BitVec {
+        let n = self.cfg.oversampling;
+        assert_eq!(stream.len() % n, 0, "stream must be whole UIs");
+        let uis = stream.len() / n;
+        let mut out = BitVec::with_capacity(uis);
+        for k in 0..uis {
+            out.push(self.process_ui_word(stream.window64(k * n)));
+        }
+        out
+    }
 }
 
 /// Generates an oversampled sample stream from a bit sequence: `n`
 /// samples per UI, the whole stream shifted by `phase_frac` of a UI,
 /// each edge additionally jittered by a deterministic per-edge offset
 /// drawn from a seeded Gaussian of `rj_sigma_ui` UIs.
+///
+/// Jitter is symmetric: a positive draw moves an edge late (early
+/// samples of the bit still see the previous bit), a negative draw
+/// moves it early (late samples of the previous bit already see the
+/// next bit).
 pub fn oversample_bits(
     bits: &[bool],
     n: usize,
@@ -237,6 +273,17 @@ pub fn oversample_bits(
     rj_sigma_ui: f64,
     seed: u64,
 ) -> Vec<bool> {
+    oversample_bits_packed(&BitVec::from_bools(bits), n, phase_frac, rj_sigma_ui, seed).to_bools()
+}
+
+/// Packed fast path of [`oversample_bits`]: same stream, bit for bit.
+pub fn oversample_bits_packed(
+    bits: &BitVec,
+    n: usize,
+    phase_frac: f64,
+    rj_sigma_ui: f64,
+    seed: u64,
+) -> BitVec {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
@@ -247,25 +294,28 @@ pub fn oversample_bits(
             } else {
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen::<f64>();
-                (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos()
-                    * rj_sigma_ui
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * rj_sigma_ui
             }
         })
         .collect();
-    let mut out = Vec::with_capacity(bits.len() * n);
-    for i in 0..bits.len() {
+    let len = bits.len();
+    let mut out = BitVec::with_capacity(len * n);
+    for i in 0..len {
         for j in 0..n {
             // Sample time in UI units, then locate the governing bit.
             let t = i as f64 + (j as f64 + 0.5) / n as f64 + phase_frac;
             let idx = t.floor() as isize;
             let frac = t - idx as f64;
-            let idx = idx.clamp(0, bits.len() as isize - 1) as usize;
-            // The edge at the start of bit `idx` moves by jitter[idx].
-            let bit = if frac < jitter[idx] && idx > 0 {
-                bits[idx - 1]
+            let idx = idx.clamp(0, len as isize - 1) as usize;
+            // The edge at the start of bit `idx` moves by jitter[idx],
+            // the one at its end by jitter[idx + 1]; either can hand the
+            // sample to a neighbouring bit.
+            let bit = if idx > 0 && frac < jitter[idx] {
+                bits.get(idx - 1)
+            } else if idx + 1 < len && frac >= 1.0 + jitter[idx + 1] {
+                bits.get(idx + 1)
             } else {
-                bits[idx]
+                bits.get(idx)
             };
             out.push(bit);
         }
@@ -283,10 +333,7 @@ pub fn oversample_bits(
 ///
 /// Panics if `oversampling` is not in `3..=8`.
 pub fn cdr_design(oversampling: usize) -> Design {
-    assert!(
-        (3..=8).contains(&oversampling),
-        "RTL supports 3..=8 phases"
-    );
+    assert!((3..=8).contains(&oversampling), "RTL supports 3..=8 phases");
     let n = oversampling;
     let mut d = Design::new("cdr");
     let samples = d.input_bus("samples", n);
@@ -531,9 +578,7 @@ mod tests {
 
     #[test]
     fn rtl_synthesizes() {
-        let lib = openserdes_pdk::library::Library::sky130(
-            openserdes_pdk::corner::Pvt::nominal(),
-        );
+        let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
         let res = openserdes_flow::synthesize(&cdr_design(5), &lib).expect("ok");
         // 1 last + 5 win + 5×6 counters + 3 phase = 39 flops.
         assert_eq!(res.netlist.flop_count(), 39);
@@ -546,6 +591,49 @@ mod tests {
         let mut cfg = CdrConfig::paper_default();
         cfg.oversampling = 2;
         let _ = OversamplingCdr::new(cfg);
+    }
+
+    #[test]
+    fn jitter_moves_edges_both_directions() {
+        // One rising edge at t = 1.0 UI; Gaussian jitter must shift it
+        // early about as often as late. The old sampler only honoured
+        // positive draws, so the recovered edge could never land early.
+        let bits = [false, true];
+        let n = 50;
+        let (mut early, mut late) = (0u32, 0u32);
+        for seed in 0..400 {
+            let s = oversample_bits(&bits, n, 0.0, 0.2, seed);
+            let edge = s.iter().position(|&b| b).unwrap_or(2 * n);
+            match edge.cmp(&n) {
+                std::cmp::Ordering::Less => early += 1,
+                std::cmp::Ordering::Greater => late += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        assert!(early > 50, "edges must move early too: {early}");
+        assert!(late > 50, "edges must still move late: {late}");
+        let ratio = early as f64 / late as f64;
+        assert!((0.5..2.0).contains(&ratio), "early/late = {early}/{late}");
+    }
+
+    #[test]
+    fn packed_recover_matches_bool_path() {
+        let bits = prbs_bits(2_000);
+        let stream = oversample_bits(&bits, 5, 0.23, 0.04, 11);
+        let packed = oversample_bits_packed(
+            &crate::bitstream::BitVec::from_bools(&bits),
+            5,
+            0.23,
+            0.04,
+            11,
+        );
+        assert_eq!(packed.to_bools(), stream, "samplers agree bit for bit");
+        let mut a = OversamplingCdr::new(CdrConfig::paper_default());
+        let mut b = OversamplingCdr::new(CdrConfig::paper_default());
+        let out_a = a.recover(&stream);
+        let out_b = b.recover_packed(&packed);
+        assert_eq!(out_b.to_bools(), out_a, "recovery agrees bit for bit");
+        assert_eq!(a, b, "CDR state agrees");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! 8-bit write decoder, which is exactly why the deserializer dominates
 //! the paper's layout area (60 % in Fig. 11).
 
+use crate::bitstream::BitVec;
 use crate::serializer::{Frame, FRAME_BITS, WORD_BITS};
 use openserdes_flow::ir::Design;
 
@@ -56,6 +57,48 @@ impl Deserializer {
     /// Pushes a slice of bits, returning every completed frame.
     pub fn push_bits(&mut self, bits: &[bool]) -> Vec<Frame> {
         bits.iter().filter_map(|&b| self.tick(b)).collect()
+    }
+
+    /// Packed fast path of [`Self::push_bits`]: consumes `len` bits of
+    /// `bits` starting at `offset`. Whole 32-bit lane words are captured
+    /// with single windowed reads whenever the FSM is word-aligned;
+    /// stragglers fall back to per-bit ticks, so the FSM state is
+    /// identical to the bit-at-a-time path throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` runs past the stream.
+    pub fn push_packed(&mut self, bits: &BitVec, offset: usize, len: usize) -> Vec<Frame> {
+        assert!(offset + len <= bits.len(), "range out of bounds");
+        let mut out = Vec::with_capacity(len / FRAME_BITS);
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            if self.index.is_multiple_of(WORD_BITS) && end - pos >= WORD_BITS {
+                self.bank[self.index / WORD_BITS] = bits.window32(pos);
+                pos += WORD_BITS;
+                self.index += WORD_BITS;
+                if self.index == FRAME_BITS {
+                    self.index = 0;
+                    self.frames_received += 1;
+                    out.push(self.bank);
+                }
+            } else {
+                if let Some(f) = self.tick(bits.get(pos)) {
+                    out.push(f);
+                }
+                pos += 1;
+            }
+        }
+        out
+    }
+
+    /// The partially filled capture bank and its fill level. Lane bits
+    /// at positions `>= fill` are stale (left over from the previous
+    /// frame) — callers must mask to the filled span. Used to score a
+    /// trailing partial frame when alignment lag truncates the stream.
+    pub fn partial_frame(&self) -> (Frame, usize) {
+        (self.bank, self.index)
     }
 
     /// Resets the bit counter (frame alignment), e.g. after CDR lock.
@@ -141,6 +184,27 @@ mod tests {
     }
 
     #[test]
+    fn packed_push_matches_bit_path() {
+        let frames = [test_frame(), [0x1234_5678u32; LANES], [u32::MAX; LANES]];
+        let mut bits = Vec::new();
+        for f in &frames {
+            bits.extend(frame_to_bits(f));
+        }
+        let packed = BitVec::from_bools(&bits);
+        // Unaligned start (offset 5) exercises the per-bit fallback
+        // until the FSM word-aligns, then the window32 fast path.
+        for offset in [0usize, 5, 32, 100] {
+            let mut a = Deserializer::new();
+            let mut b = Deserializer::new();
+            let out_a = a.push_bits(&bits[offset..]);
+            let out_b = b.push_packed(&packed, offset, packed.len() - offset);
+            assert_eq!(out_a, out_b, "offset {offset}");
+            assert_eq!(a, b, "FSM state must agree at offset {offset}");
+            assert_eq!(b.partial_frame().1, b.fill_level());
+        }
+    }
+
+    #[test]
     fn realign_restarts_frame() {
         let mut des = Deserializer::new();
         let _ = des.push_bits(&[true; 100]);
@@ -206,13 +270,10 @@ mod tests {
     #[test]
     fn rtl_is_bigger_than_serializer() {
         // The decoder makes the deserializer the largest block (Fig. 11).
-        let lib = openserdes_pdk::library::Library::sky130(
-            openserdes_pdk::corner::Pvt::nominal(),
-        );
+        let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
         let des = openserdes_flow::synthesize(&deserializer_design(), &lib).expect("ok");
         let ser =
-            openserdes_flow::synthesize(&crate::serializer::serializer_design(), &lib)
-                .expect("ok");
+            openserdes_flow::synthesize(&crate::serializer::serializer_design(), &lib).expect("ok");
         assert!(
             des.netlist.cell_count() > ser.netlist.cell_count(),
             "des {} vs ser {}",

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod bitstream;
 pub mod budget;
 pub mod cdr;
 pub mod cost;
@@ -45,16 +46,19 @@ pub mod top;
 mod deserializer;
 
 pub use ber::BerTest;
+pub use bitstream::BitVec;
 pub use budget::{BlockBudget, LinkBudget};
-pub use cdr::{cdr_design, oversample_bits, CdrConfig, OversamplingCdr};
+pub use cdr::{cdr_design, oversample_bits, oversample_bits_packed, CdrConfig, OversamplingCdr};
 pub use deserializer::{deserializer_design, Deserializer};
 pub use error::LinkError;
-pub use link::{AnalogFrameReport, LinkConfig, LinkReport, SerdesLink};
+pub use link::{AnalogFrameReport, LinkConfig, LinkReport, LinkStats, SerdesLink};
 pub use prbs::{PrbsChecker, PrbsGenerator, PrbsOrder};
 pub use scan::{scan_chain_design, ScanChain, SCAN_BITS};
-pub use top::serdes_digital_top;
 pub use serializer::{
     bits_to_frame, frame_to_bits, serializer_design, Frame, Serializer, FRAME_BITS, LANES,
     WORD_BITS,
 };
-pub use sweep::{bathtub, eye_width_at, max_loss_bisect, sensitivity_sweep, BathtubPoint, SweepPoint};
+pub use sweep::{
+    bathtub, eye_width_at, max_loss_bisect, sensitivity_sweep, BathtubPoint, SweepPoint,
+};
+pub use top::serdes_digital_top;

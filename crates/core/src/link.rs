@@ -13,15 +13,17 @@
 //!   frame, sliced at the oversampling rate and recovered by the same
 //!   CDR. Used to regenerate Fig. 8 and to validate the fast path.
 
-use crate::cdr::{oversample_bits, CdrConfig, OversamplingCdr};
+use crate::bitstream::BitVec;
+use crate::cdr::{oversample_bits_packed, CdrConfig, OversamplingCdr};
 use crate::deserializer::Deserializer;
 use crate::error::LinkError;
-use crate::serializer::{frame_to_bits, Frame, Serializer, FRAME_BITS};
+use crate::serializer::{frame_to_bits, Frame, Serializer, FRAME_BITS, LANES, WORD_BITS};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time};
-use openserdes_phy::{q_function, AnalogLink, BehavioralLink, ChannelModel, LinkRun};
+use openserdes_phy::{AnalogLink, BehavioralLink, ChannelModel, LinkRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Link configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,12 +57,37 @@ impl Default for LinkConfig {
     }
 }
 
+/// Per-stage instrumentation for one link run: how many bits each stage
+/// moved and how long it took. Carried on [`LinkReport`] but excluded
+/// from its equality (wall times are run-specific noise).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Payload bits serialized onto the wire.
+    pub tx_bits: u64,
+    /// Oversampled PHY samples generated.
+    pub phy_samples: u64,
+    /// Bits recovered by the CDR.
+    pub recovered_bits: u64,
+    /// Bits scored against the sent stream.
+    pub compared_bits: u64,
+    /// Time serializing frames.
+    pub serialize_time: Duration,
+    /// Time in the statistical PHY (oversampling + noise flips).
+    pub phy_time: Duration,
+    /// Time in CDR recovery.
+    pub cdr_time: Duration,
+    /// Time aligning, deserializing and scoring.
+    pub score_time: Duration,
+    /// Whole-run wall time.
+    pub total_time: Duration,
+}
+
 /// Result of a multi-frame link run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkReport {
     /// Frames transmitted.
     pub frames_sent: usize,
-    /// Frames recovered bit-exact.
+    /// Frames recovered bit-exact over the compared span.
     pub frames_correct: usize,
     /// Total payload bits compared.
     pub bits: u64,
@@ -72,6 +99,22 @@ pub struct LinkReport {
     pub cdr_phase_updates: u64,
     /// Bit lag the aligner settled on.
     pub alignment_lag: usize,
+    /// Per-stage bit counts and wall times.
+    pub stats: LinkStats,
+}
+
+impl PartialEq for LinkReport {
+    /// Compares the link-level outcome; [`LinkStats`] wall times are
+    /// run-specific and excluded so identical seeds compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.frames_sent == other.frames_sent
+            && self.frames_correct == other.frames_correct
+            && self.bits == other.bits
+            && self.bit_errors == other.bit_errors
+            && self.cdr_locked == other.cdr_locked
+            && self.cdr_phase_updates == other.cdr_phase_updates
+            && self.alignment_lag == other.alignment_lag
+    }
 }
 
 impl LinkReport {
@@ -115,23 +158,78 @@ impl SerdesLink {
     }
 
     /// Best alignment of `recv` against `sent` over small lags; returns
-    /// `(lag, errors)` counting over the overlap beyond `skip`.
-    fn align(sent: &[bool], recv: &[bool], skip: usize) -> (usize, u64) {
+    /// `(lag, errors, overlap)` scored over the span beyond `skip`.
+    ///
+    /// Every lag is scored over the *same* overlap length (the largest
+    /// span available to all candidate lags). Per-lag overlaps would
+    /// hand larger lags fewer error opportunities and bias the choice
+    /// toward them; with a common span the error counts are comparable
+    /// and ties resolve to the smallest lag.
+    fn align(sent: &BitVec, recv: &BitVec, skip: usize) -> (usize, u64, usize) {
+        const MAX_LAG: usize = 3;
+        if recv.len() <= skip + MAX_LAG || sent.len() <= skip {
+            return (0, 0, 0);
+        }
+        let overlap = (recv.len() - skip - MAX_LAG).min(sent.len() - skip);
         let mut best = (0usize, u64::MAX);
-        for lag in 0..4usize {
-            if skip + lag >= recv.len() {
-                break;
-            }
-            let errors = recv[skip + lag..]
-                .iter()
-                .zip(&sent[skip..])
-                .filter(|(a, b)| a != b)
-                .count() as u64;
+        for lag in 0..=MAX_LAG {
+            let errors = recv.xor_errors(skip + lag, sent, skip, overlap);
             if errors < best.1 {
                 best = (lag, errors);
             }
         }
-        best
+        (best.0, best.1, overlap)
+    }
+
+    /// Scores the deserializer's actual output against the sent frames
+    /// over the compared span `[skip, skip + overlap)` (sent-bit
+    /// coordinates). A frame counts correct when every captured bit of
+    /// it inside the span matches; a frame that falls entirely outside
+    /// the span (settling window, or the unaligned tail the aligner
+    /// could not compare) counts correct when it was captured at all —
+    /// the link is not blamed for bits that were never scored.
+    fn score_frames(
+        frames: &[Frame],
+        got: &[Frame],
+        partial: (Frame, usize),
+        skip: usize,
+        overlap: usize,
+    ) -> usize {
+        let mut correct = 0usize;
+        for (i, sent) in frames.iter().enumerate() {
+            let lo = i * FRAME_BITS;
+            let (cap, fill) = if i < got.len() {
+                (got[i], FRAME_BITS)
+            } else if i == got.len() && partial.1 > 0 {
+                partial
+            } else {
+                continue; // never captured
+            };
+            let scored_lo = lo.max(skip);
+            let scored_hi = (lo + FRAME_BITS).min(skip + overlap).min(lo + fill);
+            if scored_lo >= scored_hi {
+                correct += 1;
+                continue;
+            }
+            let mut ok = true;
+            for w in 0..LANES {
+                let wlo = lo + w * WORD_BITS;
+                let a = scored_lo.max(wlo);
+                let b = scored_hi.min(wlo + WORD_BITS);
+                if a >= b {
+                    continue;
+                }
+                let mask = (((1u64 << (b - wlo)) - 1) ^ ((1u64 << (a - wlo)) - 1)) as u32;
+                if (cap[w] ^ sent[w]) & mask != 0 {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                correct += 1;
+            }
+        }
+        correct
     }
 
     /// Runs frames through the fast statistical PHY path.
@@ -140,78 +238,73 @@ impl SerdesLink {
     ///
     /// Propagates solver failures from the front-end characterization.
     pub fn run_frames(&self, frames: &[Frame], seed: u64) -> Result<LinkReport, LinkError> {
-        // Serialize everything into one contiguous bit stream.
+        let t_start = Instant::now();
+        // Serialize everything into one contiguous packed bit stream.
         let mut ser = Serializer::new();
-        let mut bits = Vec::with_capacity(frames.len() * FRAME_BITS);
+        let mut bits = BitVec::with_capacity(frames.len() * FRAME_BITS);
         for &f in frames {
-            bits.extend(ser.serialize(f));
+            ser.serialize_into(f, &mut bits);
         }
+        let serialize_time = t_start.elapsed();
 
         // PHY statistics from the analog models at this operating point.
+        let t_phy = Instant::now();
         let analog = AnalogLink::paper_default(self.config.pvt, self.config.channel.clone());
         let beh = BehavioralLink::from_analog(&analog, self.config.data_rate)?;
         let ui = 1.0 / self.config.data_rate.value();
-        let jitter_frac =
-            self.config.channel.rj_sigma.value() / ui;
-        let margin = beh.margin().value()
-            * (1.0 - beh.jitter_slope * (jitter_frac + 0.5 * self.config.channel.dj_pp.value() / ui))
-                .max(0.0);
-        let sigma = self.config.channel.noise_sigma.value().max(1e-9);
-        let flip_prob = if margin <= 0.0 {
-            0.5
-        } else {
-            q_function(margin / sigma)
-        };
+        let jitter_frac = self.config.channel.rj_sigma.value() / ui;
+        let flip_prob = beh.flip_probability_jitter_eroded();
 
         // Oversample with a deliberate phase offset (the reference clock
         // is not aligned to the data — the CDR's whole job), plus edge
         // jitter and per-sample noise flips.
         let n = self.config.cdr.oversampling;
-        let mut stream = oversample_bits(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
+        let mut stream = oversample_bits_packed(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
         let mut rng = StdRng::seed_from_u64(seed);
-        for s in stream.iter_mut() {
+        for s in 0..stream.len() {
             if rng.gen::<f64>() < flip_prob {
-                *s = !*s;
+                stream.toggle(s);
             }
         }
+        let phy_time = t_phy.elapsed();
 
         // CDR recovery.
+        let t_cdr = Instant::now();
         let mut cdr = OversamplingCdr::new(self.config.cdr);
-        let recovered = cdr.recover(&stream);
+        let recovered = cdr.recover_packed(&stream);
+        let cdr_time = t_cdr.elapsed();
 
         // Score against the sent stream (skip the CDR's first two
-        // decision windows) and deserialize from the aligned position.
+        // decision windows), then deserialize from the aligned position
+        // and count frames from what the deserializer actually produced.
+        let t_score = Instant::now();
         let skip = 2 * self.config.cdr.window;
-        let (lag, bit_errors) = Self::align(&bits, &recovered, skip);
+        let (lag, bit_errors, overlap) = Self::align(&bits, &recovered, skip);
         let mut des = Deserializer::new();
-        let aligned = &recovered[lag..];
-        let mut frames_correct = 0usize;
-        for (i, &sent_frame) in frames.iter().enumerate() {
-            let lo = i * FRAME_BITS;
-            let hi = lo + FRAME_BITS;
-            if hi > aligned.len() {
-                break;
-            }
-            let got = des.push_bits(&aligned[lo..hi]);
-            if got.first() == Some(&sent_frame) {
-                frames_correct += 1;
-            }
-        }
-        // The settling window overlaps the first frame(s); a frame
-        // corrupted only inside the settling window still counts, which
-        // is why scoring uses the post-skip bit errors as ground truth.
-        let bits_compared = (bits.len() - skip) as u64;
+        let got = des.push_packed(&recovered, lag, recovered.len() - lag);
+        let frames_correct = Self::score_frames(frames, &got, des.partial_frame(), skip, overlap);
+        let score_time = t_score.elapsed();
 
+        let stats = LinkStats {
+            tx_bits: bits.len() as u64,
+            phy_samples: stream.len() as u64,
+            recovered_bits: recovered.len() as u64,
+            compared_bits: overlap as u64,
+            serialize_time,
+            phy_time,
+            cdr_time,
+            score_time,
+            total_time: t_start.elapsed(),
+        };
         Ok(LinkReport {
             frames_sent: frames.len(),
-            frames_correct: frames_correct.max(
-                if bit_errors == 0 { frames.len() } else { frames_correct },
-            ),
-            bits: bits_compared,
+            frames_correct,
+            bits: overlap as u64,
             bit_errors,
             cdr_locked: cdr.is_locked(),
             cdr_phase_updates: cdr.phase_updates(),
             alignment_lag: lag,
+            stats,
         })
     }
 
@@ -231,7 +324,7 @@ impl SerdesLink {
         // not, so polarity is inverted end-to-end.
         let n = self.config.cdr.oversampling;
         let threshold = 0.5 * self.config.pvt.vdd.value();
-        let mut stream = Vec::with_capacity(bits.len() * n);
+        let mut stream = BitVec::with_capacity(bits.len() * n);
         for i in 0..bits.len() {
             for j in 0..n {
                 let t = (i as f64 + (j as f64 + 0.5) / n as f64) * ui.value();
@@ -240,13 +333,13 @@ impl SerdesLink {
         }
 
         let mut cdr = OversamplingCdr::new(self.config.cdr);
-        let recovered = cdr.recover(&stream);
+        let recovered = cdr.recover_packed(&stream);
         let skip = 8;
-        let (_, bit_errors) = Self::align(&bits, &recovered, skip);
+        let (_, bit_errors, overlap) = Self::align(&BitVec::from_bools(&bits), &recovered, skip);
         Ok(AnalogFrameReport {
             run,
             bit_errors,
-            bits: (bits.len() - skip) as u64,
+            bits: overlap as u64,
         })
     }
 }
@@ -316,9 +409,92 @@ mod tests {
             cdr_locked: true,
             cdr_phase_updates: 1,
             alignment_lag: 0,
+            stats: LinkStats::default(),
         };
         assert!((r.ber() - 1e-3).abs() < 1e-12);
         assert!(!r.error_free());
+    }
+
+    #[test]
+    fn align_overlap_is_lag_invariant() {
+        // Idle (all-zero) data whose last three sent bits are high. With
+        // per-lag overlaps, lag 3's comparison silently dropped exactly
+        // those trailing sent bits and won with zero errors even though
+        // nothing supports a lag. Scoring every lag over a common span
+        // keeps lag 0 and reports the span that was actually compared.
+        let mut sent = BitVec::from_bools(&[false; 400]);
+        for i in 397..400 {
+            sent.set(i, true);
+        }
+        let recv = BitVec::from_bools(&[false; 400]);
+        let (lag, errors, overlap) = SerdesLink::align(&sent, &recv, 64);
+        assert_eq!(lag, 0, "no evidence for any lag");
+        assert_eq!(errors, 0);
+        assert_eq!(overlap, 400 - 64 - 3, "common span excludes the tail");
+    }
+
+    #[test]
+    fn align_finds_true_lag_on_shifted_stream() {
+        let pattern: Vec<bool> = PrbsGenerator::new(PrbsOrder::Prbs15).take_bits(600);
+        let sent = BitVec::from_bools(&pattern);
+        for true_lag in 0..4usize {
+            let mut shifted = vec![false; true_lag];
+            shifted.extend_from_slice(&pattern[..600 - true_lag]);
+            let recv = BitVec::from_bools(&shifted);
+            let (lag, errors, _) = SerdesLink::align(&sent, &recv, 64);
+            assert_eq!(lag, true_lag);
+            assert_eq!(errors, 0, "lag {true_lag} must align cleanly");
+        }
+    }
+
+    #[test]
+    fn align_degenerate_spans_report_zero_bits() {
+        let sent = BitVec::from_bools(&[true; 10]);
+        let recv = BitVec::from_bools(&[true; 10]);
+        let (lag, errors, overlap) = SerdesLink::align(&sent, &recv, 10);
+        assert_eq!((lag, errors, overlap), (0, 0, 0));
+    }
+
+    #[test]
+    fn oversized_settling_window_reports_zero_compared_bits() {
+        // A settling skip beyond the whole stream used to underflow the
+        // compared-bit count (and the align loop returned u64::MAX
+        // errors). It must degrade to "nothing compared" instead.
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::emib(3.0);
+        cfg.cdr.window = 512; // skip = 1024 > 2 frames = 512 bits
+        let link = SerdesLink::new(cfg);
+        let report = link.run_frames(&prbs_frames(2), 1).expect("runs");
+        assert_eq!(report.bits, 0, "nothing survives the settling skip");
+        assert_eq!(report.bit_errors, 0);
+    }
+
+    #[test]
+    fn frames_correct_reflects_captured_output() {
+        // score_frames counts only frames the deserializer produced;
+        // the old scorer could report every frame correct whenever the
+        // post-skip error count happened to be zero, captured or not.
+        let frames = prbs_frames(3);
+        // Deserializer emitted frame 0 intact, frame 1 corrupted inside
+        // the compared span, and 100 bits of frame 2.
+        let mut bad = frames[1];
+        bad[3] ^= 0x10;
+        let got = vec![frames[0], bad];
+        let partial = (frames[2], 100);
+        let correct = SerdesLink::score_frames(&frames, &got, partial, 64, 700);
+        // Frame 0 matches, frame 1 differs at a scored bit, frame 2's
+        // captured prefix (bits 512..612, inside [64, 764)) matches.
+        assert_eq!(correct, 2);
+        // Same situation but the corruption sits inside the settling
+        // window: the frame is not blamed for unscored bits.
+        let mut settling_bad = frames[0];
+        settling_bad[0] ^= 0x1; // bit 0 < skip = 64
+        let got = vec![settling_bad, frames[1]];
+        let correct = SerdesLink::score_frames(&frames, &got, (frames[2], 100), 64, 700);
+        assert_eq!(correct, 3);
+        // A frame that was never captured can never count.
+        let correct = SerdesLink::score_frames(&frames, &[], ([0u32; LANES], 0), 64, 700);
+        assert_eq!(correct, 0);
     }
 
     #[test]

@@ -107,6 +107,23 @@ impl PrbsGenerator {
     pub fn take_bits(&mut self, n: usize) -> Vec<bool> {
         (0..n).map(|_| self.next_bit()).collect()
     }
+
+    /// Produces `n` bits as a packed bitstream (the hot-path variant of
+    /// [`Self::take_bits`]: one word write per 64 bits).
+    pub fn take_bitvec(&mut self, n: usize) -> crate::bitstream::BitVec {
+        let mut bv = crate::bitstream::BitVec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(64);
+            let mut word = 0u64;
+            for i in 0..chunk {
+                word |= (self.next_bit() as u64) << i;
+            }
+            bv.push_word(word, chunk);
+            remaining -= chunk;
+        }
+        bv
+    }
 }
 
 impl Iterator for PrbsGenerator {
@@ -296,6 +313,17 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_seed_rejected() {
         let _ = PrbsGenerator::with_seed(PrbsOrder::Prbs31, 0);
+    }
+
+    #[test]
+    fn take_bitvec_matches_take_bits() {
+        for n in [0usize, 1, 63, 64, 65, 1_000] {
+            let mut a = PrbsGenerator::new(PrbsOrder::Prbs15);
+            let mut b = PrbsGenerator::new(PrbsOrder::Prbs15);
+            assert_eq!(a.take_bitvec(n).to_bools(), b.take_bits(n), "n = {n}");
+            // Generators stay in lockstep afterwards.
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ([`serializer_design`]) that the flow pushes to layout for the
 //! paper's area/power breakdown (Figs. 10–11).
 
+use crate::bitstream::BitVec;
 use openserdes_flow::ir::Design;
 
 /// Number of parallel input streams (lanes).
@@ -24,6 +25,16 @@ pub fn frame_to_bits(frame: &Frame) -> Vec<bool> {
     (0..FRAME_BITS)
         .map(|i| frame[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1)
         .collect()
+}
+
+/// Flattens a frame into a packed bitstream in serial bit order (the
+/// hot-path variant of [`frame_to_bits`]: eight word writes per frame).
+pub fn frame_to_bitvec(frame: &Frame) -> BitVec {
+    let mut bv = BitVec::with_capacity(FRAME_BITS);
+    for &w in frame {
+        bv.push_word(w as u64, WORD_BITS);
+    }
+    bv
 }
 
 /// Packs serial bits (lane 0 LSB first) back into a frame.
@@ -101,6 +112,19 @@ impl Serializer {
             .map(|_| self.tick().expect("busy for a full frame"))
             .collect()
     }
+
+    /// Packed fast path of [`Self::serialize`]: appends the frame's
+    /// bits to `out` one lane word at a time, leaving the FSM in the
+    /// same end state as 256 ticks would (idle, frame counted).
+    pub fn serialize_into(&mut self, frame: Frame, out: &mut BitVec) {
+        self.bank = frame;
+        for &w in &frame {
+            out.push_word(w as u64, WORD_BITS);
+        }
+        self.index = FRAME_BITS;
+        self.active = false;
+        self.frames_sent += 1;
+    }
 }
 
 /// Emits the serializer as synthesizable RTL: a 256-bit parallel-load
@@ -119,7 +143,11 @@ pub fn serializer_design() -> Design {
     // Bank: parallel load, else shift toward bit 0 (zero backfill).
     let zero_bit = d.constant(false);
     for i in 0..FRAME_BITS {
-        let shifted_in = if i + 1 < FRAME_BITS { bank[i + 1] } else { zero_bit };
+        let shifted_in = if i + 1 < FRAME_BITS {
+            bank[i + 1]
+        } else {
+            zero_bit
+        };
         let shifted = d.mux(bank[i], shifted_in, active);
         let next = d.mux(shifted, data[i], load);
         d.connect_reg(bank[i], next);
@@ -187,6 +215,25 @@ mod tests {
     }
 
     #[test]
+    fn packed_serialization_matches_fsm() {
+        let f = test_frame();
+        let mut a = Serializer::new();
+        let mut b = Serializer::new();
+        let ticked = a.serialize(f);
+        let mut packed = BitVec::new();
+        b.serialize_into(f, &mut packed);
+        assert_eq!(packed.to_bools(), ticked);
+        assert_eq!(frame_to_bitvec(&f).to_bools(), ticked);
+        // FSM end state matches too.
+        assert_eq!(a, b);
+        assert_eq!(b.frames_sent(), 1);
+        assert!(!b.is_busy());
+        // Appending a second frame continues the same stream.
+        b.serialize_into(f, &mut packed);
+        assert_eq!(packed.len(), 2 * FRAME_BITS);
+    }
+
+    #[test]
     fn reload_mid_frame_restarts() {
         let mut s = Serializer::new();
         s.load([0xFFFF_FFFF; LANES]);
@@ -250,9 +297,7 @@ mod tests {
     #[test]
     fn rtl_synthesizes_to_flop_dominated_netlist() {
         let design = serializer_design();
-        let lib = openserdes_pdk::library::Library::sky130(
-            openserdes_pdk::corner::Pvt::nominal(),
-        );
+        let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
         let res = openserdes_flow::synthesize(&design, &lib).expect("synthesizable");
         // 256 bank + 8 counter + 1 active = 265 flops.
         assert_eq!(res.netlist.flop_count(), 265);

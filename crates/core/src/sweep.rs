@@ -12,11 +12,14 @@
 //! Agreement between the two validates the behavioural model.
 
 use crate::ber::BerTest;
+use crate::bitstream::BitVec;
 use crate::error::LinkError;
 use crate::link::LinkConfig;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Volt};
 use openserdes_phy::{ChannelModel, FrontEndConfig, RxFrontEnd};
+
+pub mod parallel;
 
 /// One point of the Fig. 9 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,11 +61,7 @@ pub fn sensitivity_sweep(pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, L
 /// # Errors
 ///
 /// Propagates link failures.
-pub fn max_loss_bisect(
-    base: &LinkConfig,
-    frames: usize,
-    tol_db: f64,
-) -> Result<f64, LinkError> {
+pub fn max_loss_bisect(base: &LinkConfig, frames: usize, tol_db: f64) -> Result<f64, LinkError> {
     let mut lo = 0.0f64; // known good
     let mut hi = 60.0f64; // known bad
     let error_free = |db: f64| -> Result<bool, LinkError> {
@@ -120,83 +119,121 @@ pub fn bathtub(
     phases: usize,
     seed: u64,
 ) -> Result<Vec<BathtubPoint>, LinkError> {
+    let (bits, model) = bathtub_setup(config, nbits)?;
+    Ok((0..phases)
+        .map(|k| bathtub_point(&bits, &model, k, phases, seed))
+        .collect())
+}
+
+/// The per-UI statistics one bathtub needs, extracted once so each phase
+/// (and each parallel worker) shares the identical model.
+#[derive(Debug, Clone, Copy)]
+struct BathtubModel {
+    flip: f64,
+    rj_ui: f64,
+    dj_ui: f64,
+    blur_ui: f64,
+}
+
+fn bathtub_setup(config: &LinkConfig, nbits: usize) -> Result<(BitVec, BathtubModel), LinkError> {
     use crate::prbs::{PrbsGenerator, PrbsOrder};
-    use openserdes_phy::{q_function, AnalogLink, BehavioralLink};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use openserdes_phy::{AnalogLink, BehavioralLink};
 
     let analog = AnalogLink::paper_default(config.pvt, config.channel.clone());
     let behavioural = BehavioralLink::from_analog(&analog, config.data_rate)?;
-    let margin = behavioural.margin().value();
-    let sigma_n = config.channel.noise_sigma.value().max(1e-9);
-    let flip = if margin <= 0.0 {
-        0.5
-    } else {
-        q_function(margin / sigma_n)
-    };
     let ui = 1.0 / config.data_rate.value();
-    let rj_ui = config.channel.rj_sigma.value() / ui;
-    let dj_ui = 0.5 * config.channel.dj_pp.value() / ui;
-    // Finite transition time of the restored edge at the sampler: within
-    // this window around a data edge the slicer output is indeterminate
-    // (the restored rise/fall occupies ~15 % of the UI at 2 Gb/s).
-    let blur_ui = 0.15;
+    let model = BathtubModel {
+        // Edge jitter is modelled explicitly per UI below, so the flip
+        // probability is the noise-only one.
+        flip: behavioural.flip_probability(),
+        rj_ui: config.channel.rj_sigma.value() / ui,
+        dj_ui: 0.5 * config.channel.dj_pp.value() / ui,
+        // Finite transition time of the restored edge at the sampler:
+        // within this window around a data edge the slicer output is
+        // indeterminate (the restored rise/fall occupies ~15 % of the UI
+        // at 2 Gb/s).
+        blur_ui: 0.15,
+    };
+    let bits = PrbsGenerator::new(PrbsOrder::Prbs31).take_bitvec(nbits);
+    Ok((bits, model))
+}
 
-    let bits = PrbsGenerator::new(PrbsOrder::Prbs31).take_bits(nbits);
-    let mut out = Vec::with_capacity(phases);
-    for k in 0..phases {
-        let phase = (k as f64 + 0.5) / phases as f64;
-        let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
-        let mut errors = 0u64;
-        for i in 1..bits.len() {
-            // The edge ahead of bit i sits at offset `jitter` into the UI.
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen::<f64>();
-            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            let jitter = rj_ui * gauss
-                + dj_ui * (2.0 * std::f64::consts::PI * 0.01 * i as f64).sin();
-            // Distance to the nearest data edge (leading edge of this UI
-            // or trailing edge into the next one), where an edge exists.
-            let lead = (bits[i - 1] != bits[i]).then_some(phase - jitter);
-            let trail = (i + 1 < bits.len() && bits[i] != bits[i + 1])
-                .then_some(phase - (1.0 + jitter));
-            let in_blur = |d: f64| d.abs() < blur_ui / 2.0;
-            let sampled = match (lead, trail) {
-                (Some(d), _) if in_blur(d) => rng.gen::<bool>().then_some(bits[i - 1]),
-                (_, Some(d)) if in_blur(d) => rng.gen::<bool>().then_some(bits[i + 1]),
-                (Some(d), _) if d < 0.0 => Some(bits[i - 1]),
-                (_, Some(d)) if d > 0.0 => Some(bits[i + 1]),
-                _ => Some(bits[i]),
-            };
-            let sampled = sampled.unwrap_or(bits[i]);
-            let noise_flip = rng.gen::<f64>() < flip;
-            if (sampled != bits[i]) ^ noise_flip {
-                errors += 1;
-            }
+/// One bathtub phase. The RNG is derived from `seed` and the phase index
+/// alone ([`parallel::derive_seed`]), so any execution order — or a
+/// parallel fan-out — produces the identical point.
+fn bathtub_point(
+    bits: &BitVec,
+    model: &BathtubModel,
+    k: usize,
+    phases: usize,
+    seed: u64,
+) -> BathtubPoint {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let phase = (k as f64 + 0.5) / phases as f64;
+    let mut rng = StdRng::seed_from_u64(parallel::derive_seed(seed, k));
+    let mut errors = 0u64;
+    for i in 1..bits.len() {
+        // The edge ahead of bit i sits at offset `jitter` into the UI.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let jitter = model.rj_ui * gauss
+            + model.dj_ui * (2.0 * std::f64::consts::PI * 0.01 * i as f64).sin();
+        // Distance to the nearest data edge (leading edge of this UI
+        // or trailing edge into the next one), where an edge exists.
+        let lead = (bits.get(i - 1) != bits.get(i)).then_some(phase - jitter);
+        let trail = (i + 1 < bits.len() && bits.get(i) != bits.get(i + 1))
+            .then_some(phase - (1.0 + jitter));
+        let in_blur = |d: f64| d.abs() < model.blur_ui / 2.0;
+        let sampled = match (lead, trail) {
+            (Some(d), _) if in_blur(d) => rng.gen::<bool>().then_some(bits.get(i - 1)),
+            (_, Some(d)) if in_blur(d) => rng.gen::<bool>().then_some(bits.get(i + 1)),
+            (Some(d), _) if d < 0.0 => Some(bits.get(i - 1)),
+            (_, Some(d)) if d > 0.0 => Some(bits.get(i + 1)),
+            _ => Some(bits.get(i)),
+        };
+        let sampled = sampled.unwrap_or_else(|| bits.get(i));
+        let noise_flip = rng.gen::<f64>() < model.flip;
+        if (sampled != bits.get(i)) ^ noise_flip {
+            errors += 1;
         }
-        out.push(BathtubPoint {
-            phase_ui: phase,
-            ber: errors as f64 / (bits.len() - 1) as f64,
-        });
     }
-    Ok(out)
+    BathtubPoint {
+        phase_ui: phase,
+        ber: errors as f64 / (bits.len() - 1) as f64,
+    }
 }
 
 /// Horizontal eye opening at a BER target: the widest contiguous span of
 /// bathtub phases at or below `target` BER, in UI fractions.
+///
+/// The bathtub is circular — phase 0 and phase 1 are the same data edge
+/// — so a clean span may wrap around the end of the curve (an eye whose
+/// centre sits near a phase boundary). Wrapped runs are joined.
 pub fn eye_width_at(curve: &[BathtubPoint], target: f64) -> f64 {
-    let step = 1.0 / curve.len().max(1) as f64;
+    let n = curve.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let step = 1.0 / n as f64;
+    if curve.iter().all(|p| p.ber <= target) {
+        return 1.0;
+    }
+    // Scan two concatenated periods; since at least one point is above
+    // target, no run can exceed one period.
     let mut best = 0usize;
     let mut run = 0usize;
-    for p in curve {
-        if p.ber <= target {
+    for i in 0..2 * n {
+        if curve[i % n].ber <= target {
             run += 1;
             best = best.max(run);
         } else {
             run = 0;
         }
     }
-    best as f64 * step
+    best.min(n) as f64 * step
 }
 
 #[cfg(test)]
@@ -233,9 +270,8 @@ mod tests {
     fn bisected_loss_agrees_with_model() {
         let base = LinkConfig::paper_default();
         let measured = max_loss_bisect(&base, 8, 0.5).expect("bisects");
-        let model = sensitivity_sweep(Pvt::nominal(), &[base.data_rate])
-            .expect("sweeps")[0]
-            .max_loss_db;
+        let model =
+            sensitivity_sweep(Pvt::nominal(), &[base.data_rate]).expect("sweeps")[0].max_loss_db;
         assert!(
             (measured - model).abs() < 4.0,
             "measured {measured:.1} dB vs model {model:.1} dB"
@@ -289,6 +325,29 @@ mod tests {
         assert!((eye_width_at(&c, 1e-3) - 0.6).abs() < 1e-12);
         let closed = mk(&[0.5, 0.5]);
         assert_eq!(eye_width_at(&closed, 1e-3), 0.0);
+        assert_eq!(eye_width_at(&[], 1e-3), 0.0);
+    }
+
+    #[test]
+    fn eye_width_wraps_around_phase_zero() {
+        let mk = |bers: &[f64]| -> Vec<BathtubPoint> {
+            bers.iter()
+                .enumerate()
+                .map(|(i, &ber)| BathtubPoint {
+                    phase_ui: i as f64 / bers.len() as f64,
+                    ber,
+                })
+                .collect()
+        };
+        // The eye centre straddles phase 0: two clean points at the
+        // start and one at the end form a single contiguous 3-point
+        // span on the circular phase axis. A linear scan saw two runs
+        // of 2 and 1 and underreported the eye as 0.4 UI.
+        let c = mk(&[1e-6, 1e-6, 0.5, 0.5, 1e-6]);
+        assert!((eye_width_at(&c, 1e-3) - 0.6).abs() < 1e-12);
+        // A fully clean curve is one whole UI, not an unbounded run.
+        let open = mk(&[1e-6, 1e-6, 1e-6]);
+        assert_eq!(eye_width_at(&open, 1e-3), 1.0);
     }
 
     #[test]

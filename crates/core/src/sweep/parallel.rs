@@ -1,0 +1,355 @@
+//! Parallel sweep engine.
+//!
+//! Monte-Carlo sweeps — bathtub phases, bisection probes, data-rate
+//! points, PVT corners — are embarrassingly parallel *if* every work
+//! item owns its randomness. The engine here guarantees that:
+//!
+//! * every item derives its own RNG stream from the caller's seed and
+//!   the item index alone ([`derive_seed`], the same derivation the
+//!   sequential code uses), and
+//! * results come back in input order, regardless of which worker
+//!   finished first.
+//!
+//! Consequently each `*_parallel` function is **bit-identical** to its
+//! sequential counterpart for the same seed — parallelism changes wall
+//! time, never results. [`max_loss_bisect_parallel`] keeps that promise
+//! for an inherently sequential loop by *speculating*: it evaluates the
+//! whole midpoint tree the bisection could visit next and then walks it,
+//! so the bracket sequence is exactly the sequential one.
+//!
+//! Built on `std::thread::scope` — no runtime dependency.
+
+use super::SweepPoint;
+use crate::ber::BerTest;
+use crate::error::LinkError;
+use crate::link::LinkConfig;
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::units::Hertz;
+use openserdes_phy::ChannelModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Derives work item `k`'s RNG seed from the run seed. This is the
+/// contract the sequential sweeps already use (a Weyl-style odd
+/// multiplier decorrelates neighbouring indices); parallel fan-out keeps
+/// it so each item's random stream is identical either way.
+pub fn derive_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// Worker count: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on `threads` scoped workers, returning results
+/// in input order. Workers pull indices from a shared atomic counter
+/// (work stealing), so uneven item costs still balance.
+pub fn map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        mine.push((i, f(i, &items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`map_with_threads`] on every available core.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with_threads(items, default_threads(), f)
+}
+
+/// Parallel [`super::bathtub`]: fans the phase points across workers.
+/// Seed-identical to the sequential curve — each phase's RNG is derived
+/// from `(seed, phase index)` in both.
+///
+/// # Errors
+///
+/// Propagates solver failures from the front-end characterization.
+pub fn bathtub_parallel(
+    config: &LinkConfig,
+    nbits: usize,
+    phases: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<super::BathtubPoint>, LinkError> {
+    let (bits, model) = super::bathtub_setup(config, nbits)?;
+    let ks: Vec<usize> = (0..phases).collect();
+    Ok(map_with_threads(&ks, threads, |_, &k| {
+        super::bathtub_point(&bits, &model, k, phases, seed)
+    }))
+}
+
+/// Parallel [`super::max_loss_bisect`], bit-identical to the sequential
+/// bisection for any thread count.
+///
+/// A bisection is a chain of dependent decisions, but each decision only
+/// picks one of two precomputable midpoints — so the next `d` levels
+/// form a binary tree of `2^d − 1` candidate probe points, all known in
+/// advance. The engine evaluates the whole tree concurrently, then walks
+/// it with the results; the walked path visits exactly the probes the
+/// sequential loop would have, in the same arithmetic (`0.5 * (lo +
+/// hi)` recursion), so the final bracket matches to the last bit. Probes
+/// off the walked path are wasted work bought for wall-time — errors on
+/// them are ignored, just as the sequential loop never sees them.
+///
+/// # Errors
+///
+/// Propagates link failures from the probes the bisection actually uses.
+pub fn max_loss_bisect_parallel(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<f64, LinkError> {
+    let error_free = |db: f64| -> Result<bool, LinkError> {
+        let mut cfg = base.clone();
+        cfg.channel = ChannelModel {
+            attenuation_db: db,
+            ..base.channel.clone()
+        };
+        BerTest::prbs31(cfg, frames).is_error_free()
+    };
+    let (mut lo, mut hi) = (0.0f64, 60.0f64);
+    if !error_free(lo)? {
+        return Ok(0.0);
+    }
+    if error_free(hi)? {
+        return Ok(hi);
+    }
+    // Speculation depth: enough tree levels to occupy the workers, but
+    // never deeper than the halvings the bracket still needs.
+    let depth_for = |span: f64| -> u32 {
+        let remaining = (span / tol_db).log2().ceil().max(1.0) as u32;
+        let mut d = 0u32;
+        while (1usize << (d + 1)) - 1 <= threads.max(1) {
+            d += 1;
+        }
+        d.max(1).min(remaining)
+    };
+    while hi - lo > tol_db {
+        let depth = depth_for(hi - lo);
+        // Heap-ordered midpoint tree: node i splits its bracket at
+        // 0.5 * (lo + hi); child 2i+1 takes the lower half, 2i+2 the
+        // upper. fill() recurses with the same expression the
+        // sequential loop uses, so probe values are bit-identical.
+        let nodes = (1usize << depth) - 1;
+        let mut probes = vec![0.0f64; nodes];
+        fn fill(probes: &mut [f64], i: usize, lo: f64, hi: f64) {
+            if i >= probes.len() {
+                return;
+            }
+            let mid = 0.5 * (lo + hi);
+            probes[i] = mid;
+            fill(probes, 2 * i + 1, lo, mid);
+            fill(probes, 2 * i + 2, mid, hi);
+        }
+        fill(&mut probes, 0, lo, hi);
+        let mut verdicts: Vec<Option<Result<bool, LinkError>>> =
+            map_with_threads(&probes, threads, |_, &db| Some(error_free(db)))
+                .into_iter()
+                .collect();
+        let mut node = 0usize;
+        while node < nodes {
+            let mid = probes[node];
+            match verdicts[node].take().expect("each node visited once")? {
+                true => {
+                    lo = mid;
+                    node = 2 * node + 2;
+                }
+                false => {
+                    hi = mid;
+                    node = 2 * node + 1;
+                }
+            }
+            if hi - lo <= tol_db {
+                break;
+            }
+        }
+    }
+    Ok(lo)
+}
+
+/// Maximum channel loss at each data rate, the points fanned across
+/// workers. Order follows `rates`; each point runs the *sequential*
+/// bisection, so results equal a serial loop over [`super::max_loss_bisect`].
+///
+/// # Errors
+///
+/// Propagates the first link failure in rate order.
+pub fn rate_sweep_parallel(
+    base: &LinkConfig,
+    rates: &[Hertz],
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, LinkError> {
+    use openserdes_phy::{FrontEndConfig, RxFrontEnd};
+    let results = map_with_threads(rates, threads, |_, &rate| {
+        let mut cfg = base.clone();
+        cfg.data_rate = rate;
+        let max_loss_db = super::max_loss_bisect(&cfg, frames, tol_db)?;
+        let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
+        Ok(SweepPoint {
+            data_rate: rate,
+            sensitivity: fe.sensitivity(rate)?,
+            max_loss_db,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// One corner sweep entry: the PVT point and its measured loss budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerPoint {
+    /// The process/voltage/temperature point.
+    pub pvt: Pvt,
+    /// Maximum error-free channel attenuation at that corner.
+    pub max_loss_db: f64,
+}
+
+/// Maximum channel loss at the three classic PVT corners (tt/ss/ff),
+/// fanned across workers, in `[nominal, worst_case, best_case]` order.
+///
+/// # Errors
+///
+/// Propagates the first link failure in corner order.
+pub fn corner_sweep_parallel(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<Vec<CornerPoint>, LinkError> {
+    let corners = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()];
+    let results = map_with_threads(&corners, threads, |_, &pvt| {
+        let mut cfg = base.clone();
+        cfg.pvt = pvt;
+        Ok(CornerPoint {
+            pvt,
+            max_loss_db: super::max_loss_bisect(&cfg, frames, tol_db)?,
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{bathtub, max_loss_bisect};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = map_with_threads(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(map(&empty, |_, &x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_indices() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        let s2 = derive_seed(42, 2);
+        assert_eq!(s0, 42, "index 0 keeps the run seed");
+        assert!(s0 != s1 && s1 != s2 && s0 != s2);
+    }
+
+    #[test]
+    fn parallel_bathtub_is_seed_identical() {
+        let cfg = LinkConfig::paper_default();
+        let seq = bathtub(&cfg, 4_000, 12, 9).expect("sequential");
+        for threads in [1, 2, 4] {
+            let par = bathtub_parallel(&cfg, 4_000, 12, 9, threads).expect("parallel");
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bisect_is_seed_identical() {
+        let base = LinkConfig::paper_default();
+        let seq = max_loss_bisect(&base, 4, 1.0).expect("sequential");
+        for threads in [1, 3, 4] {
+            let par = max_loss_bisect_parallel(&base, 4, 1.0, threads).expect("parallel");
+            assert_eq!(
+                par.to_bits(),
+                seq.to_bits(),
+                "threads = {threads}: {par} vs {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_sweep_orders_and_ranks_corners() {
+        let base = LinkConfig::paper_default();
+        let pts = corner_sweep_parallel(&base, 4, 1.0, 4).expect("runs");
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].pvt, Pvt::nominal());
+        assert_eq!(pts[1].pvt, Pvt::worst_case());
+        assert_eq!(pts[2].pvt, Pvt::best_case());
+        assert!(
+            pts[1].max_loss_db <= pts[0].max_loss_db,
+            "ss must not beat tt: {} vs {}",
+            pts[1].max_loss_db,
+            pts[0].max_loss_db
+        );
+    }
+
+    #[test]
+    fn rate_sweep_matches_pointwise_bisection() {
+        let base = LinkConfig::paper_default();
+        let rates = [Hertz::from_ghz(1.0), Hertz::from_ghz(2.0)];
+        let pts = rate_sweep_parallel(&base, &rates, 4, 1.0, 4).expect("runs");
+        assert_eq!(pts.len(), 2);
+        for (pt, &rate) in pts.iter().zip(&rates) {
+            let mut cfg = base.clone();
+            cfg.data_rate = rate;
+            let seq = max_loss_bisect(&cfg, 4, 1.0).expect("sequential");
+            assert_eq!(pt.data_rate, rate);
+            assert_eq!(pt.max_loss_db.to_bits(), seq.to_bits());
+        }
+        assert!(
+            pts[1].max_loss_db <= pts[0].max_loss_db,
+            "loss falls with rate"
+        );
+    }
+}

@@ -172,15 +172,17 @@ mod tests {
                 sim.tick();
             }
             let got: Vec<bool> = data_out.iter().map(|&s| sim.get(s)).collect();
-            assert_eq!(crate::serializer::bits_to_frame(&got), frame, "round {round}");
+            assert_eq!(
+                crate::serializer::bits_to_frame(&got),
+                frame,
+                "round {round}"
+            );
         }
     }
 
     #[test]
     fn top_synthesizes_as_one_block() {
-        let lib = openserdes_pdk::library::Library::sky130(
-            openserdes_pdk::corner::Pvt::nominal(),
-        );
+        let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
         let res = openserdes_flow::synthesize(&serdes_digital_top(5), &lib).expect("ok");
         // 265 (ser) + 39 (cdr) + 265 (des) + 14 (scan) = 583 flops.
         assert_eq!(res.netlist.flop_count(), 583);

@@ -1,0 +1,239 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the benchmark-harness subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_with_input`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it reports the median of
+//! a small fixed number of timed iterations (bounded by the group's
+//! `measurement_time`), printed one line per benchmark — enough to track
+//! the perf trajectory in BENCH_*.json without any dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for compatibility: benches written against real criterion
+/// often use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Timing callback target passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    fn new(budget: Duration, max_samples: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            budget,
+            max_samples,
+        }
+    }
+
+    /// Times `f`: one untimed warm-up call, then repeated timed calls
+    /// until the sample target or the time budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples
+            && (self.samples.is_empty() || started.elapsed() < self.budget)
+        {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        self.samples.sort();
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn run_one(label: &str, budget: Duration, max_samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(budget, max_samples);
+    f(&mut b);
+    let n = b.samples.len();
+    println!(
+        "bench {label:<48} median {:>12.3?}  ({n} samples)",
+        b.median()
+    );
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, Duration::from_secs(1), 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An identifier with a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up here is a single untimed
+    /// call per benchmark regardless of the requested duration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.measurement_time, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .measurement_time(Duration::from_secs(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                black_box(x * 2)
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+        assert_eq!(BenchmarkId::new("f", 5).to_string(), "f/5");
+    }
+}

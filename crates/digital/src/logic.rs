@@ -247,8 +247,7 @@ mod tests {
             let n = function.input_count();
             for bits in 0..(1u32 << n) {
                 let bools: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-                let logics: Vec<Logic> =
-                    bools.iter().map(|&b| Logic::from_bool(b)).collect();
+                let logics: Vec<Logic> = bools.iter().map(|&b| Logic::from_bool(b)).collect();
                 assert_eq!(
                     Logic::eval_fn(function, &logics),
                     Logic::from_bool(function.eval(&bools)),

@@ -84,7 +84,10 @@ impl<'a> EventSim<'a> {
             let mut load = wireload.capacitance(sinks.len()).value();
             for &sink in sinks {
                 let sc = library
-                    .cell(netlist.instance(sink).function, netlist.instance(sink).drive)
+                    .cell(
+                        netlist.instance(sink).function,
+                        netlist.instance(sink).drive,
+                    )
                     .expect("netlist uses library cells");
                 load += sc.input_cap.value();
             }

@@ -106,7 +106,9 @@ impl Design {
 
     /// Declares a bus input `name[0..width]`, LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<Sig> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// A constant signal.
@@ -242,13 +244,7 @@ impl Design {
         let bits: Vec<Sig> = bus
             .iter()
             .enumerate()
-            .map(|(i, &s)| {
-                if value >> i & 1 == 1 {
-                    s
-                } else {
-                    self.not(s)
-                }
-            })
+            .map(|(i, &s)| if value >> i & 1 == 1 { s } else { self.not(s) })
             .collect();
         self.and_reduce(&bits)
     }
@@ -419,9 +415,7 @@ impl Design {
                     let child_sig = Sig(i as u32);
                     match bindings.iter().find(|(c, _)| *c == child_sig) {
                         Some(&(_, bound)) => bound,
-                        None => {
-                            self.input(format!("{prefix}.{}", child.input_names[idx]))
-                        }
+                        None => self.input(format!("{prefix}.{}", child.input_names[idx])),
                     }
                 }
                 NodeOp::Const(v) => self.constant(v),

@@ -138,9 +138,9 @@ pub fn global_route(netlist: &Netlist, placement: &Placement) -> RouteResult {
     // Supply per band: the die width times an assumed 0.46 µm track pitch
     // with ~10 horizontal tracks available per row band across layers.
     let supply = placement.floorplan.width.value() * 10.0;
-    let peak = demand
-        .iter()
-        .fold(0.0f64, |m, &d| m.max(if supply > 0.0 { d / supply } else { 0.0 }));
+    let peak = demand.iter().fold(0.0f64, |m, &d| {
+        m.max(if supply > 0.0 { d / supply } else { 0.0 })
+    });
 
     RouteResult {
         nets,

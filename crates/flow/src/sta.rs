@@ -148,10 +148,7 @@ pub fn analyze(
                 .cell(inst.function, inst.drive)
                 .expect("library cell");
             let seq = cell.seq.expect("flop has seq data");
-            let arc = cell.arc(
-                Time::from_ps(40.0),
-                Farad::new(load[inst.output.index()]),
-            );
+            let arc = cell.arc(Time::from_ps(40.0), Farad::new(load[inst.output.index()]));
             let out = inst.output.index();
             arrival[out] = seq.clk_to_q.value() + wire_delay[out];
             slew[out] = arc.out_slew.value();
@@ -173,10 +170,7 @@ pub fn analyze(
             }
             worst_slew = worst_slew.max(slew[i.index()]);
         }
-        let arc = cell.arc(
-            Time::new(worst_slew),
-            Farad::new(load[inst.output.index()]),
-        );
+        let arc = cell.arc(Time::new(worst_slew), Farad::new(load[inst.output.index()]));
         let out = inst.output.index();
         let t = worst_in + arc.delay.value() + wire_delay[out];
         if t > arrival[out] {
@@ -195,8 +189,7 @@ pub fn analyze(
             let cell = library
                 .cell(inst.function, inst.drive)
                 .expect("library cell");
-            min_arrival[inst.output.index()] =
-                cell.seq.expect("flop").clk_to_q.value();
+            min_arrival[inst.output.index()] = cell.seq.expect("flop").clk_to_q.value();
         }
     }
     for &id in &order {
@@ -297,10 +290,7 @@ pub fn analyze(
         .first()
         .map(|e| e.slack)
         .unwrap_or(Time::new(period));
-    let tns: f64 = endpoints
-        .iter()
-        .map(|e| e.slack.value().min(0.0))
-        .sum();
+    let tns: f64 = endpoints.iter().map(|e| e.slack.value().min(0.0)).sum();
     let violations = endpoints.iter().filter(|e| e.slack.value() < 0.0).count();
     let fmax = if worst_datapath > 0.0 {
         Hertz::new(1.0 / worst_datapath)
@@ -320,15 +310,11 @@ pub fn analyze(
                     break; // reached the launching flop
                 }
                 // Follow the worst input.
-                cursor = inst
-                    .inputs
-                    .iter()
-                    .copied()
-                    .max_by(|a, b| {
-                        arrival[a.index()]
-                            .partial_cmp(&arrival[b.index()])
-                            .expect("finite arrivals")
-                    });
+                cursor = inst.inputs.iter().copied().max_by(|a, b| {
+                    arrival[a.index()]
+                        .partial_cmp(&arrival[b.index()])
+                        .expect("finite arrivals")
+                });
             }
             None => break, // reached a primary input
         }
@@ -388,11 +374,9 @@ mod tests {
     fn violations_appear_at_high_clock() {
         let l = lib();
         let nl = pipeline(30);
-        let slow = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_mhz(100.0)))
-            .expect("ok");
+        let slow = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_mhz(100.0))).expect("ok");
         assert!(slow.clean(), "100 MHz must close on 30 inverters");
-        let fast = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(5.0)))
-            .expect("ok");
+        let fast = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(5.0))).expect("ok");
         assert!(!fast.clean(), "5 GHz must fail on 30 inverters");
         assert!(fast.tns.value() < 0.0);
     }
@@ -401,8 +385,7 @@ mod tests {
     fn fmax_consistent_with_slack() {
         let l = lib();
         let nl = pipeline(10);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
-            .expect("ok");
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
         // Exactly at fmax the design should be (just) clean.
         let at_fmax = analyze(
             &nl,
@@ -426,8 +409,7 @@ mod tests {
     fn critical_path_traverses_the_chain() {
         let l = lib();
         let nl = pipeline(8);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
-            .expect("ok");
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
         // Path = launch flop + 8 inverters.
         assert_eq!(r.critical_path.len(), 9);
         let first = nl.instance(r.critical_path[0]);
@@ -448,8 +430,7 @@ mod tests {
     fn endpoint_list_sorted_by_slack() {
         let l = lib();
         let nl = pipeline(12);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0)))
-            .expect("ok");
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0))).expect("ok");
         for w in r.endpoints.windows(2) {
             assert!(w[0].slack <= w[1].slack);
         }
@@ -461,10 +442,19 @@ mod tests {
         // clk→Q (150 ps) far exceeds hold (20 ps): back-to-back flops
         // are hold-clean by construction in this library.
         let l = lib();
-        let r = analyze(&pipeline(0), &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
-            .expect("ok");
+        let r = analyze(
+            &pipeline(0),
+            &l,
+            None,
+            StaConfig::at_clock(Hertz::from_ghz(1.0)),
+        )
+        .expect("ok");
         assert_eq!(r.hold_violations, 0);
-        assert!(r.hold_wns.ps() > 50.0, "hold slack = {} ps", r.hold_wns.ps());
+        assert!(
+            r.hold_wns.ps() > 50.0,
+            "hold slack = {} ps",
+            r.hold_wns.ps()
+        );
     }
 
     #[test]
@@ -486,8 +476,7 @@ mod tests {
             .map(|(id, _)| id)
             .nth(1)
             .expect("capture flop");
-        let tight = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0)))
-            .expect("ok");
+        let tight = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0))).expect("ok");
         assert!(!tight.clean(), "30 inverters fail at 2 GHz single-cycle");
         let mut cfg = StaConfig::at_clock(Hertz::from_ghz(2.0));
         cfg.multicycle = vec![(flop, 8)];
@@ -508,8 +497,7 @@ mod tests {
         let b = nl.add_input("b");
         let y = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
         nl.mark_output("y", y);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0)))
-            .expect("ok");
+        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
         assert_eq!(r.endpoints.len(), 1);
         assert!(r.endpoints[0].name.starts_with("port:"));
         assert!(r.clean());

@@ -224,11 +224,7 @@ pub fn synthesize(design: &Design, library: &Library) -> Result<SynthResult, Net
                 folder.xor(a, b)
             }
             NodeOp::Mux { a, b, sel } => {
-                let (a, b, sel) = (
-                    fold_of[a.index()],
-                    fold_of[b.index()],
-                    fold_of[sel.index()],
-                );
+                let (a, b, sel) = (fold_of[a.index()], fold_of[b.index()], fold_of[sel.index()]);
                 folder.mux(a, b, sel)
             }
             NodeOp::RegQ(idx) => folder.intern(FNode::RegQ(idx)),
@@ -307,13 +303,15 @@ pub fn synthesize(design: &Design, library: &Library) -> Result<SynthResult, Net
 
     impl Emitter<'_> {
         fn const_net(&mut self, v: bool) -> NetId {
-            let slot = if v { &mut self.const1 } else { &mut self.const0 };
+            let slot = if v {
+                &mut self.const1
+            } else {
+                &mut self.const0
+            };
             if let Some(n) = *slot {
                 return n;
             }
-            let n = self
-                .nl
-                .add_input(if v { "const1" } else { "const0" });
+            let n = self.nl.add_input(if v { "const1" } else { "const0" });
             *slot = Some(n);
             n
         }
@@ -594,9 +592,7 @@ mod tests {
             }
             gate.tick();
             golden.tick();
-            for ((name, net), (gname, gsig)) in
-                res.outputs.iter().zip(design.outputs())
-            {
+            for ((name, net), (gname, gsig)) in res.outputs.iter().zip(design.outputs()) {
                 assert_eq!(name, gname);
                 assert_eq!(
                     gate.value(*net),
@@ -726,11 +722,7 @@ mod tests {
         let res = synthesize(&d, &lib()).expect("ok");
         // Must keep And2 + Inv (no Nand fusion).
         assert_eq!(res.netlist.cell_count(), 2);
-        let funcs: Vec<LogicFn> = res
-            .netlist
-            .instances()
-            .map(|(_, i)| i.function)
-            .collect();
+        let funcs: Vec<LogicFn> = res.netlist.instances().map(|(_, i)| i.function).collect();
         assert!(funcs.contains(&LogicFn::And2));
         assert!(funcs.contains(&LogicFn::Inv));
     }

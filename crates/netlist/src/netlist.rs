@@ -337,8 +337,7 @@ impl Netlist {
         let fanout = self.fanout_table();
         for ni in 0..nets {
             let net = NetId(ni as u32);
-            let read =
-                !fanout[ni].is_empty() || self.outputs.iter().any(|(_, n)| *n == net);
+            let read = !fanout[ni].is_empty() || self.outputs.iter().any(|(_, n)| *n == net);
             if read && drivers[ni].is_empty() && !self.is_primary_input(net) {
                 return Err(NetlistError::UndrivenNet(net));
             }

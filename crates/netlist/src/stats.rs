@@ -45,8 +45,7 @@ impl NetlistStats {
                 .expect("netlist uses library cells");
             area += cell.area.value();
             leakage += cell.leakage_w;
-            pin_cap += cell.input_cap.value() * inst.inputs.len() as f64
-                + cell.clock_cap.value();
+            pin_cap += cell.input_cap.value() * inst.inputs.len() as f64 + cell.clock_cap.value();
             *by_cell.entry(cell.name.clone()).or_default() += 1;
         }
         Self {
@@ -123,8 +122,16 @@ mod tests {
             .unwrap()
             .area
             .value()
-            + lib.cell(LogicFn::Inv, DriveStrength::X1).unwrap().area.value()
-            + lib.cell(LogicFn::Dff, DriveStrength::X1).unwrap().area.value();
+            + lib
+                .cell(LogicFn::Inv, DriveStrength::X1)
+                .unwrap()
+                .area
+                .value()
+            + lib
+                .cell(LogicFn::Dff, DriveStrength::X1)
+                .unwrap()
+                .area
+                .value();
         assert!((s.area.value() - expected).abs() < 1e-9);
     }
 

@@ -232,7 +232,8 @@ impl Library {
                     },
                 );
 
-                let input_cap_ff = r.input_w * k.clamp(1.0, 4.0)
+                let input_cap_ff = r.input_w
+                    * k.clamp(1.0, 4.0)
                     * (0.15 * nmos_params.cox_ff_per_um2 + 2.0 * nmos_params.cov_ff_per_um);
                 let seq = function.is_sequential().then(|| SeqTiming {
                     setup: Time::from_ps(90.0 / pvt.speed_index().max(0.1) * 0.6),
@@ -379,8 +380,14 @@ mod tests {
         let l = lib();
         let load = Farad::from_ff(100.0);
         let slew = Time::from_ps(40.0);
-        let d1 = l.cell(LogicFn::Inv, DriveStrength::X1).unwrap().arc(slew, load);
-        let d8 = l.cell(LogicFn::Inv, DriveStrength::X8).unwrap().arc(slew, load);
+        let d1 = l
+            .cell(LogicFn::Inv, DriveStrength::X1)
+            .unwrap()
+            .arc(slew, load);
+        let d8 = l
+            .cell(LogicFn::Inv, DriveStrength::X8)
+            .unwrap()
+            .arc(slew, load);
         assert!(d8.delay < d1.delay);
         assert!(d8.out_slew < d1.out_slew);
     }
@@ -416,8 +423,14 @@ mod tests {
         let ss = Library::sky130(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0));
         let load = Farad::from_ff(20.0);
         let slew = Time::from_ps(40.0);
-        let d_tt = tt.cell(LogicFn::Nand2, DriveStrength::X2).unwrap().arc(slew, load);
-        let d_ss = ss.cell(LogicFn::Nand2, DriveStrength::X2).unwrap().arc(slew, load);
+        let d_tt = tt
+            .cell(LogicFn::Nand2, DriveStrength::X2)
+            .unwrap()
+            .arc(slew, load);
+        let d_ss = ss
+            .cell(LogicFn::Nand2, DriveStrength::X2)
+            .unwrap()
+            .arc(slew, load);
         assert!(d_ss.delay > d_tt.delay);
     }
 

@@ -228,8 +228,8 @@ impl MosDevice {
 
     /// Total gate capacitance (channel plus both overlaps).
     pub fn gate_cap(&self) -> Farad {
-        let ff = self.w_um
-            * (self.l_um * self.params.cox_ff_per_um2 + 2.0 * self.params.cov_ff_per_um);
+        let ff =
+            self.w_um * (self.l_um * self.params.cox_ff_per_um2 + 2.0 * self.params.cov_ff_per_um);
         Farad::from_ff(ff)
     }
 

@@ -440,11 +440,9 @@ mod tests {
 
     fn linear_table() -> Nldm {
         // delay = 10 + 2*slew + 3*load; out_slew = 5 + slew + load.
-        Nldm::characterize(
-            vec![10.0, 50.0, 100.0],
-            vec![1.0, 10.0, 100.0],
-            |s, l| (10.0 + 2.0 * s + 3.0 * l, 5.0 + s + l),
-        )
+        Nldm::characterize(vec![10.0, 50.0, 100.0], vec![1.0, 10.0, 100.0], |s, l| {
+            (10.0 + 2.0 * s + 3.0 * l, 5.0 + s + l)
+        })
     }
 
     #[test]

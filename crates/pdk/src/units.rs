@@ -497,9 +497,7 @@ mod tests {
 
     #[test]
     fn sum_of_units() {
-        let total: Watt = [Watt::from_mw(4.5), Watt::from_mw(11.2)]
-            .into_iter()
-            .sum();
+        let total: Watt = [Watt::from_mw(4.5), Watt::from_mw(11.2)].into_iter().sum();
         assert!((total.mw() - 15.7).abs() < 1e-9);
     }
 

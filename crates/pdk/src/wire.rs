@@ -190,7 +190,10 @@ mod tests {
         let m = WireloadModel::small_block();
         assert!(m.length(1).value() < m.length(4).value());
         assert!(m.capacitance(1).ff() < m.capacitance(4).ff());
-        assert!(m.resistance(0).value() > 0.0, "base overhead always present");
+        assert!(
+            m.resistance(0).value() > 0.0,
+            "base overhead always present"
+        );
     }
 
     #[test]

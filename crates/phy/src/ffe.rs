@@ -166,7 +166,10 @@ mod tests {
         let levels = ffe.levels(&[false, true, true, true]);
         assert!(levels[1] > levels[2], "transition bit boosted");
         assert!((levels[2] - levels[3]).abs() < 1e-12, "steady state flat");
-        assert!((levels[1] - 1.0).abs() < 1e-12, "transition hits full scale");
+        assert!(
+            (levels[1] - 1.0).abs() < 1e-12,
+            "transition hits full scale"
+        );
         assert!((levels[2] - 0.5).abs() < 1e-12, "repeat at 1−2·post");
     }
 
@@ -221,7 +224,10 @@ mod tests {
         let good = eye_at(0.25);
         let strong = eye_at(0.6);
         assert!(good > weak, "0.25 beats under-equalizing: {good} vs {weak}");
-        assert!(good > strong, "0.25 beats over-equalizing: {good} vs {strong}");
+        assert!(
+            good > strong,
+            "0.25 beats over-equalizing: {good} vs {strong}"
+        );
     }
 
     #[test]

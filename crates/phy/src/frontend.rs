@@ -19,7 +19,9 @@
 use openserdes_analog::primitives::{
     add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
 };
-use openserdes_analog::solver::{dc_operating_point, dc_sweep, transient, SolverError, TransientConfig};
+use openserdes_analog::solver::{
+    dc_operating_point, dc_sweep, transient, SolverError, TransientConfig,
+};
 use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::mos::{MosDevice, MosParams};
@@ -449,4 +451,3 @@ mod tests {
         assert!((50.0..5000.0).contains(&a), "area = {a:.0} µm²");
     }
 }
-

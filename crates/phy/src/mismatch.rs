@@ -112,12 +112,28 @@ pub fn monte_carlo(
         let sr_n = vth_sigma(0.65 * cfg.restorer_scale, 0.15);
         let sr_p = vth_sigma(1.0 * cfg.restorer_scale, 0.15);
         let (gn, gp) = (
-            MosDevice::new(nominal_n.with_vth_offset(gauss(sg_n)), 0.65 * cfg.gain_stage_scale, 0.15),
-            MosDevice::new(nominal_p.with_vth_offset(gauss(sg_p)), 1.0 * cfg.gain_stage_scale, 0.15),
+            MosDevice::new(
+                nominal_n.with_vth_offset(gauss(sg_n)),
+                0.65 * cfg.gain_stage_scale,
+                0.15,
+            ),
+            MosDevice::new(
+                nominal_p.with_vth_offset(gauss(sg_p)),
+                1.0 * cfg.gain_stage_scale,
+                0.15,
+            ),
         );
         let (rn, rp) = (
-            MosDevice::new(nominal_n.with_vth_offset(gauss(sr_n)), 0.65 * cfg.restorer_scale, 0.15),
-            MosDevice::new(nominal_p.with_vth_offset(gauss(sr_p)), 1.0 * cfg.restorer_scale, 0.15),
+            MosDevice::new(
+                nominal_n.with_vth_offset(gauss(sr_n)),
+                0.65 * cfg.restorer_scale,
+                0.15,
+            ),
+            MosDevice::new(
+                nominal_p.with_vth_offset(gauss(sr_p)),
+                1.0 * cfg.restorer_scale,
+                0.15,
+            ),
         );
         let d_gain = switching_threshold(&gn, &gp, vdd) - vm_gain_nom;
         let d_rest = switching_threshold(&rn, &rp, vdd) - vm_rest_nom;

@@ -190,20 +190,39 @@ impl BehavioralLink {
         Volt::new(0.5 * (self.rx_swing().value() - self.rx_sensitivity.value()))
     }
 
-    /// Analytic BER: Gaussian noise against the amplitude margin,
-    /// `Q(margin/σ)`, with jitter folded in as margin erosion.
-    pub fn ber_analytic(&self) -> f64 {
-        let mut margin = self.margin().value();
+    /// Per-sample flip probability from amplitude noise alone,
+    /// `Q(margin/σ)` (0.5 when the eye is closed). No jitter erosion —
+    /// for consumers that model edge jitter explicitly per sample (the
+    /// oversampled CDR path, the bathtub sweep), where folding jitter in
+    /// a second time would double-count it.
+    pub fn flip_probability(&self) -> f64 {
+        let margin = self.margin().value();
+        if margin <= 0.0 {
+            return 0.5;
+        }
+        q_function(margin / self.noise_sigma.value().max(1e-9))
+    }
+
+    /// Per-sample flip probability with RJ + DJ folded into the
+    /// amplitude margin as erosion (`jitter_slope` converts the UI
+    /// fraction the jitter consumes into lost margin) — for consumers
+    /// that do not model edges at all.
+    pub fn flip_probability_jitter_eroded(&self) -> f64 {
         // Jitter erodes margin proportionally to how much of the UI the
         // RMS jitter consumes.
         let jitter_frac = self.channel.rj_sigma.value() / self.ui.value()
             + 0.5 * self.channel.dj_pp.value() / self.ui.value();
-        margin *= (1.0 - self.jitter_slope * jitter_frac).max(0.0);
+        let margin = self.margin().value() * (1.0 - self.jitter_slope * jitter_frac).max(0.0);
         if margin <= 0.0 {
             return 0.5;
         }
-        let sigma = self.noise_sigma.value().max(1e-9);
-        q_function(margin / sigma)
+        q_function(margin / self.noise_sigma.value().max(1e-9))
+    }
+
+    /// Analytic BER: Gaussian noise against the amplitude margin,
+    /// `Q(margin/σ)`, with jitter folded in as margin erosion.
+    pub fn ber_analytic(&self) -> f64 {
+        self.flip_probability_jitter_eroded()
     }
 
     /// Monte-Carlo BER over `n` bits with a seeded PRNG.
@@ -218,9 +237,7 @@ impl BehavioralLink {
         for _ in 0..n {
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = rng.gen::<f64>();
-            let noise = (-2.0 * u1.ln()).sqrt()
-                * (2.0 * std::f64::consts::PI * u2).cos()
-                * sigma;
+            let noise = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma;
             if margin + noise < 0.0 {
                 errors += 1;
             }
@@ -257,7 +274,10 @@ mod tests {
 
     #[test]
     fn ber_estimate_math() {
-        let e = BerEstimate { bits: 1000, errors: 0 };
+        let e = BerEstimate {
+            bits: 1000,
+            errors: 0,
+        };
         assert_eq!(e.ber(), 0.0);
         assert!((e.ber_upper95() - 3e-3).abs() < 1e-9);
         let e = BerEstimate {
@@ -306,10 +326,24 @@ mod tests {
         let l = behavioral(34.0);
         let sim = l.simulate(1_000_000, 7);
         assert_eq!(
-            sim.errors, 0,
+            sim.errors,
+            0,
             "34 dB @ 2 Gb/s must be error-free (margin {})",
             l.margin().value()
         );
+    }
+
+    #[test]
+    fn flip_probabilities_order_sensibly() {
+        let l = behavioral(34.0);
+        assert_eq!(l.ber_analytic(), l.flip_probability_jitter_eroded());
+        assert!(
+            l.flip_probability() <= l.flip_probability_jitter_eroded(),
+            "jitter erosion can only raise the flip probability"
+        );
+        let closed = behavioral(50.0);
+        assert_eq!(closed.flip_probability(), 0.5);
+        assert_eq!(closed.flip_probability_jitter_eroded(), 0.5);
     }
 
     #[test]
@@ -322,8 +356,12 @@ mod tests {
     fn analog_link_round_trip_clean_channel() {
         // Full transistor-level path at 1 Gb/s over a mild channel.
         let link = AnalogLink::paper_default(Pvt::nominal(), ChannelModel::lossy(20.0));
-        let bits = [true, false, true, true, false, false, true, false, true, false];
-        let run = link.transmit(&bits, Time::from_ns(1.0)).expect("transients run");
+        let bits = [
+            true, false, true, true, false, false, true, false, true, false,
+        ];
+        let run = link
+            .transmit(&bits, Time::from_ns(1.0))
+            .expect("transients run");
         let (_, errors) = run.recover(&link.sampler, 3);
         assert_eq!(errors, 0, "clean channel must recover all bits");
     }

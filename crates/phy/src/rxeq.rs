@@ -155,13 +155,7 @@ impl Dfe {
         let phase = 0.75 * ui; // late sampling: post-cursor dominated
         let plain = Dfe { taps: vec![] }.decide(&rx, ui, phase, threshold, bits.len());
         let with = self.decide(&rx, ui, phase, threshold, bits.len());
-        let score = |got: &[bool]| {
-            got.iter()
-                .zip(bits)
-                .skip(8)
-                .filter(|(a, b)| a != b)
-                .count()
-        };
+        let score = |got: &[bool]| got.iter().zip(bits).skip(8).filter(|(a, b)| a != b).count();
         (score(&plain), score(&with))
     }
 }

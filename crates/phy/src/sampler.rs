@@ -124,10 +124,7 @@ mod tests {
         let w = Waveform::nrz(&bits, 1e-9, 50e-12, 0.0, 1.8, 64);
         let out = sampler().sample_stream(&w, 0.5e-9, 1e-9, 4);
         let got: Vec<Option<bool>> = out.into_iter().map(SampleOutcome::bit).collect();
-        assert_eq!(
-            got,
-            vec![Some(true), Some(false), Some(true), Some(true)]
-        );
+        assert_eq!(got, vec![Some(true), Some(false), Some(true), Some(true)]);
     }
 
     #[test]

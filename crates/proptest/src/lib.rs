@@ -1,0 +1,353 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the proptest API the workspace's
+//! property-based tests use: the [`proptest!`] macro, [`prop_assert!`] /
+//! [`prop_assert_eq!`], [`ProptestConfig::with_cases`], and the
+//! strategies `any::<T>()`, integer/float ranges,
+//! `prop::array::uniform8`, `prop::collection::vec` and
+//! `prop::sample::select`.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case
+//! reports its inputs via the assertion message and the deterministic
+//! per-test seed makes every failure exactly reproducible (the case
+//! stream is a pure function of the test name).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Builds the deterministic per-test RNG (an FNV-1a hash of the test
+/// name seeds the generator, so case streams are stable across runs and
+/// platforms).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator: the core abstraction of the crate.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for the full value space of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates arbitrary values of `T` over its whole domain.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample(rng)
+    }
+}
+
+/// Composite strategies, mirroring proptest's `prop` module tree.
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Strategy producing `[T; 8]` from one element strategy.
+        #[derive(Debug, Clone)]
+        pub struct Uniform8<S>(S);
+
+        /// Eight independent draws from `element`.
+        pub fn uniform8<S: Strategy>(element: S) -> Uniform8<S> {
+            Uniform8(element)
+        }
+
+        impl<S: Strategy> Strategy for Uniform8<S> {
+            type Value = [S::Value; 8];
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                std::array::from_fn(|_| self.0.sample(rng))
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Length specification for [`vec`]: a fixed `usize` or a
+        /// half-open range of lengths.
+        pub trait IntoLenRange {
+            /// The equivalent half-open range.
+            fn into_len_range(self) -> Range<usize>;
+        }
+
+        impl IntoLenRange for usize {
+            fn into_len_range(self) -> Range<usize> {
+                self..self + 1
+            }
+        }
+
+        impl IntoLenRange for Range<usize> {
+            fn into_len_range(self) -> Range<usize> {
+                self
+            }
+        }
+
+        /// Strategy producing `Vec<T>` of a length drawn from `lens`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            lens: Range<usize>,
+        }
+
+        /// Vectors of `element` draws with length in `lens`.
+        pub fn vec<S: Strategy>(element: S, lens: impl IntoLenRange) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                lens: lens.into_len_range(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.lens.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy picking one element of a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniform choice among `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                ::std::stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        ::std::stringify!($left),
+                        ::std::stringify!($right),
+                        l,
+                        r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        ::std::stringify!($left),
+                        ::std::stringify!($right),
+                        ::std::format!($($fmt)+),
+                        l,
+                        r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Declares property-based tests: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(::std::stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn arrays_and_vecs(frame in prop::array::uniform8(any::<u32>()),
+                           v in prop::collection::vec(0u8..6, 1..24),
+                           w in prop::collection::vec(any::<bool>(), 8)) {
+            prop_assert_eq!(frame.len(), 8);
+            prop_assert!(!v.is_empty() && v.len() < 24);
+            prop_assert!(v.iter().all(|&b| b < 6));
+            prop_assert_eq!(w.len(), 8);
+        }
+
+        #[test]
+        fn select_picks_members(n in prop::sample::select(vec![3usize, 4, 5, 7])) {
+            prop_assert!([3, 4, 5, 7].contains(&n));
+        }
+    }
+
+    #[test]
+    fn case_stream_is_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let a: Vec<u64> = {
+            let mut rng = crate::test_rng("t");
+            (0..16).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::test_rng("t");
+            (0..16).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

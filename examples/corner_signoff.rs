@@ -6,7 +6,7 @@
 //! cargo run --release --example corner_signoff
 //! ```
 
-use openserdes::core::{cdr_design, BerTest, LinkConfig, sensitivity_sweep};
+use openserdes::core::{cdr_design, sensitivity_sweep, BerTest, LinkConfig};
 use openserdes::flow::{run_flow, FlowConfig};
 use openserdes::pdk::corner::{ProcessCorner, Pvt};
 use openserdes::pdk::units::Hertz;

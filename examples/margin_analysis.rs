@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pvt = Pvt::nominal();
     let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
     let stats = mismatch::monte_carlo(&fe, &pvt, 2_000, 42)?;
-    println!("front-end mismatch Monte-Carlo ({} samples):", stats.samples);
+    println!(
+        "front-end mismatch Monte-Carlo ({} samples):",
+        stats.samples
+    );
     println!("  input-referred offset σ : {:.2} mV", stats.sigma.mv());
     println!("  p99.7 |offset|          : {:.2} mV", stats.p997.mv());
     println!("  worst sample            : {:.2} mV", stats.worst.mv());

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let path = std::env::temp_dir().join(format!("openserdes_{name}.def"));
         std::fs::write(&path, &def)?;
-        println!("    DEF written: {} ({} lines)\n", path.display(), def.lines().count());
+        println!(
+            "    DEF written: {} ({} lines)\n",
+            path.display(),
+            def.lines().count()
+        );
     }
 
     // Process portability: the same RTL retargets by re-characterizing.

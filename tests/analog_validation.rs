@@ -4,9 +4,7 @@
 use openserdes::analog::{EyeDiagram, Waveform};
 use openserdes::pdk::corner::Pvt;
 use openserdes::pdk::units::{Hertz, Time, Volt};
-use openserdes::phy::{
-    AnalogLink, BehavioralLink, ChannelModel, FrontEndConfig, RxFrontEnd,
-};
+use openserdes::phy::{AnalogLink, BehavioralLink, ChannelModel, FrontEndConfig, RxFrontEnd};
 
 #[test]
 fn analog_transient_brackets_behavioural_sensitivity() {
@@ -21,7 +19,9 @@ fn analog_transient_brackets_behavioural_sensitivity() {
     let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
     let sens = fe.sensitivity(Hertz::from_ghz(2.0)).expect("model");
     assert!(sens.mv() > 10.0, "guardbanded sensitivity is tens of mV");
-    let bits = [true, false, true, false, true, true, false, false, true, false];
+    let bits = [
+        true, false, true, false, true, true, false, false, true, false,
+    ];
 
     let run = |pp: f64| {
         let mid = 0.9;
@@ -34,10 +34,7 @@ fn analog_transient_brackets_behavioural_sensitivity() {
         at_sens > 1.5,
         "the modelled sensitivity must restore rail-to-rail, got {at_sens:.2} V"
     );
-    assert!(
-        tiny < 1.2,
-        "0.4 mV must fail to restore, got {tiny:.2} V"
-    );
+    assert!(tiny < 1.2, "0.4 mV must fail to restore, got {tiny:.2} V");
     assert!(tiny < at_sens);
 }
 
@@ -70,7 +67,9 @@ fn behavioural_link_margin_predicts_analog_recovery() {
         "24 dB leaves ample margin: {}",
         fast.margin().value()
     );
-    let bits = [true, false, true, true, false, false, true, false, true, true, false, true];
+    let bits = [
+        true, false, true, true, false, false, true, false, true, true, false, true,
+    ];
     let run = analog
         .transmit(&bits, Time::from_ps(500.0))
         .expect("transients");

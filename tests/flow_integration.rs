@@ -41,7 +41,16 @@ fn serializer_netlist_equals_behavioural_fsm() {
         .expect("out")
         .1;
 
-    let frame = [0x0F1E_2D3C_u32, 0x4B5A_6978, 0x8796_A5B4, 0xC3D2_E1F0, 1, 2, 3, 4];
+    let frame = [
+        0x0F1E_2D3C_u32,
+        0x4B5A_6978,
+        0x8796_A5B4,
+        0xC3D2_E1F0,
+        1,
+        2,
+        3,
+        4,
+    ];
     let bits = frame_to_bits(&frame);
 
     sim.set_bit(name_of("load"), true);
