@@ -202,11 +202,6 @@ impl Circuit {
     pub fn sources(&self) -> &[(Node, Stimulus)] {
         &self.sources
     }
-
-    /// Mutable access to the sources (used by sweeps to override values).
-    pub(crate) fn sources_mut(&mut self) -> &mut Vec<(Node, Stimulus)> {
-        &mut self.sources
-    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,11 @@
 //!   sources (including the PMOS pseudo-resistor),
 //! * [`solver`] — Newton–Raphson DC (with gmin stepping), DC sweeps and
 //!   backward-Euler transient analysis using the PDK's analytic device
-//!   derivatives,
+//!   derivatives, with precompiled stamp plans, LU reuse and optional
+//!   adaptive time-stepping,
+//! * [`par`] — the deterministic parallel fan-out engine (order-
+//!   preserving map, speculative bisection) shared with the digital
+//!   sweeps upstack,
 //! * [`primitives`] — sized inverters, chains, and the resistive-feedback
 //!   inverter receiver stage,
 //! * [`EyeDiagram`] — eye height/width extraction,
@@ -35,6 +39,7 @@
 mod circuit;
 mod eye;
 pub mod noise;
+pub mod par;
 pub mod primitives;
 pub mod solver;
 mod waveform;
@@ -42,7 +47,8 @@ mod waveform;
 pub use circuit::{Circuit, Element, Node, Stimulus};
 pub use eye::EyeDiagram;
 pub use solver::{
-    dc_operating_point, dc_operating_point_with_nodeset, dc_sweep, transient, SolverError,
+    dc_operating_point, dc_operating_point_with_nodeset, dc_sweep, dc_sweep_with_threads,
+    transient, DcSolution, DcSweepResult, Solver, SolverError, SolverStats, StepMode,
     TransientConfig, TransientResult,
 };
 pub use waveform::Waveform;

@@ -6,12 +6,42 @@
 //! elimination; the Jacobian uses the analytic `gm`/`gds` of the PDK MOS
 //! model; `gmin` stepping provides DC convergence for the
 //! high-impedance self-biased nodes the receiver relies on.
+//!
+//! # Architecture
+//!
+//! The solver is built around three reusable pieces (DESIGN.md §11):
+//!
+//! * `StampPlan` — per-topology compilation pass. Every element's
+//!   matrix positions (flat row-major indices into the Jacobian and
+//!   residual) are resolved **once**, so assembly is a linear walk over
+//!   precomputed slots with zero allocation and zero index translation
+//!   per Newton iteration.
+//! * [`Solver`] — the plan plus a workspace of flat buffers
+//!   (Jacobian/LU banks, pivots, residual) that every solve reuses. The
+//!   LU factorization is cached: pure-linear circuits (RC channels)
+//!   factorize exactly once per `(dt, gmin)` pair for an entire
+//!   transient; nonlinear circuits reuse a stale factorization under
+//!   modified Newton when the adaptive path is active.
+//! * [`StepMode`] — `Fixed(dt)` replays the historical fixed-step
+//!   backward-Euler loop **bit-identically** (guarded by regression
+//!   tests against the [`reference`](mod@reference) module);
+//!   `Adaptive` adds step-doubling local truncation error control that
+//!   walks coarsely over settled spans and refines at NRZ edges,
+//!   resampled onto the uniform [`Waveform`] grid.
+//!
+//! Every public entry point reports [`SolverStats`] so benches and
+//! callers can see Newton iteration counts, factorization reuse rates
+//! and step acceptance without instrumenting the hot loop themselves.
 
 use crate::circuit::{Circuit, Element, Node};
 use crate::waveform::Waveform;
-use openserdes_pdk::mos::MosType;
+use openserdes_pdk::mos::{MosDevice, MosType};
 use std::error::Error;
 use std::fmt;
+use std::ops::Deref;
+use std::time::{Duration, Instant};
+
+pub mod reference;
 
 /// Solver failures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,11 +73,35 @@ impl fmt::Display for SolverError {
 
 impl Error for SolverError {}
 
+/// Time-stepping strategy for [`transient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepMode {
+    /// Uniform backward-Euler steps of the given size in seconds. This
+    /// is the historical behavior and stays bit-identical to the
+    /// pre-refactor solver (see the [`reference`](mod@reference)
+    /// module).
+    Fixed(f64),
+    /// Step-doubling LTE control: each candidate step of size `h` is
+    /// taken once at `h` and twice at `h/2`; the difference bounds the
+    /// local truncation error. Steps halve (down to `dt_min`) when the
+    /// estimate exceeds `lte_tol` volts and double (up to `dt_max`)
+    /// when it is comfortably inside. Output is resampled onto a
+    /// uniform grid of `dt_min`.
+    Adaptive {
+        /// Smallest allowed step and the output grid pitch, seconds.
+        dt_min: f64,
+        /// Largest allowed step, seconds.
+        dt_max: f64,
+        /// Accepted per-step local truncation error bound, volts.
+        lte_tol: f64,
+    },
+}
+
 /// Transient analysis configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientConfig {
-    /// Fixed timestep in seconds.
-    pub dt: f64,
+    /// Time-stepping strategy (fixed step by default).
+    pub step: StepMode,
     /// End time in seconds (the run covers `0..=t_end`).
     pub t_end: f64,
     /// Maximum Newton iterations per step.
@@ -59,10 +113,10 @@ pub struct TransientConfig {
 }
 
 impl TransientConfig {
-    /// A configuration with 1 ps steps up to `t_end`.
+    /// A configuration with fixed 1 ps steps up to `t_end`.
     pub fn to(t_end: f64) -> Self {
         Self {
-            dt: 1.0e-12,
+            step: StepMode::Fixed(1.0e-12),
             t_end,
             max_newton: 120,
             tol: 1.0e-7,
@@ -70,11 +124,96 @@ impl TransientConfig {
         }
     }
 
-    /// Same but with an explicit timestep.
+    /// Same but with an explicit fixed timestep.
     pub fn with_dt(t_end: f64, dt: f64) -> Self {
         Self {
-            dt,
+            step: StepMode::Fixed(dt),
             ..Self::to(t_end)
+        }
+    }
+
+    /// An adaptive-step configuration; the output waveform grid is
+    /// `dt_min`.
+    pub fn adaptive(t_end: f64, dt_min: f64, dt_max: f64, lte_tol: f64) -> Self {
+        Self {
+            step: StepMode::Adaptive {
+                dt_min,
+                dt_max,
+                lte_tol,
+            },
+            ..Self::to(t_end)
+        }
+    }
+
+    /// The uniform output-grid pitch the run produces: the fixed step,
+    /// or `dt_min` for adaptive runs.
+    pub fn out_dt(&self) -> f64 {
+        match self.step {
+            StepMode::Fixed(dt) => dt,
+            StepMode::Adaptive { dt_min, .. } => dt_min,
+        }
+    }
+}
+
+/// Counters from one or more solves, mirroring `LinkStats` on the
+/// digital side: enough to see where the time went without profiling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Newton iterations across all solves.
+    pub newton_iterations: u64,
+    /// Residual-vector assemblies (one per Newton iteration).
+    pub residual_builds: u64,
+    /// Jacobian assemblies (≤ residual builds when the LU is reused).
+    pub jacobian_builds: u64,
+    /// LU factorizations performed.
+    pub factorizations: u64,
+    /// Newton iterations that reused a previously computed LU.
+    pub factorization_reuses: u64,
+    /// Accepted time steps.
+    pub steps_taken: u64,
+    /// Rejected time steps (adaptive mode: LTE too large or Newton
+    /// failed at a step larger than `dt_min`).
+    pub steps_rejected: u64,
+    /// Wall-clock time spent inside the solver.
+    pub total_time: Duration,
+}
+
+impl SolverStats {
+    /// Fraction of Newton iterations that skipped the factorization,
+    /// in `0.0..=1.0`.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.factorizations + self.factorization_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.factorization_reuses as f64 / total as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (for summing per-stage stats).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.newton_iterations += other.newton_iterations;
+        self.residual_builds += other.residual_builds;
+        self.jacobian_builds += other.jacobian_builds;
+        self.factorizations += other.factorizations;
+        self.factorization_reuses += other.factorization_reuses;
+        self.steps_taken += other.steps_taken;
+        self.steps_rejected += other.steps_rejected;
+        self.total_time += other.total_time;
+    }
+
+    /// The counters accrued since `earlier` (a snapshot of the same
+    /// accumulator).
+    fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            newton_iterations: self.newton_iterations - earlier.newton_iterations,
+            residual_builds: self.residual_builds - earlier.residual_builds,
+            jacobian_builds: self.jacobian_builds - earlier.jacobian_builds,
+            factorizations: self.factorizations - earlier.factorizations,
+            factorization_reuses: self.factorization_reuses - earlier.factorization_reuses,
+            steps_taken: self.steps_taken - earlier.steps_taken,
+            steps_rejected: self.steps_rejected - earlier.steps_rejected,
+            total_time: self.total_time.saturating_sub(earlier.total_time),
         }
     }
 }
@@ -83,6 +222,7 @@ impl TransientConfig {
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     waveforms: Vec<Waveform>,
+    stats: SolverStats,
 }
 
 impl TransientResult {
@@ -90,62 +230,140 @@ impl TransientResult {
     pub fn waveform(&self, node: Node) -> &Waveform {
         &self.waveforms[node.index()]
     }
+
+    /// Solver counters for this run.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
 }
 
-/// Dense Gaussian elimination with partial pivoting. `a` is row-major
-/// `n×n`, `b` length-`n`; returns the solution or `None` if singular.
-fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
-    let n = b.len();
-    for col in 0..n {
-        // Pivot.
-        let mut piv = col;
-        let mut best = a[col][col].abs();
-        for (r, row) in a.iter().enumerate().skip(col + 1) {
-            if row[col].abs() > best {
-                best = row[col].abs();
-                piv = r;
-            }
-        }
-        if best < 1e-300 {
-            return None;
-        }
-        a.swap(col, piv);
-        b.swap(col, piv);
-        // Eliminate below.
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
-            if f == 0.0 {
-                continue;
-            }
-            let (head, tail) = a.split_at_mut(r);
-            let pivot_row = &head[col];
-            for (x, &pv) in tail[0][col..].iter_mut().zip(&pivot_row[col..]) {
-                *x -= f * pv;
-            }
-            b[r] -= f * b[col];
-        }
-    }
-    // Back substitution.
-    let mut x = vec![0.0; n];
-    for r in (0..n).rev() {
-        let mut acc = b[r];
-        for c in r + 1..n {
-            acc -= a[r][c] * x[c];
-        }
-        x[r] = acc / a[r][r];
-    }
-    Some(x)
+/// A DC solution: the node-voltage vector plus solver counters. Derefs
+/// to `[f64]` so existing `v[node.index()]` call sites keep working.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    stats: SolverStats,
 }
 
-struct Assembler<'c> {
-    circuit: &'c Circuit,
-    /// unknown index per node (None = ground or source-driven).
-    index: Vec<Option<usize>>,
+impl DcSolution {
+    /// Solver counters for this solve.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Consumes the solution, returning the raw voltage vector.
+    pub fn into_voltages(self) -> Vec<f64> {
+        self.voltages
+    }
+}
+
+impl Deref for DcSolution {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.voltages
+    }
+}
+
+/// A DC sweep result: one node-voltage vector per sweep value, plus
+/// solver counters. Derefs to `[Vec<f64>]` so existing iteration sites
+/// keep working.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    points: Vec<Vec<f64>>,
+    stats: SolverStats,
+}
+
+impl DcSweepResult {
+    /// Solver counters for the whole sweep.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Consumes the result, returning the raw per-point vectors.
+    pub fn into_points(self) -> Vec<Vec<f64>> {
+        self.points
+    }
+}
+
+impl Deref for DcSweepResult {
+    type Target = [Vec<f64>];
+    fn deref(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+/// Flat-matrix slot for a node pair that is ground/source-driven on at
+/// least one side (no equation or no column to stamp).
+const ABSENT: usize = usize::MAX;
+
+/// Precomputed slots for a two-terminal conductance-like stamp
+/// (resistor or capacitor companion): raw node indices for the voltage
+/// reads plus resolved residual and flat Jacobian positions.
+#[derive(Debug, Clone, Copy)]
+struct PairSlots {
+    /// Raw node indices (into the full `v` vector).
+    a: usize,
+    b: usize,
+    /// Residual slots (`ABSENT` when the node is known).
+    res_a: usize,
+    res_b: usize,
+    /// Flat row-major Jacobian slots (`ABSENT` when either side is
+    /// known).
+    jaa: usize,
+    jab: usize,
+    jba: usize,
+    jbb: usize,
+}
+
+/// One element's precompiled stamp. Slot order inside each variant is
+/// the exact order the pre-refactor assembler applied its `+=`s — this
+/// matters for bit-identity when two slots alias (a pseudo-resistor's
+/// gate and source are the same node, so two "different" Jacobian
+/// entries land on the same flat position and addition order shows).
+#[derive(Debug, Clone, Copy)]
+enum Stamp {
+    /// Resistor with precomputed conductance `g = 1/ohms`.
+    Conductance { g: f64, p: PairSlots },
+    /// Capacitor; the companion conductance `farads/dt` is formed at
+    /// assembly time (transient only, open at DC).
+    Capacitor { farads: f64, p: PairSlots },
+    /// MOS device; `d/g/s` are raw node indices, residual and Jacobian
+    /// slots are stored in application order.
+    Mos {
+        device: MosDevice,
+        nmos: bool,
+        d: usize,
+        g: usize,
+        s: usize,
+        /// Residual slots in application order (drain/source for NMOS,
+        /// source/drain for PMOS — first gets `+id`, second `-id`).
+        res0: usize,
+        res1: usize,
+        /// Six Jacobian slots in the historical stamp order.
+        jac: [usize; 6],
+    },
+}
+
+/// The compiled topology: node→unknown mapping plus the flattened
+/// stamp list. Building one is `O(elements)` and happens once per
+/// `Solver`; every assembly afterwards is allocation-free.
+#[derive(Debug, Clone)]
+struct StampPlan {
+    n_nodes: usize,
     n_unknown: usize,
+    /// Unknown index per node (`None` = ground or source-driven).
+    index: Vec<Option<usize>>,
+    stamps: Vec<Stamp>,
+    /// `(raw node, residual slot, diagonal slot)` for the gmin pass,
+    /// in ascending node order like the historical loop.
+    gmin_rows: Vec<(usize, usize, usize)>,
+    /// No MOS devices: the Jacobian depends only on `(dt, gmin)`, so
+    /// one factorization serves the whole transient.
+    linear: bool,
 }
 
-impl<'c> Assembler<'c> {
-    fn new(circuit: &'c Circuit) -> Self {
+impl StampPlan {
+    fn new(circuit: &Circuit) -> Self {
         let n = circuit.node_count();
         let mut known = vec![false; n];
         known[0] = true;
@@ -160,121 +378,483 @@ impl<'c> Assembler<'c> {
                 k += 1;
             }
         }
+        let n_unknown = k;
+
+        let res_slot = |node: Node| index[node.index()].unwrap_or(ABSENT);
+        let jac_slot = |row: Node, col: Node| match (index[row.index()], index[col.index()]) {
+            (Some(r), Some(c)) => r * n_unknown + c,
+            _ => ABSENT,
+        };
+        let pair = |a: Node, b: Node| PairSlots {
+            a: a.index(),
+            b: b.index(),
+            res_a: res_slot(a),
+            res_b: res_slot(b),
+            jaa: jac_slot(a, a),
+            jab: jac_slot(a, b),
+            jba: jac_slot(b, a),
+            jbb: jac_slot(b, b),
+        };
+
+        let mut linear = true;
+        let stamps = circuit
+            .elements()
+            .iter()
+            .map(|el| match *el {
+                Element::Resistor { a, b, ohms } => Stamp::Conductance {
+                    g: 1.0 / ohms,
+                    p: pair(a, b),
+                },
+                Element::Capacitor { a, b, farads } => Stamp::Capacitor {
+                    farads,
+                    p: pair(a, b),
+                },
+                Element::Mos { device, d, g, s } => {
+                    linear = false;
+                    let nmos = matches!(device.params.mos_type, MosType::Nmos);
+                    // Historical stamp order (see `reference::Assembler::build`):
+                    // NMOS: res d,s; J (d,d)(d,g)(d,s)(s,d)(s,g)(s,s)
+                    // PMOS: res s,d; J (s,s)(s,g)(s,d)(d,s)(d,g)(d,d)
+                    let (res0, res1, jac) = if nmos {
+                        (
+                            res_slot(d),
+                            res_slot(s),
+                            [
+                                jac_slot(d, d),
+                                jac_slot(d, g),
+                                jac_slot(d, s),
+                                jac_slot(s, d),
+                                jac_slot(s, g),
+                                jac_slot(s, s),
+                            ],
+                        )
+                    } else {
+                        (
+                            res_slot(s),
+                            res_slot(d),
+                            [
+                                jac_slot(s, s),
+                                jac_slot(s, g),
+                                jac_slot(s, d),
+                                jac_slot(d, s),
+                                jac_slot(d, g),
+                                jac_slot(d, d),
+                            ],
+                        )
+                    };
+                    Stamp::Mos {
+                        device,
+                        nmos,
+                        d: d.index(),
+                        g: g.index(),
+                        s: s.index(),
+                        res0,
+                        res1,
+                        jac,
+                    }
+                }
+            })
+            .collect();
+
+        let mut gmin_rows = Vec::with_capacity(n_unknown);
+        for (node_idx, &slot) in index.iter().enumerate() {
+            if let Some(i) = slot {
+                gmin_rows.push((node_idx, i, i * n_unknown + i));
+            }
+        }
+
         Self {
-            circuit,
+            n_nodes: n,
+            n_unknown,
             index,
-            n_unknown: k,
+            stamps,
+            gmin_rows,
+            linear,
         }
     }
 
-    /// Fills known node voltages into `v` for time `t`.
-    fn apply_sources(&self, v: &mut [f64], t: f64) {
-        v[0] = 0.0;
-        for (node, stim) in self.circuit.sources() {
-            v[node.index()] = stim.value_at(t);
-        }
-    }
-
-    /// Builds the Newton system at the operating point `v`.
-    ///
-    /// `prev` and `dt` enable backward-Euler capacitor companions; pass
-    /// `None` for DC (capacitors open).
-    fn build(
+    /// Assembles the residual (always) and the Jacobian (when `jac` is
+    /// given) at the operating point `v`, in place. Stamp application
+    /// order matches the historical assembler exactly, so the filled
+    /// values are bit-identical to the old `build()`.
+    fn assemble(
         &self,
         v: &[f64],
         prev_dt: Option<(&[f64], f64)>,
         gmin: f64,
-    ) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let n = self.n_unknown;
-        let mut jac = vec![vec![0.0; n]; n];
-        let mut res = vec![0.0; n];
-
-        // F[n] = sum of currents leaving node n; J = dF/dv.
-        let stamp_f = |node: Node, current: f64, res: &mut Vec<f64>| {
-            if let Some(i) = self.index[node.index()] {
-                res[i] += current;
+        res: &mut [f64],
+        mut jac: Option<&mut [f64]>,
+    ) {
+        res.fill(0.0);
+        if let Some(j) = jac.as_deref_mut() {
+            j.fill(0.0);
+        }
+        let add_res = |res: &mut [f64], slot: usize, x: f64| {
+            if slot != ABSENT {
+                res[slot] += x;
             }
         };
-        let stamp_j = |row: Node, col: Node, g: f64, jac: &mut Vec<Vec<f64>>| {
-            if let (Some(r), Some(c)) = (self.index[row.index()], self.index[col.index()]) {
-                jac[r][c] += g;
-            }
-        };
-
-        for el in self.circuit.elements() {
-            match *el {
-                Element::Resistor { a, b, ohms } => {
-                    let g = 1.0 / ohms;
-                    let i = (v[a.index()] - v[b.index()]) * g;
-                    stamp_f(a, i, &mut res);
-                    stamp_f(b, -i, &mut res);
-                    stamp_j(a, a, g, &mut jac);
-                    stamp_j(a, b, -g, &mut jac);
-                    stamp_j(b, a, -g, &mut jac);
-                    stamp_j(b, b, g, &mut jac);
+        let add_jac = |jac: &mut Option<&mut [f64]>, slot: usize, x: f64| {
+            if slot != ABSENT {
+                if let Some(j) = jac.as_deref_mut() {
+                    j[slot] += x;
                 }
-                Element::Capacitor { a, b, farads } => {
+            }
+        };
+        let pair_stamp =
+            |res: &mut [f64], jac: &mut Option<&mut [f64]>, p: &PairSlots, g: f64, i: f64| {
+                add_res(res, p.res_a, i);
+                add_res(res, p.res_b, -i);
+                add_jac(jac, p.jaa, g);
+                add_jac(jac, p.jab, -g);
+                add_jac(jac, p.jba, -g);
+                add_jac(jac, p.jbb, g);
+            };
+
+        for stamp in &self.stamps {
+            match *stamp {
+                Stamp::Conductance { g, ref p } => {
+                    let i = (v[p.a] - v[p.b]) * g;
+                    pair_stamp(res, &mut jac, p, g, i);
+                }
+                Stamp::Capacitor { farads, ref p } => {
                     if let Some((prev, dt)) = prev_dt {
                         let g = farads / dt;
-                        let vbr = v[a.index()] - v[b.index()];
-                        let vbr_prev = prev[a.index()] - prev[b.index()];
+                        let vbr = v[p.a] - v[p.b];
+                        let vbr_prev = prev[p.a] - prev[p.b];
                         let i = g * (vbr - vbr_prev);
-                        stamp_f(a, i, &mut res);
-                        stamp_f(b, -i, &mut res);
-                        stamp_j(a, a, g, &mut jac);
-                        stamp_j(a, b, -g, &mut jac);
-                        stamp_j(b, a, -g, &mut jac);
-                        stamp_j(b, b, g, &mut jac);
+                        pair_stamp(res, &mut jac, p, g, i);
                     }
                 }
-                Element::Mos { device, d, g, s } => {
-                    let (vd, vg, vs) = (v[d.index()], v[g.index()], v[s.index()]);
-                    match device.params.mos_type {
-                        MosType::Nmos => {
-                            // Current d→s through the device.
-                            let e = device.eval(vg - vs, vd - vs);
-                            stamp_f(d, e.id, &mut res);
-                            stamp_f(s, -e.id, &mut res);
-                            // dI/dvd = gds, dI/dvg = gm, dI/dvs = -(gm+gds)
-                            stamp_j(d, d, e.gds, &mut jac);
-                            stamp_j(d, g, e.gm, &mut jac);
-                            stamp_j(d, s, -(e.gm + e.gds), &mut jac);
-                            stamp_j(s, d, -e.gds, &mut jac);
-                            stamp_j(s, g, -e.gm, &mut jac);
-                            stamp_j(s, s, e.gm + e.gds, &mut jac);
-                        }
-                        MosType::Pmos => {
-                            // Current s→d through the device.
-                            let e = device.eval(vs - vg, vs - vd);
-                            stamp_f(s, e.id, &mut res);
-                            stamp_f(d, -e.id, &mut res);
-                            // dI/dvs = gm+gds, dI/dvg = -gm, dI/dvd = -gds
-                            stamp_j(s, s, e.gm + e.gds, &mut jac);
-                            stamp_j(s, g, -e.gm, &mut jac);
-                            stamp_j(s, d, -e.gds, &mut jac);
-                            stamp_j(d, s, -(e.gm + e.gds), &mut jac);
-                            stamp_j(d, g, e.gm, &mut jac);
-                            stamp_j(d, d, e.gds, &mut jac);
-                        }
+                Stamp::Mos {
+                    ref device,
+                    nmos,
+                    d,
+                    g,
+                    s,
+                    res0,
+                    res1,
+                    jac: ref j,
+                } => {
+                    let (vd, vg, vs) = (v[d], v[g], v[s]);
+                    // Same terminal convention as the historical
+                    // assembler: NMOS conducts d→s, PMOS s→d.
+                    let e = if nmos {
+                        device.eval(vg - vs, vd - vs)
+                    } else {
+                        device.eval(vs - vg, vs - vd)
+                    };
+                    add_res(res, res0, e.id);
+                    add_res(res, res1, -e.id);
+                    let gsum = e.gm + e.gds;
+                    let vals = if nmos {
+                        [e.gds, e.gm, -gsum, -e.gds, -e.gm, gsum]
+                    } else {
+                        [gsum, -e.gm, -e.gds, -gsum, e.gm, e.gds]
+                    };
+                    for (slot, val) in j.iter().zip(vals) {
+                        add_jac(&mut jac, *slot, val);
                     }
                 }
             }
         }
 
         // gmin to ground stabilizes floating/self-biased nodes.
-        for (node_idx, &slot) in self.index.iter().enumerate() {
-            if let Some(i) = slot {
-                res[i] += gmin * v[node_idx];
-                jac[i][i] += gmin;
+        for &(node_idx, res_i, diag) in &self.gmin_rows {
+            res[res_i] += gmin * v[node_idx];
+            if let Some(j) = jac.as_deref_mut() {
+                j[diag] += gmin;
             }
         }
+    }
+}
 
-        (jac, res)
+/// One cached LU factorization with the `(dt, gmin)` key it was
+/// assembled under.
+#[derive(Debug, Clone)]
+struct LuBank {
+    /// `n × n` row-major: Jacobian on assembly, LU after factorization
+    /// (unit-lower multipliers below the diagonal, U on and above).
+    a: Vec<f64>,
+    /// Pivot row chosen at each elimination column.
+    piv: Vec<usize>,
+    /// The factorization in `a` is usable for another solve.
+    valid: bool,
+    /// Companion-step key of the cached LU (`f64::to_bits`, `0.0` = DC).
+    dt: u64,
+    /// gmin key of the cached LU.
+    gmin: u64,
+}
+
+/// Reusable flat buffers for one solver: two LU banks (Jacobians
+/// factorized in place) and the residual/solution vector. Two banks
+/// because the step-doubling transient solves at `h` and `h/2` in
+/// alternation — with a single cache each would evict the other every
+/// composite step. Sized once per topology; no solve allocates.
+#[derive(Debug, Clone)]
+struct Workspace {
+    n: usize,
+    /// Residual in, Newton update out (solved in place).
+    rhs: Vec<f64>,
+    banks: [LuBank; 2],
+    /// Most-recently-used bank; the other one is the eviction target.
+    mru: usize,
+}
+
+impl Workspace {
+    fn new(n: usize) -> Self {
+        let bank = LuBank {
+            a: vec![0.0; n * n],
+            piv: vec![0; n],
+            valid: false,
+            dt: 0,
+            gmin: 0,
+        };
+        Self {
+            n,
+            rhs: vec![0.0; n],
+            banks: [bank.clone(), bank],
+            mru: 0,
+        }
     }
 
-    /// Newton iteration at fixed sources; updates `v` in place.
-    fn newton(
-        &self,
+    /// Bank holding a valid factorization for `(dt, gmin)`, if any.
+    fn matching(&self, dt: u64, gmin: u64) -> Option<usize> {
+        self.banks
+            .iter()
+            .position(|b| b.valid && b.dt == dt && b.gmin == gmin)
+    }
+
+    /// Bank to refactorize into for `(dt, gmin)`: one already keyed to
+    /// it (stale) if present, else the least-recently-used bank.
+    fn evict_target(&self, dt: u64, gmin: u64) -> usize {
+        self.banks
+            .iter()
+            .position(|b| b.dt == dt && b.gmin == gmin)
+            .unwrap_or(1 - self.mru)
+    }
+
+    /// Drops both cached factorizations.
+    fn invalidate(&mut self) {
+        for b in &mut self.banks {
+            b.valid = false;
+        }
+    }
+}
+
+/// LU factorization with partial pivoting, in place on a flat
+/// row-major `n×n` matrix. Full rows are swapped (multipliers travel
+/// with their row), multipliers are stored below the diagonal. Returns
+/// `false` if singular.
+///
+/// The elimination applies the exact same `-= f * pivot` operation
+/// sequence as the historical one-shot Gaussian elimination, so a
+/// factorize-then-solve round trip is bit-identical to it.
+fn factorize(a: &mut [f64], piv: &mut [usize], n: usize) -> bool {
+    for col in 0..n {
+        let mut p = col;
+        let mut best = a[col * n + col].abs();
+        for r in col + 1..n {
+            let x = a[r * n + col].abs();
+            if x > best {
+                best = x;
+                p = r;
+            }
+        }
+        if best < 1e-300 {
+            return false;
+        }
+        piv[col] = p;
+        if p != col {
+            for c in 0..n {
+                a.swap(col * n + c, p * n + c);
+            }
+        }
+        let pivot = a[col * n + col];
+        for r in col + 1..n {
+            let f = a[r * n + col] / pivot;
+            a[r * n + col] = f;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col + 1..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+        }
+    }
+    true
+}
+
+/// Solves `LU x = b` in place on `b`: pivot swaps first (they were
+/// full-row swaps, so the stored multipliers line up with the permuted
+/// right-hand side), then column-major unit-lower forward substitution
+/// — the identical op order Gaussian elimination applies to `b` — then
+/// back substitution.
+fn lu_solve(a: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
+    for (col, &p) in piv.iter().enumerate() {
+        if p != col {
+            b.swap(col, p);
+        }
+    }
+    for col in 0..n {
+        let bc = b[col];
+        for r in col + 1..n {
+            let f = a[r * n + col];
+            if f == 0.0 {
+                continue;
+            }
+            b[r] -= f * bc;
+        }
+    }
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= a[r * n + c] * b[c];
+        }
+        b[r] = acc / a[r * n + r];
+    }
+}
+
+/// Gmin ladder used by the robust DC solve.
+const DC_LADDER: [f64; 8] = [1e-3, 1e-5, 1e-7, 1e-9, 1e-10, 1e-11, 3e-12, 1e-12];
+/// A step whose Newton solve needed this many iterations invalidates
+/// the cached LU (the operating point moved a lot).
+const SLOW_STEP_ITERS: usize = 10;
+/// Source jump across a step (volts) that invalidates the cached LU.
+/// Device transconductances vary on a ~VDD/10 scale, so smaller ramps
+/// leave the stale Jacobian a good Newton matrix.
+const SOURCE_JUMP_V: f64 = 0.15;
+
+/// A reusable solver bound to one circuit: compiled stamp plan,
+/// workspace and accumulated [`SolverStats`]. The free functions
+/// ([`transient`], [`dc_operating_point`], …) construct one per call;
+/// hold a `Solver` yourself to amortize the plan across repeated
+/// solves (sweeps do).
+#[derive(Debug, Clone)]
+pub struct Solver<'c> {
+    circuit: &'c Circuit,
+    plan: StampPlan,
+    ws: Workspace,
+    stats: SolverStats,
+    /// `(source index, value)` override used by DC sweeps in place of
+    /// cloning the circuit per point.
+    source_override: Option<(usize, f64)>,
+}
+
+impl<'c> Solver<'c> {
+    /// Compiles the circuit's stamp plan and sizes the workspace.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let plan = StampPlan::new(circuit);
+        let ws = Workspace::new(plan.n_unknown);
+        Self {
+            circuit,
+            plan,
+            ws,
+            stats: SolverStats::default(),
+            source_override: None,
+        }
+    }
+
+    /// Counters accumulated across every solve this instance ran.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Overrides source `index`'s value for subsequent solves (DC
+    /// sweeps); `None` restores the circuit's own stimulus.
+    pub fn set_source_override(&mut self, over: Option<(usize, f64)>) {
+        self.source_override = over;
+    }
+
+    fn source_value(&self, i: usize, stim: &crate::circuit::Stimulus, t: f64) -> f64 {
+        match self.source_override {
+            Some((idx, val)) if idx == i => val,
+            _ => stim.value_at(t),
+        }
+    }
+
+    /// Fills known node voltages into `v` for time `t`.
+    fn apply_sources(&self, v: &mut [f64], t: f64) {
+        v[0] = 0.0;
+        for (i, (node, stim)) in self.circuit.sources().iter().enumerate() {
+            v[node.index()] = self.source_value(i, stim, t);
+        }
+    }
+
+    /// Largest source magnitude at `t` (the historical mid-supply
+    /// guess is half of it).
+    fn max_source_abs(&self, t: f64) -> f64 {
+        self.circuit
+            .sources()
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| self.source_value(i, s, t).abs())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Largest source value change between `t0` and `t1`.
+    fn source_jump(&self, t0: f64, t1: f64) -> f64 {
+        self.circuit
+            .sources()
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| (self.source_value(i, s, t1) - self.source_value(i, s, t0)).abs())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Assembles, factorizes into `bank` and records the LU cache key.
+    fn refactorize(
+        &mut self,
+        v: &[f64],
+        prev_dt: Option<(&[f64], f64)>,
+        gmin: f64,
+        time: f64,
+        bank: usize,
+    ) -> Result<(), SolverError> {
+        self.plan.assemble(
+            v,
+            prev_dt,
+            gmin,
+            &mut self.ws.rhs,
+            Some(&mut self.ws.banks[bank].a),
+        );
+        self.stats.residual_builds += 1;
+        self.stats.jacobian_builds += 1;
+        let n = self.ws.n;
+        let b = &mut self.ws.banks[bank];
+        if !factorize(&mut b.a, &mut b.piv, n) {
+            b.valid = false;
+            return Err(SolverError::SingularMatrix { time });
+        }
+        self.stats.factorizations += 1;
+        b.valid = true;
+        b.dt = prev_dt.map_or(0.0, |(_, dt)| dt).to_bits();
+        b.gmin = gmin.to_bits();
+        self.ws.mru = bank;
+        Ok(())
+    }
+
+    /// Applies the damped Newton update to `v`; returns the damped
+    /// update magnitude used for the convergence test.
+    fn apply_update(&mut self, v: &mut [f64]) -> f64 {
+        let dv = &self.ws.rhs;
+        let max_dv = dv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let scale = if max_dv > 0.4 { 0.4 / max_dv } else { 1.0 };
+        for (node_idx, &slot) in self.plan.index.iter().enumerate() {
+            if let Some(i) = slot {
+                v[node_idx] += scale * dv[i];
+            }
+        }
+        max_dv * scale
+    }
+
+    /// Full Newton: Jacobian rebuilt and refactorized every iteration,
+    /// matching the historical solver's arithmetic bit-for-bit. The
+    /// single deviation: pure-linear circuits reuse the cached LU when
+    /// the `(dt, gmin)` key matches — the matrix would have been
+    /// bit-identical, so the factors are too.
+    fn newton_full(
+        &mut self,
         v: &mut [f64],
         prev_dt: Option<(&[f64], f64)>,
         gmin: f64,
@@ -282,23 +862,552 @@ impl<'c> Assembler<'c> {
         tol: f64,
         time: f64,
     ) -> Result<(), SolverError> {
+        let dt_key = prev_dt.map_or(0.0, |(_, dt)| dt).to_bits();
+        let gmin_key = gmin.to_bits();
         for _ in 0..max_iter {
-            let (mut jac, mut res) = self.build(v, prev_dt, gmin);
-            res.iter_mut().for_each(|r| *r = -*r);
-            let dv = solve_dense(&mut jac, &mut res).ok_or(SolverError::SingularMatrix { time })?;
-            // Damping: limit the largest update to 0.4 V per iteration.
-            let max_dv = dv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-            let scale = if max_dv > 0.4 { 0.4 / max_dv } else { 1.0 };
-            for (node_idx, &slot) in self.index.iter().enumerate() {
-                if let Some(i) = slot {
-                    v[node_idx] += scale * dv[i];
+            self.stats.newton_iterations += 1;
+            let hit = if self.plan.linear {
+                self.ws.matching(dt_key, gmin_key)
+            } else {
+                None
+            };
+            let bank = match hit {
+                Some(i) => {
+                    self.plan.assemble(v, prev_dt, gmin, &mut self.ws.rhs, None);
+                    self.stats.residual_builds += 1;
+                    self.stats.factorization_reuses += 1;
+                    self.ws.mru = i;
+                    i
                 }
+                None => {
+                    let b = self.ws.evict_target(dt_key, gmin_key);
+                    self.refactorize(v, prev_dt, gmin, time, b)?;
+                    b
+                }
+            };
+            for r in self.ws.rhs.iter_mut() {
+                *r = -*r;
             }
-            if max_dv * scale < tol {
+            let b = &self.ws.banks[bank];
+            lu_solve(&b.a, &b.piv, self.ws.n, &mut self.ws.rhs);
+            if self.apply_update(v) < tol {
                 return Ok(());
             }
         }
         Err(SolverError::NonConvergence { time })
+    }
+
+    /// Modified Newton for the adaptive path. The measured cost model
+    /// on these small MNA systems is blunt: device evaluation dominates
+    /// every iteration whether or not the Jacobian is refreshed, and
+    /// the LU factorization itself is nearly free — so a stale Jacobian
+    /// only pays when it converges in a *single* iteration (a flat span
+    /// where the warm start is already the answer). `stale_start`
+    /// carries that prediction in from the step controller: when the
+    /// previous solve converged immediately, iteration 0 rides the
+    /// cached LU and skips the factorization; the moment convergence
+    /// slows, every iteration refactorizes (full Newton, quadratic).
+    /// The stale-Jacobian iterates differ from full Newton's, which is
+    /// fine under the LTE contract but would break `Fixed` mode's
+    /// bit-identity guarantee — hence adaptive-only.
+    ///
+    /// Returns the number of iterations used.
+    #[allow(clippy::too_many_arguments)]
+    fn newton_modified(
+        &mut self,
+        v: &mut [f64],
+        prev_dt: Option<(&[f64], f64)>,
+        gmin: f64,
+        max_iter: usize,
+        tol: f64,
+        time: f64,
+        stale_start: bool,
+    ) -> Result<usize, SolverError> {
+        let dt_key = prev_dt.map_or(0.0, |(_, dt)| dt).to_bits();
+        let gmin_key = gmin.to_bits();
+        for iter in 0..max_iter {
+            self.stats.newton_iterations += 1;
+            let hit = if iter == 0 && stale_start {
+                self.ws.matching(dt_key, gmin_key)
+            } else {
+                None
+            };
+            let bank = match hit {
+                Some(i) => {
+                    self.plan.assemble(v, prev_dt, gmin, &mut self.ws.rhs, None);
+                    self.stats.residual_builds += 1;
+                    self.stats.factorization_reuses += 1;
+                    self.ws.mru = i;
+                    i
+                }
+                None => {
+                    let b = self.ws.evict_target(dt_key, gmin_key);
+                    self.refactorize(v, prev_dt, gmin, time, b)?;
+                    b
+                }
+            };
+            for r in self.ws.rhs.iter_mut() {
+                *r = -*r;
+            }
+            let b = &self.ws.banks[bank];
+            lu_solve(&b.a, &b.piv, self.ws.n, &mut self.ws.rhs);
+            if self.apply_update(v) < tol {
+                return Ok(iter + 1);
+            }
+        }
+        Err(SolverError::NonConvergence { time })
+    }
+
+    /// Robust DC solve at time `t`: mid-supply then zero initial
+    /// guesses, each with a direct attempt, a gmin ladder and a final
+    /// direct attempt. Identical flow to the historical `dc_at_time`,
+    /// except failures now report the actual `t` instead of `0.0`.
+    pub fn dc_at(&mut self, t: f64) -> Result<Vec<f64>, SolverError> {
+        // Mid-supply initial guess: the natural basin for self-biased
+        // CMOS (the resistive-feedback inverter settles near 0.5·VDD).
+        let v_mid = 0.5 * self.max_source_abs(t);
+        let mut best_err = SolverError::NonConvergence { time: t };
+        for guess in [v_mid, 0.0] {
+            let mut v = vec![guess; self.plan.n_nodes];
+            self.apply_sources(&mut v, t);
+            // Direct attempt at the target gmin, then a gmin ladder.
+            if self.newton_full(&mut v, None, 1e-12, 400, 1e-9, t).is_ok() {
+                return Ok(v);
+            }
+            let mut ok = true;
+            for gmin in DC_LADDER {
+                match self.newton_full(&mut v, None, gmin, 400, 1e-9, t) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        best_err = e;
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                return Ok(v);
+            }
+            // Final ladder step failed but earlier ones may have landed
+            // close: one more direct attempt from wherever we are.
+            if self.newton_full(&mut v, None, 1e-12, 400, 1e-9, t).is_ok() {
+                return Ok(v);
+            }
+        }
+        Err(best_err)
+    }
+
+    /// DC solve from a seeded guess (SPICE `.nodeset`). Tracks every
+    /// gmin rung's outcome (not just the last) and finishes with a
+    /// direct attempt, mirroring [`Solver::dc_at`].
+    fn dc_nodeset(&mut self, nodeset: &[(Node, f64)]) -> Result<Vec<f64>, SolverError> {
+        let v_mid = 0.5 * self.max_source_abs(0.0);
+        let mut v = vec![v_mid; self.plan.n_nodes];
+        for &(node, guess) in nodeset {
+            v[node.index()] = guess;
+        }
+        self.apply_sources(&mut v, 0.0);
+        if self
+            .newton_full(&mut v, None, 1e-12, 400, 1e-9, 0.0)
+            .is_ok()
+        {
+            return Ok(v);
+        }
+        // Gmin ladder from the seeded point, every rung tracked.
+        let mut best_err = SolverError::NonConvergence { time: 0.0 };
+        let mut ok = true;
+        for gmin in [1e-6, 1e-9, 1e-12] {
+            match self.newton_full(&mut v, None, gmin, 400, 1e-9, 0.0) {
+                Ok(()) => {}
+                Err(e) => {
+                    best_err = e;
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            return Ok(v);
+        }
+        if self
+            .newton_full(&mut v, None, 1e-12, 400, 1e-9, 0.0)
+            .is_ok()
+        {
+            return Ok(v);
+        }
+        Err(best_err)
+    }
+
+    /// Runs a transient from the DC operating point using `config`'s
+    /// step mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError`] on DC or per-step Newton failure.
+    pub fn run_transient(
+        &mut self,
+        config: &TransientConfig,
+    ) -> Result<TransientResult, SolverError> {
+        let before = self.stats;
+        let started = Instant::now();
+        let waveforms = match config.step {
+            StepMode::Fixed(dt) => self.transient_fixed(dt, config),
+            StepMode::Adaptive {
+                dt_min,
+                dt_max,
+                lte_tol,
+            } => self.transient_adaptive(dt_min, dt_max, lte_tol, config),
+        }?;
+        self.stats.total_time += started.elapsed();
+        Ok(TransientResult {
+            waveforms,
+            stats: self.stats.since(&before),
+        })
+    }
+
+    /// Historical fixed-step loop, with samples streamed into per-node
+    /// buffers instead of cloning the node vector every step.
+    fn transient_fixed(
+        &mut self,
+        dt: f64,
+        config: &TransientConfig,
+    ) -> Result<Vec<Waveform>, SolverError> {
+        let mut v = self.dc_at(0.0)?;
+        let steps = (config.t_end / dt).ceil() as usize;
+        let mut bufs: Vec<Vec<f64>> = (0..self.plan.n_nodes)
+            .map(|_| Vec::with_capacity(steps + 1))
+            .collect();
+        for (buf, &x) in bufs.iter_mut().zip(&v) {
+            buf.push(x);
+        }
+        let mut prev = v.clone();
+        for k in 1..=steps {
+            let t = k as f64 * dt;
+            self.apply_sources(&mut v, t);
+            self.newton_full(
+                &mut v,
+                Some((&prev, dt)),
+                config.gmin,
+                config.max_newton,
+                config.tol,
+                t,
+            )?;
+            for (buf, &x) in bufs.iter_mut().zip(&v) {
+                buf.push(x);
+            }
+            prev.copy_from_slice(&v);
+            self.stats.steps_taken += 1;
+        }
+        Ok(bufs
+            .into_iter()
+            .map(|samples| Waveform::new(0.0, dt, samples))
+            .collect())
+    }
+
+    /// Step-doubling adaptive loop: each candidate step `h` is solved
+    /// once at `h` and twice at `h/2`; `max |v_h − v_{h/2,h/2}|` bounds
+    /// the backward-Euler LTE. Accepted spans are linearly resampled
+    /// onto the uniform `dt_min` output grid.
+    fn transient_adaptive(
+        &mut self,
+        dt_min: f64,
+        dt_max: f64,
+        lte_tol: f64,
+        config: &TransientConfig,
+    ) -> Result<Vec<Waveform>, SolverError> {
+        assert!(dt_min > 0.0, "dt_min must be positive");
+        assert!(dt_max >= dt_min, "dt_max must be >= dt_min");
+        assert!(lte_tol > 0.0, "lte_tol must be positive");
+        let n_nodes = self.plan.n_nodes;
+        let out_dt = dt_min;
+        let n_out = (config.t_end / out_dt).ceil() as usize;
+        let t_stop = n_out as f64 * out_dt;
+
+        let v0 = self.dc_at(0.0)?;
+        let mut bufs: Vec<Vec<f64>> = (0..n_nodes)
+            .map(|_| Vec::with_capacity(n_out + 1))
+            .collect();
+        for (buf, &x) in bufs.iter_mut().zip(&v0) {
+            buf.push(x);
+        }
+        // Next output-grid index to fill; lerp accepted spans onto it.
+        let mut next_out = 1usize;
+        let emit = |bufs: &mut Vec<Vec<f64>>,
+                    next_out: &mut usize,
+                    t0: f64,
+                    va: &[f64],
+                    t1: f64,
+                    vb: &[f64]| {
+            while *next_out <= n_out {
+                let tg = *next_out as f64 * out_dt;
+                if tg > t1 + 1e-9 * out_dt {
+                    break;
+                }
+                let alpha = if t1 > t0 {
+                    ((tg - t0) / (t1 - t0)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                for (buf, (&a, &b)) in bufs.iter_mut().zip(va.iter().zip(vb)) {
+                    buf.push(a + alpha * (b - a));
+                }
+                *next_out += 1;
+            }
+        };
+
+        let mut t = 0.0f64;
+        let mut v = v0;
+        let mut v_big = vec![0.0; n_nodes];
+        let mut v_half = vec![0.0; n_nodes];
+        let mut v_end = vec![0.0; n_nodes];
+        let mut h = dt_min;
+        let mut floor_streak = 0usize;
+        // History of the last accepted span, for the divided-difference
+        // LTE estimate of plain (single-solve) steps. `h_prev == 0`
+        // means no usable history: the next step must be a doubling
+        // probe.
+        let mut v_prevstep = vec![0.0; n_nodes];
+        let mut h_prev = 0.0f64;
+        // Did the last Newton solve converge immediately? If so the
+        // cached LU is still the converged Jacobian of a flat span and
+        // the next solve may open on it without refactorizing.
+        let mut fast_streak = false;
+        // Runaway guard: an accepted floor step advances at least
+        // dt_min and a rejection halves h, so this bound is generous.
+        let mut budget = 16 * n_out as u64 + 4096;
+
+        while next_out <= n_out {
+            if t_stop - t < 0.5 * out_dt * 1e-6 {
+                break;
+            }
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                return Err(SolverError::NonConvergence { time: t });
+            }
+            let h_eff = h.min(t_stop - t);
+            // A fast source move shifts the operating point: the
+            // cached LU no longer approximates the Jacobian there.
+            // Solution history stays — the divided-difference LTE sees
+            // any real discontinuity as huge curvature and rejects the
+            // step on its own, which is exactly the right response.
+            if self.source_jump(t, t + h_eff) > SOURCE_JUMP_V {
+                self.ws.invalidate();
+            }
+            // The LTE bound, not the Newton tolerance, limits accuracy
+            // in this mode — solving each step far below the accepted
+            // truncation error only burns device evaluations. The big
+            // step exists purely as the LTE probe, so it gets an even
+            // looser target.
+            let ntol = config.tol.max(0.03 * lte_tol);
+            let ntol_big = config.tol.max(0.1 * lte_tol);
+            if h_eff <= dt_min * (1.0 + 1e-9) {
+                // At the floor there is nothing to refine against:
+                // take the backward-Euler step and accept it.
+                v_end.copy_from_slice(&v);
+                self.apply_sources(&mut v_end, t + h_eff);
+                let iters = self.newton_modified(
+                    &mut v_end,
+                    Some((&v, h_eff)),
+                    config.gmin,
+                    config.max_newton,
+                    ntol,
+                    t + h_eff,
+                    fast_streak,
+                )?;
+                fast_streak = iters <= 1;
+                if iters > SLOW_STEP_ITERS {
+                    self.ws.invalidate();
+                }
+                self.stats.steps_taken += 1;
+                emit(&mut bufs, &mut next_out, t, &v, t + h_eff, &v_end);
+                v_prevstep.copy_from_slice(&v);
+                h_prev = h_eff;
+                v.copy_from_slice(&v_end);
+                t += h_eff;
+                floor_streak += 1;
+                if floor_streak >= 4 {
+                    // Probe growth: the next step is LTE-tested, so a
+                    // wrong guess costs one rejection, not accuracy.
+                    h = (2.0 * dt_min).min(dt_max);
+                    floor_streak = 0;
+                }
+                continue;
+            }
+            floor_streak = 0;
+
+            // Plain step: with an accepted span behind us, one
+            // backward-Euler solve suffices — the LTE comes free from
+            // the second divided difference across the last two spans,
+            // scale-matched to the doubling defect (both are h²·v''/4
+            // estimators) and valid for growth candidates too since it
+            // reads the freshly solved span. Only history-less steps
+            // (start of the run) fall through to the rigorous
+            // step-doubling probe.
+            if h_prev > 0.0 {
+                // Warm start by linear extrapolation of the last span.
+                for (x, (&a, &b)) in v_end.iter_mut().zip(v.iter().zip(&v_prevstep)) {
+                    *x = a + (a - b) * (h_eff / h_prev);
+                }
+                self.apply_sources(&mut v_end, t + h_eff);
+                let solved = self.newton_modified(
+                    &mut v_end,
+                    Some((&v, h_eff)),
+                    config.gmin,
+                    config.max_newton,
+                    ntol,
+                    t + h_eff,
+                    fast_streak,
+                );
+                let iters = match solved {
+                    Ok(i) => i,
+                    Err(_) => {
+                        self.ws.invalidate();
+                        fast_streak = false;
+                        self.stats.steps_rejected += 1;
+                        h = (0.5 * h_eff).max(dt_min);
+                        continue;
+                    }
+                };
+                fast_streak = iters <= 1;
+                let mut lte = 0.0f64;
+                for i in 0..n_nodes {
+                    let d1 = (v_end[i] - v[i]) / h_eff;
+                    let d0 = (v[i] - v_prevstep[i]) / h_prev;
+                    let vpp = 2.0 * (d1 - d0) / (h_eff + h_prev);
+                    lte = lte.max((0.25 * h_eff * h_eff * vpp).abs());
+                }
+                if lte <= lte_tol {
+                    if iters > SLOW_STEP_ITERS {
+                        self.ws.invalidate();
+                    }
+                    self.stats.steps_taken += 1;
+                    emit(&mut bufs, &mut next_out, t, &v, t + h_eff, &v_end);
+                    v_prevstep.copy_from_slice(&v);
+                    h_prev = h_eff;
+                    v.copy_from_slice(&v_end);
+                    t += h_eff;
+                    h = if lte < 0.25 * lte_tol {
+                        (2.0 * h_eff).min(dt_max)
+                    } else if lte < 0.6 * lte_tol {
+                        h_eff.min(dt_max)
+                    } else {
+                        (0.8 * h_eff).max(dt_min)
+                    };
+                } else {
+                    self.stats.steps_rejected += 1;
+                    let shrink = (0.9 * (lte_tol / lte).sqrt()).clamp(0.1, 0.5);
+                    h = (shrink * h_eff).max(dt_min);
+                }
+                continue;
+            }
+            let half = 0.5 * h_eff;
+            // Warm starts: the half-step solves start from the big-step
+            // solution (midpoint lerp, then the endpoint itself) — pure
+            // initial guesses; the Newton tolerance decides accuracy.
+            let attempt = (|this: &mut Self, fs: bool| -> Result<usize, SolverError> {
+                v_big.copy_from_slice(&v);
+                this.apply_sources(&mut v_big, t + h_eff);
+                let i1 = this.newton_modified(
+                    &mut v_big,
+                    Some((&v, h_eff)),
+                    config.gmin,
+                    config.max_newton,
+                    ntol_big,
+                    t + h_eff,
+                    fs,
+                )?;
+                for (x, (&a, &b)) in v_half.iter_mut().zip(v.iter().zip(&v_big)) {
+                    *x = 0.5 * (a + b);
+                }
+                this.apply_sources(&mut v_half, t + half);
+                let i2 = this.newton_modified(
+                    &mut v_half,
+                    Some((&v, half)),
+                    config.gmin,
+                    config.max_newton,
+                    ntol,
+                    t + half,
+                    i1 <= 1,
+                )?;
+                v_end.copy_from_slice(&v_big);
+                this.apply_sources(&mut v_end, t + h_eff);
+                let i3 = this.newton_modified(
+                    &mut v_end,
+                    Some((&v_half, half)),
+                    config.gmin,
+                    config.max_newton,
+                    ntol,
+                    t + h_eff,
+                    i2 <= 1,
+                )?;
+                Ok(i1.max(i2).max(i3))
+            })(self, fast_streak);
+            let worst_iters = match attempt {
+                Ok(i) => i,
+                Err(_) => {
+                    // Newton failure above the floor: treat as a step
+                    // rejection and retry smaller with a fresh LU.
+                    self.ws.invalidate();
+                    fast_streak = false;
+                    self.stats.steps_rejected += 1;
+                    h = (0.5 * h_eff).max(dt_min);
+                    continue;
+                }
+            };
+            fast_streak = worst_iters <= 1;
+            let lte = v_big
+                .iter()
+                .zip(&v_end)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            if lte <= lte_tol {
+                if worst_iters > SLOW_STEP_ITERS {
+                    self.ws.invalidate();
+                }
+                self.stats.steps_taken += 2;
+                emit(&mut bufs, &mut next_out, t, &v, t + half, &v_half);
+                emit(
+                    &mut bufs,
+                    &mut next_out,
+                    t + half,
+                    &v_half,
+                    t + h_eff,
+                    &v_end,
+                );
+                v_prevstep.copy_from_slice(&v);
+                h_prev = h_eff;
+                v.copy_from_slice(&v_end);
+                t += h_eff;
+                h = if lte < 0.25 * lte_tol {
+                    (2.0 * h_eff).min(dt_max)
+                } else if lte < 0.6 * lte_tol {
+                    h_eff.min(dt_max)
+                } else {
+                    // Hysteresis: an LTE brushing the bound would
+                    // oscillate accept/reject at a fixed h; back off a
+                    // little while still accepting.
+                    (0.8 * h_eff).max(dt_min)
+                };
+            } else {
+                // Proportional back-off: the doubling defect of a
+                // first-order method scales as h², so jump straight to
+                // the step the measured LTE implies instead of cascading
+                // through halvings (each rejection wastes three solves).
+                self.stats.steps_rejected += 1;
+                let shrink = (0.9 * (lte_tol / lte).sqrt()).clamp(0.1, 0.5);
+                h = (shrink * h_eff).max(dt_min);
+            }
+        }
+        // Float drift can leave the last grid point unfilled; hold the
+        // final value.
+        for buf in bufs.iter_mut() {
+            while buf.len() < n_out + 1 {
+                let last = *buf.last().expect("has the DC sample");
+                buf.push(last);
+            }
+        }
+        Ok(bufs
+            .into_iter()
+            .map(|samples| Waveform::new(0.0, out_dt, samples))
+            .collect())
     }
 }
 
@@ -308,8 +1417,15 @@ impl<'c> Assembler<'c> {
 /// # Errors
 ///
 /// Returns [`SolverError`] if Newton fails even at the largest gmin.
-pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SolverError> {
-    dc_at_time(circuit, 0.0)
+pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, SolverError> {
+    let mut solver = Solver::new(circuit);
+    let started = Instant::now();
+    let voltages = solver.dc_at(0.0)?;
+    solver.stats.total_time += started.elapsed();
+    Ok(DcSolution {
+        voltages,
+        stats: solver.stats,
+    })
 }
 
 /// Solves the DC operating point from user-supplied initial guesses on
@@ -324,73 +1440,54 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SolverError> {
 pub fn dc_operating_point_with_nodeset(
     circuit: &Circuit,
     nodeset: &[(Node, f64)],
-) -> Result<Vec<f64>, SolverError> {
-    let asm = Assembler::new(circuit);
-    let v_mid = 0.5
-        * circuit
-            .sources()
-            .iter()
-            .map(|(_, s)| s.value_at(0.0).abs())
-            .fold(0.0f64, f64::max);
-    let mut v = vec![v_mid; circuit.node_count()];
-    for &(node, guess) in nodeset {
-        v[node.index()] = guess;
-    }
-    asm.apply_sources(&mut v, 0.0);
-    if asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0).is_ok() {
-        return Ok(v);
-    }
-    // Gmin ladder from the seeded point.
-    let mut last = Ok(());
-    for gmin in [1e-6, 1e-9, 1e-12] {
-        last = asm.newton(&mut v, None, gmin, 400, 1e-9, 0.0);
-    }
-    last.map(|()| v)
+) -> Result<DcSolution, SolverError> {
+    let mut solver = Solver::new(circuit);
+    let started = Instant::now();
+    let voltages = solver.dc_nodeset(nodeset)?;
+    solver.stats.total_time += started.elapsed();
+    Ok(DcSolution {
+        voltages,
+        stats: solver.stats,
+    })
 }
 
-fn dc_at_time(circuit: &Circuit, t: f64) -> Result<Vec<f64>, SolverError> {
-    let asm = Assembler::new(circuit);
-    // Mid-supply initial guess: the natural basin for self-biased CMOS
-    // (the resistive-feedback inverter settles near 0.5·VDD).
-    let v_mid = 0.5
-        * circuit
-            .sources()
-            .iter()
-            .map(|(_, s)| s.value_at(t).abs())
-            .fold(0.0f64, f64::max);
-    let mut best_err = SolverError::NonConvergence { time: t };
-    for guess in [v_mid, 0.0] {
-        let mut v = vec![guess; circuit.node_count()];
-        asm.apply_sources(&mut v, t);
-        // Direct attempt at the target gmin, then a gmin ladder.
-        if asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0).is_ok() {
-            return Ok(v);
-        }
-        let mut ok = true;
-        for gmin in [1e-3, 1e-5, 1e-7, 1e-9, 1e-10, 1e-11, 3e-12, 1e-12] {
-            match asm.newton(&mut v, None, gmin, 400, 1e-9, 0.0) {
-                Ok(()) => {}
-                Err(e) => {
-                    best_err = e;
-                    ok = false;
+/// The continuation loop shared by the sequential sweep and each
+/// parallel chunk: override the source, Newton from the previous
+/// point's solution, fall back to a fresh robust solve.
+fn dc_sweep_on(
+    solver: &mut Solver<'_>,
+    source_index: usize,
+    values: &[f64],
+) -> Result<Vec<Vec<f64>>, SolverError> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut guess: Option<Vec<f64>> = None;
+    for &val in values {
+        solver.set_source_override(Some((source_index, val)));
+        let v = match &guess {
+            Some(g) => {
+                // Continuation: Newton from the previous point's solution.
+                let mut v = g.clone();
+                solver.apply_sources(&mut v, 0.0);
+                match solver.newton_full(&mut v, None, 1e-12, 400, 1e-9, 0.0) {
+                    Ok(()) => v,
+                    // Fall back to a fresh robust solve.
+                    Err(_) => solver.dc_at(0.0)?,
                 }
             }
-        }
-        if ok {
-            return Ok(v);
-        }
-        // Final ladder step failed but earlier ones may have landed close:
-        // one more direct attempt from wherever we are.
-        if asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0).is_ok() {
-            return Ok(v);
-        }
+            None => solver.dc_at(0.0)?,
+        };
+        guess = Some(v.clone());
+        out.push(v);
     }
-    Err(best_err)
+    solver.set_source_override(None);
+    Ok(out)
 }
 
 /// DC sweep: overrides source `source_index`'s value across `values` and
 /// returns the full node-voltage vector per point (continuation from the
-/// previous point makes VTC sweeps fast and stable).
+/// previous point makes VTC sweeps fast and stable). One compiled
+/// solver and workspace serve the whole sweep — the circuit is not
+/// cloned and the topology is not re-analyzed per point.
 ///
 /// # Errors
 ///
@@ -403,37 +1500,71 @@ pub fn dc_sweep(
     circuit: &Circuit,
     source_index: usize,
     values: &[f64],
-) -> Result<Vec<Vec<f64>>, SolverError> {
+) -> Result<DcSweepResult, SolverError> {
     assert!(
         source_index < circuit.sources().len(),
         "source index out of range"
     );
-    let mut sweep_circuit = circuit.clone();
-    let mut out = Vec::with_capacity(values.len());
-    let mut guess: Option<Vec<f64>> = None;
-    for &val in values {
-        {
-            let sources = sweep_circuit.sources_mut();
-            sources[source_index].1 = crate::circuit::Stimulus::Dc(val);
-        }
-        let v = match &guess {
-            Some(g) => {
-                // Continuation: Newton from the previous point's solution.
-                let asm = Assembler::new(&sweep_circuit);
-                let mut v = g.clone();
-                asm.apply_sources(&mut v, 0.0);
-                match asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0) {
-                    Ok(()) => v,
-                    // Fall back to a fresh robust solve.
-                    Err(_) => dc_at_time(&sweep_circuit, 0.0)?,
-                }
-            }
-            None => dc_at_time(&sweep_circuit, 0.0)?,
-        };
-        guess = Some(v.clone());
-        out.push(v);
+    let mut solver = Solver::new(circuit);
+    let started = Instant::now();
+    let points = dc_sweep_on(&mut solver, source_index, values)?;
+    solver.stats.total_time += started.elapsed();
+    Ok(DcSweepResult {
+        points,
+        stats: solver.stats,
+    })
+}
+
+/// Points per independent continuation chunk in
+/// [`dc_sweep_with_threads`]. Fixed (not derived from the worker
+/// count) so the chunk boundaries — and therefore every result — are
+/// identical for any thread count.
+const DC_SWEEP_CHUNK: usize = 8;
+
+/// Parallel [`dc_sweep`]: the value list is split into fixed-size
+/// chunks, each solved by an independent continuation on its own
+/// workspace, fanned across `threads` workers. Results come back in
+/// input order and are **worker-count-independent**: chunk boundaries
+/// depend only on the input length, and each chunk's arithmetic is a
+/// self-contained continuation starting from a fresh robust solve.
+///
+/// (Chunked continuation differs from the sequential sweep's single
+/// unbroken continuation chain at chunk boundaries, so compare this
+/// function with itself across thread counts, not with [`dc_sweep`].)
+///
+/// # Errors
+///
+/// Returns the first solver failure in input order.
+///
+/// # Panics
+///
+/// Panics if `source_index` is out of range.
+pub fn dc_sweep_with_threads(
+    circuit: &Circuit,
+    source_index: usize,
+    values: &[f64],
+    threads: usize,
+) -> Result<DcSweepResult, SolverError> {
+    assert!(
+        source_index < circuit.sources().len(),
+        "source index out of range"
+    );
+    let started = Instant::now();
+    let chunks: Vec<&[f64]> = values.chunks(DC_SWEEP_CHUNK).collect();
+    let results = crate::par::map_with_threads(&chunks, threads, |_, chunk| {
+        let mut solver = Solver::new(circuit);
+        let points = dc_sweep_on(&mut solver, source_index, chunk)?;
+        Ok::<_, SolverError>((points, solver.stats))
+    });
+    let mut points = Vec::with_capacity(values.len());
+    let mut stats = SolverStats::default();
+    for r in results {
+        let (chunk_points, chunk_stats) = r?;
+        points.extend(chunk_points);
+        stats.merge(&chunk_stats);
     }
-    Ok(out)
+    stats.total_time = started.elapsed();
+    Ok(DcSweepResult { points, stats })
 }
 
 /// Runs a transient analysis from the DC operating point.
@@ -445,31 +1576,7 @@ pub fn transient(
     circuit: &Circuit,
     config: &TransientConfig,
 ) -> Result<TransientResult, SolverError> {
-    let asm = Assembler::new(circuit);
-    let mut v = dc_at_time(circuit, 0.0)?;
-    let steps = (config.t_end / config.dt).ceil() as usize;
-    let mut history: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
-    history.push(v.clone());
-    let mut prev = v.clone();
-    for k in 1..=steps {
-        let t = k as f64 * config.dt;
-        asm.apply_sources(&mut v, t);
-        asm.newton(
-            &mut v,
-            Some((&prev, config.dt)),
-            config.gmin,
-            config.max_newton,
-            config.tol,
-            t,
-        )?;
-        history.push(v.clone());
-        prev.copy_from_slice(&v);
-    }
-    let n_nodes = circuit.node_count();
-    let waveforms = (0..n_nodes)
-        .map(|node| Waveform::new(0.0, config.dt, history.iter().map(|h| h[node]).collect()))
-        .collect();
-    Ok(TransientResult { waveforms })
+    Solver::new(circuit).run_transient(config)
 }
 
 #[cfg(test)]
@@ -714,5 +1821,267 @@ mod tests {
         let a = transient(&c, &cfg).expect("ok");
         let b = transient(&c, &cfg).expect("ok");
         assert_eq!(a.waveform(out).samples(), b.waveform(out).samples());
+    }
+
+    // ---- regression: bit-identity of Fixed mode vs the reference ----
+
+    /// The circuits the historical unit tests exercise, rebuilt for
+    /// pairwise comparison runs.
+    fn regression_circuits() -> Vec<(&'static str, Circuit, Vec<Node>, TransientConfig)> {
+        let mut out = Vec::new();
+        {
+            let mut c = Circuit::new();
+            let vin = c.node("vin");
+            let node_out = c.node("out");
+            c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]));
+            c.resistor(vin, node_out, 1e3);
+            c.capacitor(node_out, c.gnd(), 1e-12);
+            out.push((
+                "rc",
+                c,
+                vec![vin, node_out],
+                TransientConfig::with_dt(5e-9, 5e-12),
+            ));
+        }
+        {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vin = c.node("vin");
+            let vout = c.node("vout");
+            c.vsource(vdd, Stimulus::Dc(VDD));
+            c.vsource(
+                vin,
+                Stimulus::Pwl(vec![(0.0, 0.0), (1e-9, 0.0), (1.05e-9, VDD), (3e-9, VDD)]),
+            );
+            inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
+            c.capacitor(vout, c.gnd(), 10e-15);
+            out.push((
+                "inverter",
+                c,
+                vec![vin, vout],
+                TransientConfig::with_dt(3e-9, 2e-12),
+            ));
+        }
+        {
+            let mut c = Circuit::new();
+            let vin = c.node("vin");
+            let mid = c.node("mid");
+            c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (10e-12, 1.0)]));
+            c.capacitor(vin, mid, 1e-12);
+            c.capacitor(mid, c.gnd(), 1e-12);
+            out.push((
+                "series-caps",
+                c,
+                vec![vin, mid],
+                TransientConfig::with_dt(1e-9, 1e-12),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn fixed_mode_is_bit_identical_to_reference_transients() {
+        for (name, c, nodes, cfg) in regression_circuits() {
+            let new = transient(&c, &cfg).expect("new solver runs");
+            let old = reference::transient(&c, &cfg).expect("reference runs");
+            for node in nodes {
+                let a = new.waveform(node).samples();
+                let b = old.waveform(node).samples();
+                assert_eq!(a.len(), b.len(), "{name}: sample count");
+                for (k, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name}: sample {k} differs: {x:e} vs {y:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dc_is_bit_identical_to_reference() {
+        // DC solves across the historical test circuits, including the
+        // pseudo-resistor's aliased-slot stamps (g == s).
+        let mut circuits: Vec<Circuit> = Vec::new();
+        {
+            let mut c = Circuit::new();
+            let vin = c.node("vin");
+            let mid = c.node("mid");
+            c.vsource(vin, Stimulus::Dc(1.8));
+            c.resistor(vin, mid, 1e3);
+            c.resistor(mid, c.gnd(), 3e3);
+            circuits.push(c);
+        }
+        {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vin = c.node("vin");
+            let vout = c.node("vout");
+            c.vsource(vdd, Stimulus::Dc(VDD));
+            c.vsource(vin, Stimulus::Dc(0.0));
+            inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
+            circuits.push(c);
+        }
+        {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            let x = c.node("x");
+            c.vsource(a, Stimulus::Dc(0.9));
+            c.vsource(b, Stimulus::Dc(0.95));
+            let pmos = MosDevice::new(MosParams::sky130_pmos(&Pvt::nominal()), 1.0, 0.5);
+            c.pseudo_resistor(pmos, a, x);
+            c.resistor(x, b, 1e6);
+            circuits.push(c);
+        }
+        for (i, c) in circuits.iter().enumerate() {
+            let new = dc_operating_point(c).expect("new");
+            let old = reference::dc_operating_point(c).expect("old");
+            assert_eq!(new.len(), old.len());
+            for (k, (x, y)) in new.iter().zip(&old).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "circuit {i} node {k}: {x:e} vs {y:e}"
+                );
+            }
+        }
+    }
+
+    // ---- adaptive mode ----
+
+    #[test]
+    fn adaptive_rc_tracks_fixed_reference() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (50e-12, 1.0)]));
+        c.resistor(vin, out, 1e3);
+        c.capacitor(out, c.gnd(), 1e-12);
+        let lte_tol = 1e-3;
+        let fixed = transient(&c, &TransientConfig::with_dt(5e-9, 1e-12)).expect("fixed");
+        let adaptive = transient(&c, &TransientConfig::adaptive(5e-9, 1e-12, 64e-12, lte_tol))
+            .expect("adaptive");
+        let err = adaptive.waveform(out).max_abs_diff(fixed.waveform(out));
+        assert!(err < 10.0 * lte_tol, "adaptive error {err:.3e}");
+        // The point of the exercise: far fewer steps than the grid.
+        let grid_steps = fixed.stats().steps_taken;
+        let taken = adaptive.stats().steps_taken;
+        assert!(
+            taken * 3 < grid_steps,
+            "adaptive must walk coarsely: {taken} vs {grid_steps}"
+        );
+    }
+
+    #[test]
+    fn linear_circuit_factorizes_once_per_transient() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]));
+        c.resistor(vin, out, 10e3);
+        c.capacitor(out, c.gnd(), 50e-15);
+        let res = transient(&c, &TransientConfig::with_dt(2e-9, 1e-12)).expect("ok");
+        let s = res.stats();
+        // One factorization per distinct (dt, gmin) key: the DC solve
+        // ladder uses several gmins, the transient exactly one more.
+        assert!(
+            s.factorizations <= DC_LADDER.len() as u64 + 3,
+            "linear transient must reuse its LU: {} factorizations",
+            s.factorizations
+        );
+        assert!(
+            s.factorization_reuses > s.steps_taken,
+            "every step after the first must reuse: {s:?}"
+        );
+        assert!(s.reuse_rate() > 0.9, "reuse rate {}", s.reuse_rate());
+    }
+
+    #[test]
+    fn stats_report_steps_and_wall_time() {
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource(vin, Stimulus::Dc(1.0));
+        c.resistor(vin, out, 1e3);
+        c.capacitor(out, c.gnd(), 1e-12);
+        let res = transient(&c, &TransientConfig::with_dt(1e-9, 1e-12)).expect("ok");
+        let s = res.stats();
+        let expect = (1e-9f64 / 1e-12).ceil() as u64;
+        assert_eq!(s.steps_taken, expect);
+        assert!(s.newton_iterations >= s.steps_taken);
+        assert!(s.total_time > Duration::ZERO);
+        let mut sum = SolverStats::default();
+        sum.merge(s);
+        sum.merge(s);
+        assert_eq!(sum.steps_taken, 2 * s.steps_taken);
+    }
+
+    #[test]
+    fn dc_failure_reports_actual_time() {
+        // A floating gate between two capacitors with zero gmin paths
+        // still solves (gmin), so force failure differently: a
+        // source-free circuit whose only element is a reversed MOS has
+        // no issue either — instead check the plumbing directly: the
+        // sweep entry point passes its `t` through to errors.
+        let mut c = Circuit::new();
+        let vin = c.node("vin");
+        let out = c.node("out");
+        c.vsource(vin, Stimulus::Dc(1.0));
+        c.resistor(vin, out, 1e3);
+        let mut solver = Solver::new(&c);
+        // Sanity: this healthy circuit solves at any t…
+        let v = solver.dc_at(3.5e-9).expect("solves");
+        assert!((v[out.index()] - 1.0).abs() < 1e-6);
+        // …and the error constructor carries the time through Display.
+        let e = SolverError::NonConvergence { time: 3.5e-9 };
+        assert!(e.to_string().contains("3.500e-9"));
+    }
+
+    #[test]
+    fn parallel_dc_sweep_is_worker_count_independent() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.vsource(vdd, Stimulus::Dc(VDD));
+        c.vsource(vin, Stimulus::Dc(0.0));
+        inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
+        let xs: Vec<f64> = (0..=36).map(|i| i as f64 * 0.05).collect();
+        let base = dc_sweep_with_threads(&c, 1, &xs, 1).expect("sweeps");
+        for threads in [2, 4, 8] {
+            let par = dc_sweep_with_threads(&c, 1, &xs, threads).expect("sweeps");
+            assert_eq!(par.len(), base.len());
+            for (i, (a, b)) in par.iter().zip(base.iter()).enumerate() {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "threads={threads} point {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+        // And the parallel result is a valid VTC.
+        let vtc: Vec<f64> = base.iter().map(|v| v[vout.index()]).collect();
+        for w in vtc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC must fall");
+        }
+    }
+
+    #[test]
+    fn nodeset_survives_intermediate_rung_failure_tracking() {
+        // The happy path must be unchanged by the rung-tracking fix.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(vdd, Stimulus::Dc(VDD));
+        inverter(&mut c, a, b, vdd, 0.65, 1.0);
+        inverter(&mut c, b, a, vdd, 0.65, 1.0);
+        let v = dc_operating_point_with_nodeset(&c, &[(a, VDD), (b, 0.0)]).expect("solves");
+        assert!(v[a.index()] > VDD - 0.2, "a latched high");
+        assert!(v[b.index()] < 0.2, "b pulled low");
     }
 }

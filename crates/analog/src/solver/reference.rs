@@ -1,0 +1,325 @@
+//! The pre-refactor dense-rebuild solver, retained as a regression and
+//! benchmarking reference.
+//!
+//! This is the solver core as it existed before the stamped-assembly
+//! rewrite: every Newton iteration allocates and refactorizes a dense
+//! `Vec<Vec<f64>>` Jacobian from scratch and every accepted step clones
+//! the full node-voltage vector. It is kept (verbatim, minus dead code)
+//! for two reasons:
+//!
+//! * the `Fixed(dt)` mode of the rewritten solver must stay
+//!   **bit-identical** to this implementation — the regression tests in
+//!   the parent module compare waveforms with `f64::to_bits`, and
+//! * `analog_bench` measures the rewrite's speedup against it
+//!   (`BENCH_analog.json`).
+//!
+//! Do not extend this module; new work goes into the stamped solver.
+
+use super::{SolverError, StepMode, TransientConfig, TransientResult};
+use crate::circuit::{Circuit, Element, Node};
+use crate::waveform::Waveform;
+use openserdes_pdk::mos::MosType;
+
+/// Dense Gaussian elimination with partial pivoting. `a` is row-major
+/// `n×n`, `b` length-`n`; returns the solution or `None` if singular.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col][col].abs();
+        for (r, row) in a.iter().enumerate().skip(col + 1) {
+            if row[col].abs() > best {
+                best = row[col].abs();
+                piv = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // Eliminate below.
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let (head, tail) = a.split_at_mut(r);
+            let pivot_row = &head[col];
+            for (x, &pv) in tail[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *x -= f * pv;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= a[r][c] * x[c];
+        }
+        x[r] = acc / a[r][r];
+    }
+    Some(x)
+}
+
+struct Assembler<'c> {
+    circuit: &'c Circuit,
+    /// unknown index per node (None = ground or source-driven).
+    index: Vec<Option<usize>>,
+    n_unknown: usize,
+}
+
+impl<'c> Assembler<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        let n = circuit.node_count();
+        let mut known = vec![false; n];
+        known[0] = true;
+        for (node, _) in circuit.sources() {
+            known[node.index()] = true;
+        }
+        let mut index = vec![None; n];
+        let mut k = 0;
+        for (i, idx) in index.iter_mut().enumerate() {
+            if !known[i] {
+                *idx = Some(k);
+                k += 1;
+            }
+        }
+        Self {
+            circuit,
+            index,
+            n_unknown: k,
+        }
+    }
+
+    /// Fills known node voltages into `v` for time `t`.
+    fn apply_sources(&self, v: &mut [f64], t: f64) {
+        v[0] = 0.0;
+        for (node, stim) in self.circuit.sources() {
+            v[node.index()] = stim.value_at(t);
+        }
+    }
+
+    /// Builds the Newton system at the operating point `v`.
+    fn build(
+        &self,
+        v: &[f64],
+        prev_dt: Option<(&[f64], f64)>,
+        gmin: f64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = self.n_unknown;
+        let mut jac = vec![vec![0.0; n]; n];
+        let mut res = vec![0.0; n];
+
+        // F[n] = sum of currents leaving node n; J = dF/dv.
+        let stamp_f = |node: Node, current: f64, res: &mut Vec<f64>| {
+            if let Some(i) = self.index[node.index()] {
+                res[i] += current;
+            }
+        };
+        let stamp_j = |row: Node, col: Node, g: f64, jac: &mut Vec<Vec<f64>>| {
+            if let (Some(r), Some(c)) = (self.index[row.index()], self.index[col.index()]) {
+                jac[r][c] += g;
+            }
+        };
+
+        for el in self.circuit.elements() {
+            match *el {
+                Element::Resistor { a, b, ohms } => {
+                    let g = 1.0 / ohms;
+                    let i = (v[a.index()] - v[b.index()]) * g;
+                    stamp_f(a, i, &mut res);
+                    stamp_f(b, -i, &mut res);
+                    stamp_j(a, a, g, &mut jac);
+                    stamp_j(a, b, -g, &mut jac);
+                    stamp_j(b, a, -g, &mut jac);
+                    stamp_j(b, b, g, &mut jac);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    if let Some((prev, dt)) = prev_dt {
+                        let g = farads / dt;
+                        let vbr = v[a.index()] - v[b.index()];
+                        let vbr_prev = prev[a.index()] - prev[b.index()];
+                        let i = g * (vbr - vbr_prev);
+                        stamp_f(a, i, &mut res);
+                        stamp_f(b, -i, &mut res);
+                        stamp_j(a, a, g, &mut jac);
+                        stamp_j(a, b, -g, &mut jac);
+                        stamp_j(b, a, -g, &mut jac);
+                        stamp_j(b, b, g, &mut jac);
+                    }
+                }
+                Element::Mos { device, d, g, s } => {
+                    let (vd, vg, vs) = (v[d.index()], v[g.index()], v[s.index()]);
+                    match device.params.mos_type {
+                        MosType::Nmos => {
+                            // Current d→s through the device.
+                            let e = device.eval(vg - vs, vd - vs);
+                            stamp_f(d, e.id, &mut res);
+                            stamp_f(s, -e.id, &mut res);
+                            // dI/dvd = gds, dI/dvg = gm, dI/dvs = -(gm+gds)
+                            stamp_j(d, d, e.gds, &mut jac);
+                            stamp_j(d, g, e.gm, &mut jac);
+                            stamp_j(d, s, -(e.gm + e.gds), &mut jac);
+                            stamp_j(s, d, -e.gds, &mut jac);
+                            stamp_j(s, g, -e.gm, &mut jac);
+                            stamp_j(s, s, e.gm + e.gds, &mut jac);
+                        }
+                        MosType::Pmos => {
+                            // Current s→d through the device.
+                            let e = device.eval(vs - vg, vs - vd);
+                            stamp_f(s, e.id, &mut res);
+                            stamp_f(d, -e.id, &mut res);
+                            // dI/dvs = gm+gds, dI/dvg = -gm, dI/dvd = -gds
+                            stamp_j(s, s, e.gm + e.gds, &mut jac);
+                            stamp_j(s, g, -e.gm, &mut jac);
+                            stamp_j(s, d, -e.gds, &mut jac);
+                            stamp_j(d, s, -(e.gm + e.gds), &mut jac);
+                            stamp_j(d, g, e.gm, &mut jac);
+                            stamp_j(d, d, e.gds, &mut jac);
+                        }
+                    }
+                }
+            }
+        }
+
+        // gmin to ground stabilizes floating/self-biased nodes.
+        for (node_idx, &slot) in self.index.iter().enumerate() {
+            if let Some(i) = slot {
+                res[i] += gmin * v[node_idx];
+                jac[i][i] += gmin;
+            }
+        }
+
+        (jac, res)
+    }
+
+    /// Newton iteration at fixed sources; updates `v` in place.
+    fn newton(
+        &self,
+        v: &mut [f64],
+        prev_dt: Option<(&[f64], f64)>,
+        gmin: f64,
+        max_iter: usize,
+        tol: f64,
+        time: f64,
+    ) -> Result<(), SolverError> {
+        for _ in 0..max_iter {
+            let (mut jac, mut res) = self.build(v, prev_dt, gmin);
+            res.iter_mut().for_each(|r| *r = -*r);
+            let dv = solve_dense(&mut jac, &mut res).ok_or(SolverError::SingularMatrix { time })?;
+            // Damping: limit the largest update to 0.4 V per iteration.
+            let max_dv = dv.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            let scale = if max_dv > 0.4 { 0.4 / max_dv } else { 1.0 };
+            for (node_idx, &slot) in self.index.iter().enumerate() {
+                if let Some(i) = slot {
+                    v[node_idx] += scale * dv[i];
+                }
+            }
+            if max_dv * scale < tol {
+                return Ok(());
+            }
+        }
+        Err(SolverError::NonConvergence { time })
+    }
+}
+
+/// DC operating point via the dense-rebuild reference path.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] if Newton fails even after gmin stepping.
+pub fn dc_operating_point(circuit: &Circuit) -> Result<Vec<f64>, SolverError> {
+    dc_at_time(circuit, 0.0)
+}
+
+fn dc_at_time(circuit: &Circuit, t: f64) -> Result<Vec<f64>, SolverError> {
+    let asm = Assembler::new(circuit);
+    // Mid-supply initial guess: the natural basin for self-biased CMOS
+    // (the resistive-feedback inverter settles near 0.5·VDD).
+    let v_mid = 0.5
+        * circuit
+            .sources()
+            .iter()
+            .map(|(_, s)| s.value_at(t).abs())
+            .fold(0.0f64, f64::max);
+    let mut best_err = SolverError::NonConvergence { time: t };
+    for guess in [v_mid, 0.0] {
+        let mut v = vec![guess; circuit.node_count()];
+        asm.apply_sources(&mut v, t);
+        // Direct attempt at the target gmin, then a gmin ladder.
+        if asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0).is_ok() {
+            return Ok(v);
+        }
+        let mut ok = true;
+        for gmin in [1e-3, 1e-5, 1e-7, 1e-9, 1e-10, 1e-11, 3e-12, 1e-12] {
+            match asm.newton(&mut v, None, gmin, 400, 1e-9, 0.0) {
+                Ok(()) => {}
+                Err(e) => {
+                    best_err = e;
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            return Ok(v);
+        }
+        // Final ladder step failed but earlier ones may have landed close:
+        // one more direct attempt from wherever we are.
+        if asm.newton(&mut v, None, 1e-12, 400, 1e-9, 0.0).is_ok() {
+            return Ok(v);
+        }
+    }
+    Err(best_err)
+}
+
+/// Transient analysis via the dense-rebuild reference path. Only
+/// [`StepMode::Fixed`] is supported — the reference predates adaptive
+/// stepping.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] on DC or per-step Newton failure.
+///
+/// # Panics
+///
+/// Panics if `config.step` is [`StepMode::Adaptive`].
+pub fn transient(
+    circuit: &Circuit,
+    config: &TransientConfig,
+) -> Result<TransientResult, SolverError> {
+    let StepMode::Fixed(dt) = config.step else {
+        panic!("the reference solver supports only StepMode::Fixed");
+    };
+    let asm = Assembler::new(circuit);
+    let mut v = dc_at_time(circuit, 0.0)?;
+    let steps = (config.t_end / dt).ceil() as usize;
+    let mut history: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+    history.push(v.clone());
+    let mut prev = v.clone();
+    for k in 1..=steps {
+        let t = k as f64 * dt;
+        asm.apply_sources(&mut v, t);
+        asm.newton(
+            &mut v,
+            Some((&prev, dt)),
+            config.gmin,
+            config.max_newton,
+            config.tol,
+            t,
+        )?;
+        history.push(v.clone());
+        prev.copy_from_slice(&v);
+    }
+    let n_nodes = circuit.node_count();
+    let waveforms = (0..n_nodes)
+        .map(|node| Waveform::new(0.0, dt, history.iter().map(|h| h[node]).collect()))
+        .collect();
+    Ok(TransientResult {
+        waveforms,
+        stats: super::SolverStats::default(),
+    })
+}

@@ -193,6 +193,19 @@ impl Waveform {
         }
     }
 
+    /// Largest pointwise absolute difference against `other`, sampled
+    /// on this waveform's grid (the other waveform is resampled by
+    /// interpolation). The metric the adaptive-step accuracy contract
+    /// is stated in.
+    pub fn max_abs_diff(&self, other: &Waveform) -> f64 {
+        (0..self.samples.len())
+            .map(|i| {
+                let t = self.t0 + i as f64 * self.dt;
+                (self.samples[i] - other.sample_at(t)).abs()
+            })
+            .fold(0.0f64, f64::max)
+    }
+
     /// Pointwise combination of two waveforms on this waveform's grid
     /// (the other waveform is resampled by interpolation).
     pub fn zip_with(&self, other: &Waveform, f: impl Fn(f64, f64) -> f64) -> Waveform {
@@ -304,6 +317,15 @@ mod tests {
         assert_eq!(half.samples(), &[0.5, 1.0]);
         let sum = w.zip_with(&half, |a, b| a + b);
         assert_eq!(sum.samples(), &[1.5, 3.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_resamples_other_grid() {
+        let a = Waveform::new(0.0, 1.0, vec![0.0, 1.0, 2.0]);
+        let same = Waveform::new(0.0, 0.5, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        assert!(a.max_abs_diff(&same) < 1e-12, "identical ramps");
+        let off = Waveform::new(0.0, 1.0, vec![0.0, 1.25, 2.0]);
+        assert!((a.max_abs_diff(&off) - 0.25).abs() < 1e-12);
     }
 
     #[test]

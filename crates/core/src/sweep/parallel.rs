@@ -18,15 +18,20 @@
 //! so the bracket sequence is exactly the sequential one.
 //!
 //! Built on `std::thread::scope` — no runtime dependency.
+//!
+//! The generic primitives (order-preserving map, speculative bisection)
+//! live in [`openserdes_analog::par`] so the analog sweeps share the
+//! same engine; this module re-exports them and keeps the link-level
+//! sweep wrappers.
 
 use super::SweepPoint;
 use crate::ber::BerTest;
 use crate::error::LinkError;
 use crate::link::LinkConfig;
+pub use openserdes_analog::par::{bisect_speculative, default_threads, map, map_with_threads};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::Hertz;
 use openserdes_phy::ChannelModel;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Derives work item `k`'s RNG seed from the run seed. This is the
 /// contract the sequential sweeps already use (a Weyl-style odd
@@ -34,62 +39,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// it so each item's random stream is identical either way.
 pub fn derive_seed(seed: u64, k: usize) -> u64 {
     seed ^ (k as u64).wrapping_mul(0x9E37_79B9)
-}
-
-/// Worker count: every available core.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Maps `f` over `items` on `threads` scoped workers, returning results
-/// in input order. Workers pull indices from a shared atomic counter
-/// (work stealing), so uneven item costs still balance.
-pub fn map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        mine.push((i, f(i, &items[i])));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        for h in handles {
-            indexed.extend(h.join().expect("sweep worker panicked"));
-        }
-    });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-/// [`map_with_threads`] on every available core.
-pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    map_with_threads(items, default_threads(), f)
 }
 
 /// Parallel [`super::bathtub`]: fans the phase points across workers.
@@ -114,17 +63,10 @@ pub fn bathtub_parallel(
 }
 
 /// Parallel [`super::max_loss_bisect`], bit-identical to the sequential
-/// bisection for any thread count.
-///
-/// A bisection is a chain of dependent decisions, but each decision only
-/// picks one of two precomputable midpoints — so the next `d` levels
-/// form a binary tree of `2^d − 1` candidate probe points, all known in
-/// advance. The engine evaluates the whole tree concurrently, then walks
-/// it with the results; the walked path visits exactly the probes the
-/// sequential loop would have, in the same arithmetic (`0.5 * (lo +
-/// hi)` recursion), so the final bracket matches to the last bit. Probes
-/// off the walked path are wasted work bought for wall-time — errors on
-/// them are ignored, just as the sequential loop never sees them.
+/// bisection for any thread count. Runs on the shared
+/// [`bisect_speculative`] engine: the next levels of the bisection's
+/// midpoint tree are probed concurrently, then walked, so the bracket
+/// sequence is exactly the sequential one.
 ///
 /// # Errors
 ///
@@ -143,63 +85,14 @@ pub fn max_loss_bisect_parallel(
         };
         BerTest::prbs31(cfg, frames).is_error_free()
     };
-    let (mut lo, mut hi) = (0.0f64, 60.0f64);
+    let (lo, hi) = (0.0f64, 60.0f64);
     if !error_free(lo)? {
         return Ok(0.0);
     }
     if error_free(hi)? {
         return Ok(hi);
     }
-    // Speculation depth: enough tree levels to occupy the workers, but
-    // never deeper than the halvings the bracket still needs.
-    let depth_for = |span: f64| -> u32 {
-        let remaining = (span / tol_db).log2().ceil().max(1.0) as u32;
-        let mut d = 0u32;
-        while (1usize << (d + 1)) - 1 <= threads.max(1) {
-            d += 1;
-        }
-        d.max(1).min(remaining)
-    };
-    while hi - lo > tol_db {
-        let depth = depth_for(hi - lo);
-        // Heap-ordered midpoint tree: node i splits its bracket at
-        // 0.5 * (lo + hi); child 2i+1 takes the lower half, 2i+2 the
-        // upper. fill() recurses with the same expression the
-        // sequential loop uses, so probe values are bit-identical.
-        let nodes = (1usize << depth) - 1;
-        let mut probes = vec![0.0f64; nodes];
-        fn fill(probes: &mut [f64], i: usize, lo: f64, hi: f64) {
-            if i >= probes.len() {
-                return;
-            }
-            let mid = 0.5 * (lo + hi);
-            probes[i] = mid;
-            fill(probes, 2 * i + 1, lo, mid);
-            fill(probes, 2 * i + 2, mid, hi);
-        }
-        fill(&mut probes, 0, lo, hi);
-        let mut verdicts: Vec<Option<Result<bool, LinkError>>> =
-            map_with_threads(&probes, threads, |_, &db| Some(error_free(db)))
-                .into_iter()
-                .collect();
-        let mut node = 0usize;
-        while node < nodes {
-            let mid = probes[node];
-            match verdicts[node].take().expect("each node visited once")? {
-                true => {
-                    lo = mid;
-                    node = 2 * node + 2;
-                }
-                false => {
-                    hi = mid;
-                    node = 2 * node + 1;
-                }
-            }
-            if hi - lo <= tol_db {
-                break;
-            }
-        }
-    }
+    let (lo, _hi) = bisect_speculative(lo, hi, tol_db, threads, error_free)?;
     Ok(lo)
 }
 

@@ -6,8 +6,10 @@
 //! loads, which the taper handles.
 
 use openserdes_analog::primitives::{add_inverter_chain, InverterSize};
-use openserdes_analog::solver::{transient, SolverError, TransientConfig};
-use openserdes_analog::{Circuit, Stimulus, Waveform};
+use openserdes_analog::solver::{
+    reference, transient, SolverError, SolverStats, TransientConfig, TransientResult,
+};
+use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::mos::{MosDevice, MosParams};
 use openserdes_pdk::units::{AreaUm2, Farad, Hertz, Time, Watt};
@@ -63,6 +65,8 @@ pub struct DriverWaveforms {
     pub output: Waveform,
     /// Every intermediate stage output.
     pub stages: Vec<Waveform>,
+    /// Solver work done for this transient.
+    pub stats: SolverStats,
 }
 
 /// The sized transmit driver bound to a PVT point.
@@ -88,13 +92,8 @@ impl TxDriver {
         &self.config
     }
 
-    /// Runs a transient of the driver transmitting `bits` at `bit_time`,
-    /// including one trailing bit period for settling.
-    ///
-    /// # Errors
-    ///
-    /// Propagates solver failures.
-    pub fn drive(&self, bits: &[bool], bit_time: Time) -> Result<DriverWaveforms, SolverError> {
+    /// Builds the driver circuit; returns `(circuit, input, stage outs)`.
+    fn build(&self, bits: &[bool], bit_time: Time) -> (Circuit, Waveform, Vec<Node>) {
         let vdd_v = self.pvt.vdd.value();
         let ui = bit_time.value();
         let input = Waveform::nrz(bits, ui, ui / 20.0, 0.0, vdd_v, 64);
@@ -107,15 +106,60 @@ impl TxDriver {
         let outs = add_inverter_chain(&mut c, &self.pvt, &self.config.sizes(), vin, vdd);
         let out = *outs.last().expect("at least one stage");
         c.capacitor(out, c.gnd(), self.config.load.value());
+        (c, input, outs)
+    }
 
-        let t_end = (bits.len() + 1) as f64 * ui;
-        let dt = (ui / 250.0).min(2.0e-12);
-        let res = transient(&c, &TransientConfig::with_dt(t_end, dt))?;
-        Ok(DriverWaveforms {
+    fn collect(input: Waveform, outs: &[Node], res: &TransientResult) -> DriverWaveforms {
+        let out = *outs.last().expect("at least one stage");
+        DriverWaveforms {
             input,
             output: res.waveform(out).clone(),
             stages: outs.iter().map(|&n| res.waveform(n).clone()).collect(),
-        })
+            stats: *res.stats(),
+        }
+    }
+
+    /// Runs a transient of the driver transmitting `bits` at `bit_time`,
+    /// including one trailing bit period for settling.
+    ///
+    /// Uses adaptive time-stepping: the driver output slews hard at bit
+    /// edges but is flat between them, so the step-doubling controller
+    /// skips most of each UI while the LTE bound keeps edges sharp. The
+    /// result is resampled onto the same uniform grid a fixed run uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn drive(&self, bits: &[bool], bit_time: Time) -> Result<DriverWaveforms, SolverError> {
+        let (c, input, outs) = self.build(bits, bit_time);
+        let ui = bit_time.value();
+        let t_end = (bits.len() + 1) as f64 * ui;
+        let dt = (ui / 250.0).min(2.0e-12);
+        let res = transient(
+            &c,
+            &TransientConfig::adaptive(t_end, dt, 128.0 * dt, 8.0e-3),
+        )?;
+        Ok(Self::collect(input, &outs, &res))
+    }
+
+    /// [`TxDriver::drive`] through the pre-optimization reference solver
+    /// (dense rebuilds, fixed stepping) — the baseline the benchmarks
+    /// compare against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn drive_reference(
+        &self,
+        bits: &[bool],
+        bit_time: Time,
+    ) -> Result<DriverWaveforms, SolverError> {
+        let (c, input, outs) = self.build(bits, bit_time);
+        let ui = bit_time.value();
+        let t_end = (bits.len() + 1) as f64 * ui;
+        let dt = (ui / 250.0).min(2.0e-12);
+        let res = reference::transient(&c, &TransientConfig::with_dt(t_end, dt))?;
+        Ok(Self::collect(input, &outs, &res))
     }
 
     /// Dynamic power estimate at the given data rate: `α·C·V²·f` over the

@@ -16,11 +16,13 @@
 //! minimum input swing that still restores clean logic levels at a given
 //! data rate. This is the model behind the paper's Fig. 9 sweeps.
 
+use openserdes_analog::par::bisect_speculative;
 use openserdes_analog::primitives::{
     add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
 };
 use openserdes_analog::solver::{
-    dc_operating_point, dc_sweep, transient, SolverError, TransientConfig,
+    dc_operating_point, dc_sweep, dc_sweep_with_threads, reference, transient, SolverError,
+    SolverStats, TransientConfig, TransientResult,
 };
 use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
 use openserdes_pdk::corner::Pvt;
@@ -78,6 +80,8 @@ pub struct FrontEndWaveforms {
     pub amplified: Waveform,
     /// The restored rail-to-rail output.
     pub restored: Waveform,
+    /// Solver work done for this transient.
+    pub stats: SolverStats,
 }
 
 /// Small-signal characterization of the front end at its bias point.
@@ -156,12 +160,9 @@ impl RxFrontEnd {
         (src, vin, vmid, vout)
     }
 
-    /// Transient run of the front end on an incoming waveform.
-    ///
-    /// # Errors
-    ///
-    /// Propagates solver failures.
-    pub fn receive(&self, input: &Waveform) -> Result<FrontEndWaveforms, SolverError> {
+    /// Builds the receive circuit with the source bound to `input`;
+    /// returns `(circuit, vin, vmid, vout)`.
+    fn receive_setup(&self, input: &Waveform) -> (Circuit, Node, Node, Node) {
         let mut c = Circuit::new();
         let (src, vin, vmid, vout) = self.build(&mut c);
         // The AC-coupling capacitor's steady-state charge centres the
@@ -179,14 +180,55 @@ impl RxFrontEnd {
             }
         });
         c.vsource(src, Stimulus::Wave(centered));
-        let dt = (input.dt()).min(2.0e-12);
-        let res = transient(&c, &TransientConfig::with_dt(input.t_end(), dt))?;
-        Ok(FrontEndWaveforms {
+        (c, vin, vmid, vout)
+    }
+
+    fn collect(
+        input: &Waveform,
+        (vin, vmid, vout): (Node, Node, Node),
+        res: &TransientResult,
+    ) -> FrontEndWaveforms {
+        FrontEndWaveforms {
             input: input.clone(),
             coupled: res.waveform(vin).clone(),
             amplified: res.waveform(vmid).clone(),
             restored: res.waveform(vout).clone(),
-        })
+            stats: *res.stats(),
+        }
+    }
+
+    /// Transient run of the front end on an incoming waveform.
+    ///
+    /// Uses adaptive time-stepping: the front end is quiescent between
+    /// bit transitions, so the controller stretches steps there and
+    /// shrinks them through the amplified edges, with the LTE bound
+    /// keeping the restored waveform faithful on the output grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn receive(&self, input: &Waveform) -> Result<FrontEndWaveforms, SolverError> {
+        let (c, vin, vmid, vout) = self.receive_setup(input);
+        let dt = (input.dt()).min(2.0e-12);
+        let res = transient(
+            &c,
+            &TransientConfig::adaptive(input.t_end(), dt, 128.0 * dt, 8.0e-3),
+        )?;
+        Ok(Self::collect(input, (vin, vmid, vout), &res))
+    }
+
+    /// [`RxFrontEnd::receive`] through the pre-optimization reference
+    /// solver (dense rebuilds, fixed stepping) — the baseline the
+    /// benchmarks compare against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn receive_reference(&self, input: &Waveform) -> Result<FrontEndWaveforms, SolverError> {
+        let (c, vin, vmid, vout) = self.receive_setup(input);
+        let dt = (input.dt()).min(2.0e-12);
+        let res = reference::transient(&c, &TransientConfig::with_dt(input.t_end(), dt))?;
+        Ok(Self::collect(input, (vin, vmid, vout), &res))
     }
 
     /// The DC self-bias point of the amplifier input.
@@ -202,13 +244,9 @@ impl RxFrontEnd {
         Ok(Volt::new(v[vin.index()]))
     }
 
-    /// DC voltage-transfer curve of the bare gain-stage inverter
-    /// (Fig. 6a), as `(vin, vout)` pairs.
-    ///
-    /// # Errors
-    ///
-    /// Propagates solver failures.
-    pub fn vtc(&self, points: usize) -> Result<Vec<(f64, f64)>, SolverError> {
+    /// Builds the bare gain-stage inverter VTC circuit; returns
+    /// `(circuit, vout, sweep points)`. The swept source is index 1.
+    fn vtc_setup(&self, points: usize) -> (Circuit, Node, Vec<f64>) {
         let vdd_v = self.pvt.vdd.value();
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
@@ -227,7 +265,40 @@ impl RxFrontEnd {
         let xs: Vec<f64> = (0..points)
             .map(|i| vdd_v * i as f64 / (points - 1) as f64)
             .collect();
+        (c, vout, xs)
+    }
+
+    /// DC voltage-transfer curve of the bare gain-stage inverter
+    /// (Fig. 6a), as `(vin, vout)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn vtc(&self, points: usize) -> Result<Vec<(f64, f64)>, SolverError> {
+        let (c, vout, xs) = self.vtc_setup(points);
         let sweep = dc_sweep(&c, 1, &xs)?;
+        Ok(xs
+            .into_iter()
+            .zip(sweep.iter().map(|v| v[vout.index()]))
+            .collect())
+    }
+
+    /// [`RxFrontEnd::vtc`] fanned across `threads` workers. The result is
+    /// worker-count-independent (the sweep is chunked at a fixed width
+    /// regardless of thread count), though continuation chunking means
+    /// individual points may differ from the sequential sweep by solver
+    /// convergence noise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn vtc_with_threads(
+        &self,
+        points: usize,
+        threads: usize,
+    ) -> Result<Vec<(f64, f64)>, SolverError> {
+        let (c, vout, xs) = self.vtc_setup(points);
+        let sweep = dc_sweep_with_threads(&c, 1, &xs, threads)?;
         Ok(xs
             .into_iter()
             .zip(sweep.iter().map(|v| v[vout.index()]))
@@ -303,6 +374,72 @@ impl RxFrontEnd {
     /// Propagates solver failures.
     pub fn max_loss_db(&self, data_rate: Hertz, tx_swing: Volt) -> Result<f64, SolverError> {
         let sens = self.sensitivity(data_rate)?;
+        Ok(20.0 * (tx_swing.value() / sens.value()).log10())
+    }
+
+    /// Measured sensitivity: bisects the peak-to-peak input swing with
+    /// full transient runs, probing whether an 8-bit pattern at
+    /// `data_rate` still restores rail-to-rail at the output. Unlike the
+    /// behavioural [`RxFrontEnd::sensitivity`] it carries no
+    /// noise/offset guardbands — it is the raw circuit threshold.
+    ///
+    /// The bisection runs on the speculative engine
+    /// ([`bisect_speculative`]), so the probe sequence — and therefore
+    /// the returned value, bit for bit — is identical for any `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the probes the bisection uses.
+    pub fn sensitivity_measured(
+        &self,
+        data_rate: Hertz,
+        threads: usize,
+    ) -> Result<Volt, SolverError> {
+        let ui = 1.0 / data_rate.value();
+        let bits = [true, false, true, true, false, false, true, false];
+        let vdd = self.pvt.vdd.value();
+        let mid = 0.5 * vdd;
+        let restores = |swing_pp: f64| -> Result<bool, SolverError> {
+            let input = Waveform::nrz(
+                &bits,
+                ui,
+                ui / 10.0,
+                mid - 0.5 * swing_pp,
+                mid + 0.5 * swing_pp,
+                32,
+            );
+            let waves = self.receive(&input)?;
+            Ok(waves.restored.amplitude() > 0.8 * vdd)
+        };
+        let (lo, hi) = (0.2e-3, 50.0e-3);
+        if restores(lo)? {
+            return Ok(Volt::new(lo));
+        }
+        if !restores(hi)? {
+            return Ok(Volt::new(hi));
+        }
+        // Bracket invariant: `lo` fails, `hi` restores; the probe returns
+        // `true` (move `lo` up) while the swing still fails.
+        let (_, hi) = bisect_speculative(lo, hi, 0.5e-3, threads, |swing| {
+            restores(swing).map(|ok| !ok)
+        })?;
+        Ok(Volt::new(hi))
+    }
+
+    /// Maximum tolerable channel loss in dB at `data_rate` for a
+    /// transmitter swing of `tx_swing`, against the *measured*
+    /// sensitivity ([`RxFrontEnd::sensitivity_measured`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the bisection probes.
+    pub fn max_loss_db_measured(
+        &self,
+        data_rate: Hertz,
+        tx_swing: Volt,
+        threads: usize,
+    ) -> Result<f64, SolverError> {
+        let sens = self.sensitivity_measured(data_rate, threads)?;
         Ok(20.0 * (tx_swing.value() / sens.value()).log10())
     }
 
@@ -443,6 +580,69 @@ mod tests {
         let got = waves.restored.slice_bits(1e-9, 2.5e-9, 0.9, bits.len() - 3);
         let expect: Vec<bool> = bits[2..bits.len() - 1].to_vec();
         assert_eq!(got[..expect.len().min(got.len())], expect[..]);
+        // The adaptive controller must actually be coarsening: fewer
+        // steps taken than the uniform output grid has points.
+        let s = waves.stats;
+        assert!(s.steps_taken > 0, "stats must be populated");
+        assert!(
+            s.steps_taken < waves.restored.len() as u64,
+            "adaptive took {} steps for a {}-point grid",
+            s.steps_taken,
+            waves.restored.len()
+        );
+    }
+
+    #[test]
+    fn reference_receive_agrees_with_adaptive() {
+        let bits = [true, false, false, true];
+        let input = Waveform::nrz(&bits, 1e-9, 50e-12, 0.84, 0.96, 64);
+        let f = fe();
+        let fast = f.receive(&input).expect("adaptive runs");
+        let slow = f.receive_reference(&input).expect("reference runs");
+        // Same uniform grid, waveforms close after bias settling.
+        let err = fast.restored.max_abs_diff(&slow.restored);
+        assert!(err < 0.2, "restored max |diff| = {err:.3} V");
+        assert!(slow.stats.steps_taken == 0, "reference reports no stats");
+    }
+
+    #[test]
+    fn vtc_with_threads_is_worker_count_independent() {
+        let f = fe();
+        let base = f.vtc_with_threads(33, 1).expect("sweeps");
+        for w in base.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "monotone falling");
+        }
+        for threads in [2, 4, 8] {
+            let vtc = f.vtc_with_threads(33, threads).expect("sweeps");
+            assert_eq!(vtc.len(), base.len());
+            for (a, b) in vtc.iter().zip(&base) {
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_sensitivity_is_mv_scale_and_thread_independent() {
+        let f = fe();
+        let rate = Hertz::from_ghz(2.0);
+        let s1 = f.sensitivity_measured(rate, 1).expect("bisects");
+        assert!(
+            (0.2..60.0).contains(&s1.mv()),
+            "measured sensitivity = {:.2} mV",
+            s1.mv()
+        );
+        let s4 = f.sensitivity_measured(rate, 4).expect("bisects");
+        assert_eq!(
+            s1.value().to_bits(),
+            s4.value().to_bits(),
+            "{} vs {} mV",
+            s1.mv(),
+            s4.mv()
+        );
+        // The raw circuit threshold carries no guardbands, so it must be
+        // at least as good as the behavioural model's number.
+        let model = f.sensitivity(rate).expect("characterizes");
+        assert!(s1.value() <= model.value());
     }
 
     #[test]

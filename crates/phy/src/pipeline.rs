@@ -12,7 +12,7 @@ use crate::channel::ChannelModel;
 use crate::driver::{DriverConfig, DriverWaveforms, TxDriver};
 use crate::frontend::{FrontEndConfig, FrontEndWaveforms, RxFrontEnd};
 use crate::sampler::Sampler;
-use openserdes_analog::solver::SolverError;
+use openserdes_analog::solver::{SolverError, SolverStats};
 use openserdes_analog::Waveform;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time, Volt};
@@ -32,6 +32,8 @@ pub struct LinkRun {
     pub sent: Vec<bool>,
     /// Unit interval used.
     pub bit_time: Time,
+    /// Combined solver work across the driver and front-end transients.
+    pub solver_stats: SolverStats,
 }
 
 impl LinkRun {
@@ -102,12 +104,42 @@ impl AnalogLink {
         let tx = self.driver.drive(bits, bit_time)?;
         let channel_out = self.channel.apply(&tx.output);
         let rx = self.frontend.receive(&channel_out)?;
+        let mut solver_stats = tx.stats;
+        solver_stats.merge(&rx.stats);
         Ok(LinkRun {
             tx,
             channel_out,
             rx,
             sent: bits.to_vec(),
             bit_time,
+            solver_stats,
+        })
+    }
+
+    /// [`AnalogLink::transmit`] through the pre-optimization reference
+    /// solver (dense rebuilds, fixed stepping) at both ends — the
+    /// apples-to-apples baseline for the benchmark suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from either transient.
+    pub fn transmit_reference(
+        &self,
+        bits: &[bool],
+        bit_time: Time,
+    ) -> Result<LinkRun, SolverError> {
+        let tx = self.driver.drive_reference(bits, bit_time)?;
+        let channel_out = self.channel.apply(&tx.output);
+        let rx = self.frontend.receive_reference(&channel_out)?;
+        let mut solver_stats = tx.stats;
+        solver_stats.merge(&rx.stats);
+        Ok(LinkRun {
+            tx,
+            channel_out,
+            rx,
+            sent: bits.to_vec(),
+            bit_time,
+            solver_stats,
         })
     }
 }

@@ -114,7 +114,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Length specification for [`vec`]: a fixed `usize` or a
+        /// Length specification for [`vec`](fn@vec): a fixed `usize` or a
         /// half-open range of lengths.
         pub trait IntoLenRange {
             /// The equivalent half-open range.

@@ -6,6 +6,7 @@
 //! cargo run --release --example corner_signoff
 //! ```
 
+use openserdes::core::sweep::parallel;
 use openserdes::core::{cdr_design, sensitivity_sweep, BerTest, LinkConfig};
 use openserdes::flow::{run_flow, FlowConfig};
 use openserdes::pdk::corner::{ProcessCorner, Pvt};
@@ -24,17 +25,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Pvt::new(ProcessCorner::SlowFast, 1.8, 25.0),
         Pvt::new(ProcessCorner::FastSlow, 1.8, 25.0),
     ];
-    for pvt in corners {
-        let sweep = sensitivity_sweep(pvt, &[Hertz::from_ghz(2.0)])?[0];
+    // The corners are independent, so the whole signoff matrix fans out
+    // over the deterministic parallel map — rows come back in corner
+    // order no matter which worker finishes first. Errors are carried
+    // as strings because `Box<dyn Error>` is not `Send`.
+    let rows = parallel::map(&corners, |_, &pvt| -> Result<String, String> {
+        let sweep = sensitivity_sweep(pvt, &[Hertz::from_ghz(2.0)]).map_err(|e| e.to_string())?[0];
         let mut link = LinkConfig::paper_default();
         link.pvt = pvt;
         link.channel.attenuation_db = 30.0;
-        let ber = BerTest::prbs31(link, 12).run()?;
+        let ber = BerTest::prbs31(link, 12).run().map_err(|e| e.to_string())?;
         let mut flow_cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
         flow_cfg.pvt = pvt;
         flow_cfg.anneal_iterations = 2_000;
-        let flow = run_flow(&cdr_design(5), &flow_cfg)?;
-        println!(
+        let flow = run_flow(&cdr_design(5), &flow_cfg).map_err(|e| e.to_string())?;
+        Ok(format!(
             "{:<16} {:>12.1} {:>14.1} {:>12} {:>7.2} GHz",
             pvt.to_string(),
             sweep.sensitivity.mv(),
@@ -45,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.1e}", ber.ber())
             },
             flow.timing.fmax.ghz()
-        );
+        ))
+    });
+    for row in rows {
+        println!("{}", row?);
     }
     println!();
     println!("Slow silicon loses sensitivity and loss budget; the identical RTL");

@@ -1,0 +1,121 @@
+//! Property-based contract of the adaptive transient engine: on random
+//! circuits and stimuli, the LTE-controlled run must track a fine
+//! fixed-step reference on the same output grid to within a small
+//! multiple of `lte_tol` (the local bound is per step; the global
+//! deviation of a contractive backward-Euler integration stays within
+//! one order of it).
+
+use openserdes::analog::primitives::{add_inverter_chain, InverterSize};
+use openserdes::analog::solver::{transient, TransientConfig};
+use openserdes::analog::{Circuit, Node, Stimulus, Waveform};
+use openserdes::pdk::corner::Pvt;
+use proptest::prelude::*;
+
+const LTE_TOL: f64 = 1.0e-3;
+/// Global-deviation allowance in units of `lte_tol`.
+const K: f64 = 10.0;
+
+fn pattern(mask: u8, n: usize) -> Vec<bool> {
+    (0..n).map(|i| mask >> i & 1 == 1).collect()
+}
+
+/// A single-pole RC low-pass driven by an NRZ source — pure linear,
+/// exercising the flat-LU fast path and the plain-step estimator.
+fn rc_circuit(r_ohms: f64, c_farads: f64, mask: u8) -> (Circuit, Node, f64, f64) {
+    let bits = pattern(mask, 4);
+    let ui = 200e-12;
+    let input = Waveform::nrz(&bits, ui, ui / 10.0, 0.0, 1.8, 32);
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let vout = c.node("vout");
+    c.vsource(vin, Stimulus::Wave(input));
+    c.resistor(vin, vout, r_ohms);
+    c.capacitor(vout, c.gnd(), c_farads);
+    let t_end = (bits.len() + 1) as f64 * ui;
+    (c, vout, t_end, 2e-12)
+}
+
+/// A two-stage inverter chain into a load — the nonlinear MOS path with
+/// source ramps, step growth and rejection all in play.
+fn chain(mask: u8, load_ff: f64, scale: f64) -> (Circuit, Node, f64, f64) {
+    let pvt = Pvt::nominal();
+    let bits = pattern(mask, 4);
+    let ui = 200e-12;
+    let input = Waveform::nrz(&bits, ui, ui / 10.0, 0.0, pvt.vdd.value(), 32);
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vin = c.node("vin");
+    c.vsource(vdd, Stimulus::Dc(pvt.vdd.value()));
+    c.vsource(vin, Stimulus::Wave(input));
+    let sizes = [
+        InverterSize::scaled(scale),
+        InverterSize::scaled(scale * 3.0),
+    ];
+    let outs = add_inverter_chain(&mut c, &pvt, &sizes, vin, vdd);
+    let out = *outs.last().expect("stages");
+    c.capacitor(out, c.gnd(), load_ff * 1e-15);
+    let t_end = (bits.len() + 1) as f64 * ui;
+    (c, out, t_end, 2e-12)
+}
+
+fn assert_adaptive_tracks_fixed(
+    c: &Circuit,
+    out: Node,
+    t_end: f64,
+    dt: f64,
+) -> Result<f64, String> {
+    let fixed =
+        transient(c, &TransientConfig::with_dt(t_end, dt)).map_err(|e| format!("fixed: {e}"))?;
+    let adaptive = transient(c, &TransientConfig::adaptive(t_end, dt, 64.0 * dt, LTE_TOL))
+        .map_err(|e| format!("adaptive: {e}"))?;
+    let wf = fixed.waveform(out);
+    let wa = adaptive.waveform(out);
+    if wf.samples().len() != wa.samples().len() {
+        return Err(format!(
+            "grid mismatch: {} vs {} samples",
+            wf.samples().len(),
+            wa.samples().len()
+        ));
+    }
+    Ok(wa.max_abs_diff(wf))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Linear RC: the adaptive run lands on the fine fixed grid within
+    /// K x lte_tol for any pole location and bit pattern.
+    #[test]
+    fn adaptive_tracks_fixed_on_rc(
+        r in 100.0f64..10_000.0,
+        cap_ff in 100.0f64..5_000.0,
+        mask in any::<u8>(),
+    ) {
+        let (c, out, t_end, dt) = rc_circuit(r, cap_ff * 1e-15, mask);
+        let dev = assert_adaptive_tracks_fixed(&c, out, t_end, dt)
+            .map_err(|e| e.to_string()).unwrap();
+        prop_assert!(
+            dev <= K * LTE_TOL,
+            "RC deviation {dev:.2e} V > {} x lte_tol (R={r:.0}, C={cap_ff:.0} fF, mask={mask:#04x})",
+            K
+        );
+    }
+
+    /// Nonlinear inverter chain: same contract through MOS device
+    /// models, Newton rejection and LU-bank invalidation.
+    #[test]
+    fn adaptive_tracks_fixed_on_inverter_chain(
+        mask in any::<u8>(),
+        load_ff in 20.0f64..400.0,
+        scale in 1.0f64..6.0,
+    ) {
+        let (c, out, t_end, dt) = chain(mask, load_ff, scale);
+        let dev = assert_adaptive_tracks_fixed(&c, out, t_end, dt)
+            .map_err(|e| e.to_string()).unwrap();
+        prop_assert!(
+            dev <= K * LTE_TOL,
+            "chain deviation {dev:.2e} V > {} x lte_tol (mask={mask:#04x}, load={load_ff:.0} fF, scale={scale:.1})",
+            K
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! behavioural models that the fast link path uses.
 
 use openserdes::analog::{EyeDiagram, Waveform};
+use openserdes::core::sweep::parallel;
 use openserdes::pdk::corner::Pvt;
 use openserdes::pdk::units::{Hertz, Time, Volt};
 use openserdes::phy::{AnalogLink, BehavioralLink, ChannelModel, FrontEndConfig, RxFrontEnd};
@@ -98,14 +99,56 @@ fn driver_output_feeds_channel_with_full_swing() {
 fn front_end_self_bias_tracks_supply() {
     // The self-biased input must ride at the inverter threshold at any
     // supply — the property that makes the circuit process-portable.
-    for vdd in [1.62, 1.8, 1.98] {
+    // The supplies are independent DC solves, so they fan out over the
+    // deterministic parallel map.
+    let supplies = [1.62, 1.8, 1.98];
+    let biases = parallel::map(&supplies, |_, &vdd| {
         let pvt = Pvt::new(openserdes::pdk::corner::ProcessCorner::Typical, vdd, 25.0);
         let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
-        let bias = fe.self_bias().expect("solves");
-        let rel = bias.value() / vdd;
+        fe.self_bias().expect("solves").value()
+    });
+    for (&vdd, &bias) in supplies.iter().zip(&biases) {
+        let rel = bias / vdd;
         assert!(
             (0.38..0.62).contains(&rel),
             "bias/vdd = {rel:.2} at vdd = {vdd}"
+        );
+    }
+}
+
+#[test]
+fn analog_sweeps_are_worker_count_independent() {
+    // The acceptance contract for the parallel analog sweep engine:
+    // thread count changes wall time, never results. Both the chunked
+    // DC transfer sweep and the speculative sensitivity bisection must
+    // return bit-identical numbers at 1, 2, 4 and 8 workers.
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), Pvt::nominal());
+    let vtc_base = fe.vtc_with_threads(17, 1).expect("vtc");
+    let sens_base = fe
+        .sensitivity_measured(Hertz::from_ghz(2.0), 1)
+        .expect("sensitivity");
+    for threads in [2, 4, 8] {
+        let vtc = fe.vtc_with_threads(17, threads).expect("vtc");
+        assert_eq!(vtc.len(), vtc_base.len());
+        for (a, b) in vtc.iter().zip(&vtc_base) {
+            assert_eq!(
+                a.0.to_bits(),
+                b.0.to_bits(),
+                "vtc input differs at {threads} workers"
+            );
+            assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "vtc output differs at {threads} workers"
+            );
+        }
+        let sens = fe
+            .sensitivity_measured(Hertz::from_ghz(2.0), threads)
+            .expect("sensitivity");
+        assert_eq!(
+            sens.value().to_bits(),
+            sens_base.value().to_bits(),
+            "sensitivity differs at {threads} workers"
         );
     }
 }
