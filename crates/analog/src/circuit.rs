@@ -193,6 +193,15 @@ impl Circuit {
         self.sources.push((node, stimulus));
     }
 
+    /// Pushes a raw element without the builder validations — the
+    /// escape hatch for importers and DRC fixtures. The value checks
+    /// skipped here are exactly what [`crate::drc`] reports
+    /// (`AN002`/`AN003`), so anything smuggled in this way is still
+    /// caught before it reaches the solver in debug builds.
+    pub fn push_element(&mut self, e: Element) {
+        self.elements.push(e);
+    }
+
     /// The elements of the circuit.
     pub fn elements(&self) -> &[Element] {
         &self.elements

@@ -7,6 +7,9 @@
 //!   measurements,
 //! * [`Circuit`] — nodal netlists of R/C/MOS elements with grounded
 //!   sources (including the PMOS pseudo-resistor),
+//! * [`drc`] — the `AN0xx` half of the design-lint engine (floating
+//!   nodes, degenerate elements, source conflicts); the solver entry
+//!   points run it automatically in debug builds,
 //! * [`solver`] — Newton–Raphson DC (with gmin stepping), DC sweeps and
 //!   backward-Euler transient analysis using the PDK's analytic device
 //!   derivatives, with precompiled stamp plans, LU reuse and optional
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+pub mod drc;
 mod eye;
 pub mod noise;
 pub mod par;

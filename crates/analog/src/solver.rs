@@ -1417,7 +1417,13 @@ impl<'c> Solver<'c> {
 /// # Errors
 ///
 /// Returns [`SolverError`] if Newton fails even at the largest gmin.
+///
+/// # Panics
+///
+/// In debug builds, panics if the circuit fails the [`crate::drc`]
+/// gate (non-positive elements, source conflicts, bad stimuli).
 pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, SolverError> {
+    crate::drc::debug_check(circuit);
     let mut solver = Solver::new(circuit);
     let started = Instant::now();
     let voltages = solver.dc_at(0.0)?;
@@ -1437,10 +1443,15 @@ pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, SolverError> 
 ///
 /// Returns [`SolverError`] if Newton fails from the seeded guess even
 /// after gmin stepping.
+///
+/// # Panics
+///
+/// In debug builds, panics if the circuit fails the [`crate::drc`] gate.
 pub fn dc_operating_point_with_nodeset(
     circuit: &Circuit,
     nodeset: &[(Node, f64)],
 ) -> Result<DcSolution, SolverError> {
+    crate::drc::debug_check(circuit);
     let mut solver = Solver::new(circuit);
     let started = Instant::now();
     let voltages = solver.dc_nodeset(nodeset)?;
@@ -1495,12 +1506,14 @@ fn dc_sweep_on(
 ///
 /// # Panics
 ///
-/// Panics if `source_index` is out of range.
+/// Panics if `source_index` is out of range, or (in debug builds) if
+/// the circuit fails the [`crate::drc`] gate.
 pub fn dc_sweep(
     circuit: &Circuit,
     source_index: usize,
     values: &[f64],
 ) -> Result<DcSweepResult, SolverError> {
+    crate::drc::debug_check(circuit);
     assert!(
         source_index < circuit.sources().len(),
         "source index out of range"
@@ -1538,13 +1551,15 @@ const DC_SWEEP_CHUNK: usize = 8;
 ///
 /// # Panics
 ///
-/// Panics if `source_index` is out of range.
+/// Panics if `source_index` is out of range, or (in debug builds) if
+/// the circuit fails the [`crate::drc`] gate.
 pub fn dc_sweep_with_threads(
     circuit: &Circuit,
     source_index: usize,
     values: &[f64],
     threads: usize,
 ) -> Result<DcSweepResult, SolverError> {
+    crate::drc::debug_check(circuit);
     assert!(
         source_index < circuit.sources().len(),
         "source index out of range"
@@ -1572,10 +1587,17 @@ pub fn dc_sweep_with_threads(
 /// # Errors
 ///
 /// Returns [`SolverError`] on DC or per-step Newton failure.
+///
+/// # Panics
+///
+/// In debug builds, panics if the circuit fails the [`crate::drc`]
+/// gate. The [`reference`](mod@reference) solver stays ungated: it is the
+/// pre-optimization baseline and must accept whatever the old code did.
 pub fn transient(
     circuit: &Circuit,
     config: &TransientConfig,
 ) -> Result<TransientResult, SolverError> {
+    crate::drc::debug_check(circuit);
     Solver::new(circuit).run_transient(config)
 }
 

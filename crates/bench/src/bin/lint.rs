@@ -1,0 +1,108 @@
+//! Design-lint CI driver: runs the static-analysis suite over every
+//! shipped example design and the PHY analog blocks.
+//!
+//! For each digital design the IR lint (`IR0xx`) runs on the RTL and
+//! the netlist ERC (`NL0xx`, with PDK drive-strength data) runs on the
+//! synthesized gates; the TX driver and RX front end get the analog DRC
+//! (`AN0xx`). Reports print as human text and are written together as
+//! machine-readable JSON to `LINT.json`.
+//!
+//! Exit status is nonzero if any Error-level finding survives — or any
+//! Warn-level finding when `--deny warn` is passed (the CI setting).
+
+use openserdes_core::{
+    cdr_design, deserializer_design, scan_chain_design, serdes_digital_top, serializer_design,
+};
+use openserdes_flow::ir::Design;
+use openserdes_lint::{LintConfig, LintReport, Severity};
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::library::Library;
+use openserdes_phy::{DriverConfig, FrontEndConfig, RxFrontEnd, TxDriver};
+
+fn digital_reports(design: &Design, library: &Library, cfg: &LintConfig) -> Vec<LintReport> {
+    let mut reports = vec![openserdes_flow::lint::lint(design, cfg)];
+    match openserdes_flow::synthesize(design, library) {
+        Ok(synth) => reports.push(openserdes_netlist::lint::lint_with_library(
+            &synth.netlist,
+            library,
+            cfg,
+        )),
+        Err(e) => {
+            // Surface synthesis failures through the same gate: a design
+            // that cannot synthesize cannot be linted clean.
+            let mut r = LintReport::new(design.name(), "netlist");
+            r.add(
+                cfg,
+                openserdes_lint::Finding::new(
+                    openserdes_lint::Rule::BadReference,
+                    format!("synthesis failed: {e}"),
+                ),
+            );
+            reports.push(r);
+        }
+    }
+    reports
+}
+
+fn main() -> std::process::ExitCode {
+    let deny_warn = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+            [] => false,
+            ["--deny", "warn"] => true,
+            _ => {
+                eprintln!("usage: lint [--deny warn]");
+                return std::process::ExitCode::from(2);
+            }
+        }
+    };
+
+    let cfg = LintConfig::default();
+    let pvt = Pvt::nominal();
+    let library = Library::sky130(pvt);
+    let designs = [
+        serializer_design(),
+        deserializer_design(),
+        cdr_design(5),
+        scan_chain_design(),
+        serdes_digital_top(5),
+    ];
+
+    let mut reports = Vec::new();
+    for design in &designs {
+        reports.extend(digital_reports(design, &library, &cfg));
+    }
+    reports.push(TxDriver::new(DriverConfig::paper_default(), pvt).lint());
+    reports.push(RxFrontEnd::new(FrontEndConfig::paper_default(), pvt).lint());
+
+    let mut errors = 0;
+    let mut warnings = 0;
+    for r in &reports {
+        errors += r.count(Severity::Error);
+        warnings += r.count(Severity::Warn);
+        println!("{r}");
+    }
+
+    let json = format!(
+        "[\n{}\n]\n",
+        reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    if let Err(e) = std::fs::write("LINT.json", &json) {
+        eprintln!("cannot write LINT.json: {e}");
+        return std::process::ExitCode::from(2);
+    }
+
+    println!(
+        "linted {} report(s): {errors} error(s), {warnings} warning(s) — JSON in LINT.json",
+        reports.len()
+    );
+    if errors > 0 || (deny_warn && warnings > 0) {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

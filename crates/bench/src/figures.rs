@@ -241,7 +241,7 @@ pub fn fig11_floorplan() -> Result<Vec<(&'static str, FlowResult)>, openserdes_c
         .map(|(name, design)| {
             run_flow(&design, &cfg)
                 .map(|r| (name, r))
-                .map_err(openserdes_core::LinkError::Netlist)
+                .map_err(openserdes_core::LinkError::from)
         })
         .collect()
 }

@@ -1,0 +1,242 @@
+//! Rule-coverage signoff: every rule in [`Rule::ALL`] must have a
+//! triggering fixture, built here from the public API only (what a
+//! downstream user of the lint engine can reach). The final assertion
+//! fails whenever a rule is added to the catalog without a fixture —
+//! the acceptance criterion of the lint PR.
+
+use std::collections::BTreeSet;
+
+use openserdes_analog::{Circuit, Element, Stimulus};
+use openserdes_flow::ir::Design;
+use openserdes_lint::{LintConfig, LintReport, Rule};
+use openserdes_netlist::Netlist;
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::library::Library;
+use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+
+fn rules_of(report: &LintReport) -> BTreeSet<Rule> {
+    report.findings().iter().map(|f| f.rule).collect()
+}
+
+/// One minimal broken design per rule, as `(rule, report)` pairs.
+fn fixtures() -> Vec<(Rule, LintReport)> {
+    let cfg = LintConfig::default();
+    let mut out = Vec::new();
+    let nl_case = |rule: Rule, nl: &Netlist| (rule, openserdes_netlist::lint::lint(nl, &cfg));
+
+    // NL001: two cells drive the same net.
+    let mut nl = Netlist::new("nl001");
+    let a = nl.add_input("a");
+    let y = nl.add_net("y");
+    nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[a], y);
+    nl.gate_into(LogicFn::Buf, DriveStrength::X1, &[a], y);
+    nl.mark_output("y", y);
+    out.push(nl_case(Rule::MultiplyDrivenNet, &nl));
+
+    // NL002: a gate reads a net nothing drives.
+    let mut nl = Netlist::new("nl002");
+    let float = nl.add_net("float");
+    let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[float]);
+    nl.mark_output("y", y);
+    out.push(nl_case(Rule::UndrivenNet, &nl));
+
+    // NL003: two inverters in a combinational ring.
+    let mut nl = Netlist::new("nl003");
+    let n = nl.add_net("n");
+    let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[n]);
+    nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[y], n);
+    nl.mark_output("y", y);
+    out.push(nl_case(Rule::CombinationalLoop, &nl));
+
+    // NL004: a cell output with no reader and no primary output.
+    let mut nl = Netlist::new("nl004");
+    let a = nl.add_input("a");
+    nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+    out.push(nl_case(Rule::DanglingOutput, &nl));
+
+    // NL005: the first inverter has a reader, but the cone never
+    // reaches a primary output — transitively dead.
+    let mut nl = Netlist::new("nl005");
+    let a = nl.add_input("a");
+    let x = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+    nl.gate(LogicFn::Inv, DriveStrength::X1, &[x]);
+    out.push(nl_case(Rule::DeadLogic, &nl));
+
+    // NL006: a flop in domain A feeds a flop in domain B through
+    // multi-input combinational logic.
+    let mut nl = Netlist::new("nl006");
+    let clka = nl.add_input("clka");
+    let clkb = nl.add_input("clkb");
+    let d = nl.add_input("d");
+    let other = nl.add_input("other");
+    let qa = nl.dff(d, clka, DriveStrength::X1);
+    let mixed = nl.gate(LogicFn::And2, DriveStrength::X1, &[qa, other]);
+    let qb = nl.dff(mixed, clkb, DriveStrength::X1);
+    nl.mark_output("qb", qb);
+    out.push(nl_case(Rule::UnsyncClockCrossing, &nl));
+
+    // NL007: an X1 inverter fanning out to 200 sinks (needs the
+    // library's max_load table, hence lint_with_library).
+    let lib = Library::sky130(Pvt::nominal());
+    let mut nl = Netlist::new("nl007");
+    let a = nl.add_input("a");
+    let weak = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
+    for i in 0..200 {
+        let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[weak]);
+        nl.mark_output(format!("y{i}"), y);
+    }
+    out.push((
+        Rule::DriveOverload,
+        openserdes_netlist::lint::lint_with_library(&nl, &lib, &cfg),
+    ));
+
+    // NL008: a sequential cell whose clock was wiped by a raw edit.
+    let mut nl = Netlist::new("nl008");
+    let clk = nl.add_input("clk");
+    let d = nl.add_input("d");
+    let q = nl.dff(d, clk, DriveStrength::X1);
+    nl.mark_output("q", q);
+    let id = nl.cell_ids().next().expect("one cell");
+    nl.instance_mut(id).clock = None;
+    out.push(nl_case(Rule::BadReference, &nl));
+
+    let ir_case = |rule: Rule, d: &Design| (rule, openserdes_flow::lint::lint(d, &cfg));
+
+    // IR001: a register declared but never connected.
+    let mut d = Design::new("ir001");
+    let q = d.reg();
+    d.output("q", q);
+    out.push(ir_case(Rule::UnconnectedRegister, &d));
+
+    // IR002: an AND node outside every output cone.
+    let mut d = Design::new("ir002");
+    let a = d.input("a");
+    let b = d.input("b");
+    d.and(a, b);
+    let y = d.not(a);
+    d.output("y", y);
+    out.push(ir_case(Rule::DeadNode, &d));
+
+    // IR003: a register that feeds itself never leaves its power-up
+    // value.
+    let mut d = Design::new("ir003");
+    let q = d.reg();
+    d.connect_reg(q, q);
+    d.output("q", q);
+    out.push(ir_case(Rule::ConstantRegister, &d));
+
+    // IR004: input `a` drives nothing.
+    let mut d = Design::new("ir004");
+    d.input("a");
+    let b = d.input("b");
+    let y = d.not(b);
+    d.output("y", y);
+    out.push(ir_case(Rule::UnusedInput, &d));
+
+    // IR005: bus indices 0 and 2 with a hole at 1.
+    let mut d = Design::new("ir005");
+    let x0 = d.input("x[0]");
+    let x2 = d.input("x[2]");
+    let y = d.and(x0, x2);
+    d.output("y", y);
+    out.push(ir_case(Rule::RaggedBus, &d));
+
+    // IR006: the same register carries two multicycle exceptions.
+    let mut d = Design::new("ir006");
+    let a = d.input("a");
+    let q = d.reg();
+    d.connect_reg(q, a);
+    d.set_multicycle(q, 2);
+    d.set_multicycle(q, 4);
+    d.output("q", q);
+    out.push(ir_case(Rule::DuplicateMulticycle, &d));
+
+    let an_case =
+        |rule: Rule, c: &Circuit| (rule, openserdes_analog::drc::lint(c, "fixture", &cfg));
+
+    // AN001: a node reachable only through a capacitor floats at DC.
+    let mut c = Circuit::new();
+    let n = c.node("float");
+    c.capacitor(n, c.gnd(), 1e-12);
+    out.push(an_case(Rule::NoDcPath, &c));
+
+    // AN002: a negative resistor (push_element skips the builder's
+    // value asserts — exactly the importer path the DRC covers).
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.push_element(Element::Resistor {
+        a: n,
+        b: c.gnd(),
+        ohms: -50.0,
+    });
+    out.push(an_case(Rule::NonPositiveElement, &c));
+
+    // AN003: a resistor with both terminals on one node.
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.resistor(n, c.gnd(), 1e3);
+    c.push_element(Element::Resistor {
+        a: n,
+        b: n,
+        ohms: 1e3,
+    });
+    out.push(an_case(Rule::DegenerateElement, &c));
+
+    // AN004: a declared node nothing touches.
+    let mut c = Circuit::new();
+    c.node("nc");
+    out.push(an_case(Rule::UnusedNode, &c));
+
+    // AN005: two sources fight over one node.
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.resistor(n, c.gnd(), 1e3);
+    c.vsource(n, Stimulus::Dc(1.0));
+    c.vsource(n, Stimulus::Dc(0.5));
+    out.push(an_case(Rule::SourceConflict, &c));
+
+    // AN006: a non-finite DC stimulus.
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.resistor(n, c.gnd(), 1e3);
+    c.vsource(n, Stimulus::Dc(f64::NAN));
+    out.push(an_case(Rule::BadStimulus, &c));
+
+    out
+}
+
+#[test]
+fn every_rule_has_a_triggering_fixture() {
+    let cases = fixtures();
+    let mut covered = BTreeSet::new();
+    for (rule, report) in &cases {
+        assert!(
+            rules_of(report).contains(rule),
+            "fixture for {rule} did not trigger it; report:\n{report}"
+        );
+        covered.insert(*rule);
+    }
+    let all: BTreeSet<Rule> = Rule::ALL.into_iter().collect();
+    let missing: Vec<&Rule> = all.difference(&covered).collect();
+    assert!(
+        missing.is_empty(),
+        "rules without a triggering fixture: {missing:?}"
+    );
+}
+
+#[test]
+fn fixture_findings_render_and_serialize() {
+    for (rule, report) in fixtures() {
+        let text = report.to_string();
+        assert!(
+            text.contains(rule.code()),
+            "text rendering must carry the rule ID {rule}"
+        );
+        let json = report.to_json();
+        assert!(
+            json.contains(&format!("\"rule\": \"{}\"", rule.code()))
+                || json.contains(&format!("\"rule\":\"{}\"", rule.code())),
+            "JSON rendering must carry the rule ID {rule}: {json}"
+        );
+    }
+}

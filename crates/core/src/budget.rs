@@ -137,9 +137,9 @@ impl LinkBudget {
         let ser_design = serializer_design();
         let des_design = deserializer_design();
         let cdr_design5 = cdr_design(5);
-        let ser = run_flow(&ser_design, &flow_cfg).map_err(LinkError::Netlist)?;
-        let des = run_flow(&des_design, &flow_cfg).map_err(LinkError::Netlist)?;
-        let cdr = run_flow(&cdr_design5, &flow_cfg).map_err(LinkError::Netlist)?;
+        let ser = run_flow(&ser_design, &flow_cfg).map_err(LinkError::from)?;
+        let des = run_flow(&des_design, &flow_cfg).map_err(LinkError::from)?;
+        let cdr = run_flow(&cdr_design5, &flow_cfg).map_err(LinkError::from)?;
 
         // Vector-based power: drive each block with PRBS traffic and
         // measure real per-net toggle rates (the shift-register

@@ -374,7 +374,11 @@ pub fn cdr_design(oversampling: usize) -> Design {
     let mut best_idx = d.const_bus(3, 0);
     for (i, cnt) in counters.iter().enumerate().skip(1) {
         let is_gt = d.gt(cnt, &best_val);
-        best_val = d.mux_bus(&best_val, cnt, is_gt);
+        // The running maximum feeds only later comparisons; updating
+        // it on the final iteration would be dead logic.
+        if i + 1 < counters.len() {
+            best_val = d.mux_bus(&best_val, cnt, is_gt);
+        }
         let idx_const = d.const_bus(3, i as u64);
         best_idx = d.mux_bus(&best_idx, &idx_const, is_gt);
     }
@@ -583,6 +587,22 @@ mod tests {
         // 1 last + 5 win + 5×6 counters + 3 phase = 39 flops.
         assert_eq!(res.netlist.flop_count(), 39);
         assert!(res.netlist.cell_count() > 100);
+    }
+
+    #[test]
+    fn rtl_has_no_dead_logic() {
+        // Regression: the argmax fold used to refresh its running
+        // maximum after the final comparison, leaving a 6-bit mux bank
+        // outside every output cone (IR002 dead logic per CDR).
+        let report =
+            openserdes_flow::lint::lint(&cdr_design(5), &openserdes_lint::LintConfig::default());
+        assert!(
+            report
+                .findings()
+                .iter()
+                .all(|f| f.rule != openserdes_lint::Rule::DeadNode),
+            "cdr_design must not carry dead IR nodes:\n{report}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error type for link-level operations.
 
 use openserdes_analog::SolverError;
+use openserdes_flow::FlowError;
 use openserdes_netlist::NetlistError;
 use std::error::Error;
 use std::fmt;
@@ -12,6 +13,9 @@ pub enum LinkError {
     Solver(SolverError),
     /// Synthesis produced an invalid netlist (an internal bug, surfaced).
     Netlist(NetlistError),
+    /// The RTL→layout flow refused the design (lint gate or netlist
+    /// failure inside a stage).
+    Flow(FlowError),
     /// The CDR failed to lock within the run.
     CdrUnlocked {
         /// Unit intervals processed before giving up.
@@ -24,6 +28,7 @@ impl fmt::Display for LinkError {
         match self {
             LinkError::Solver(e) => write!(f, "analog solver failed: {e}"),
             LinkError::Netlist(e) => write!(f, "netlist error: {e}"),
+            LinkError::Flow(e) => write!(f, "flow failed: {e}"),
             LinkError::CdrUnlocked { uis } => {
                 write!(f, "cdr failed to lock within {uis} unit intervals")
             }
@@ -36,6 +41,7 @@ impl Error for LinkError {
         match self {
             LinkError::Solver(e) => Some(e),
             LinkError::Netlist(e) => Some(e),
+            LinkError::Flow(e) => Some(e),
             LinkError::CdrUnlocked { .. } => None,
         }
     }
@@ -50,6 +56,17 @@ impl From<SolverError> for LinkError {
 impl From<NetlistError> for LinkError {
     fn from(e: NetlistError) -> Self {
         LinkError::Netlist(e)
+    }
+}
+
+impl From<FlowError> for LinkError {
+    fn from(e: FlowError) -> Self {
+        // Unwrap plain netlist failures so callers keep seeing the
+        // historical `Netlist` variant for them.
+        match e {
+            FlowError::Netlist(n) => LinkError::Netlist(n),
+            lint => LinkError::Flow(lint),
+        }
     }
 }
 

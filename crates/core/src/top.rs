@@ -65,6 +65,16 @@ pub fn serdes_digital_top(oversampling: usize) -> Design {
 
     d.output("busy", busy);
     d.output("serial_out", serial);
+    // The CDR's phase selection must stay observable: in the loopback
+    // the recovered-bit mux folds away (every sample phase is the same
+    // net), and without these pins the whole CDR — edge counters,
+    // argmax, phase register — would synthesize as dead logic while
+    // still being billed in the area/power numbers.
+    for (name, sig) in &cdr_outs {
+        if let Some(rest) = name.strip_prefix("phase") {
+            d.output(format!("cdr_phase{rest}"), *sig);
+        }
+    }
     d.output("frame_valid", find(&des_outs, "frame_valid"));
     for (name, sig) in &des_outs {
         if let Some(rest) = name.strip_prefix("data") {
@@ -72,6 +82,15 @@ pub fn serdes_digital_top(oversampling: usize) -> Design {
         }
     }
     d.output("scan_out", find(&scan_outs, "scan_out"));
+    // The applied configuration bank must be observable at the top
+    // (the "cfg[7] (observable)" promise above) — without these pins
+    // the whole shadow-register bank is dead logic and synthesis
+    // carries unreachable flops into the area/power numbers.
+    for (name, sig) in &scan_outs {
+        if let Some(rest) = name.strip_prefix("cfg") {
+            d.output(format!("cfg{rest}"), *sig);
+        }
+    }
     d
 }
 
@@ -189,5 +208,24 @@ mod tests {
         assert!(res.netlist.cell_count() > 2_000);
         // The CDR's multicycle exceptions survive the composition.
         assert_eq!(res.multicycle.len(), 3);
+    }
+
+    #[test]
+    fn top_netlist_carries_no_dead_logic() {
+        // Regression: without the cdr_phase/cfg observability pins the
+        // loopback const-folds the recovered-bit mux away and the whole
+        // CDR register file (39 flops) plus the scan shadow bank
+        // synthesize as dead cells still billed in area/power.
+        let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
+        let res = openserdes_flow::synthesize(&serdes_digital_top(5), &lib).expect("ok");
+        let report =
+            openserdes_netlist::lint::lint(&res.netlist, &openserdes_lint::LintConfig::default());
+        assert!(
+            !report.findings().iter().any(|f| {
+                f.rule == openserdes_lint::Rule::DeadLogic
+                    || f.rule == openserdes_lint::Rule::DanglingOutput
+            }),
+            "synthesized top must not carry dead cells:\n{report}"
+        );
     }
 }

@@ -33,7 +33,7 @@ impl<'a> CycleSim<'a> {
     /// Returns any [`NetlistError`] found during validation (including
     /// combinational loops, which a cycle simulator cannot execute).
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        netlist.validate()?;
+        netlist.check()?;
         let order = netlist.topo_order()?;
         let flops = netlist
             .instances()

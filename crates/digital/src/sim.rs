@@ -71,7 +71,7 @@ impl<'a> EventSim<'a> {
     ///
     /// Returns any [`NetlistError`] found during validation.
     pub fn new(netlist: &'a Netlist, library: &Library) -> Result<Self, NetlistError> {
-        netlist.validate()?;
+        netlist.check()?;
         let wireload = WireloadModel::small_block();
         let fanout = netlist.fanout_table();
         let mut delays = Vec::with_capacity(netlist.cell_count());

@@ -7,6 +7,7 @@
 //! so callers can reproduce the paper's area/power breakdowns
 //! (Figs. 10–11) block by block.
 
+use crate::error::FlowError;
 use crate::floorplan::Floorplan;
 use crate::ir::Design;
 use crate::place::{anneal, place_greedy, AnnealStats, Placement};
@@ -14,7 +15,8 @@ use crate::power::{analyze_power, PowerConfig, PowerReport};
 use crate::route::{global_route, RouteResult};
 use crate::sta::{analyze, StaConfig, StaReport};
 use crate::synth::{synthesize, SynthResult};
-use openserdes_netlist::{NetlistError, NetlistStats};
+use openserdes_lint::LintConfig;
+use openserdes_netlist::NetlistStats;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::library::Library;
 use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
@@ -38,6 +40,9 @@ pub struct FlowConfig {
     pub anneal_iterations: usize,
     /// Default data-net toggle rate for power analysis.
     pub activity: f64,
+    /// Per-rule overrides for the lint gate (rules `IR0xx` before
+    /// synthesis, `NL0xx` after). Error-level findings abort the flow.
+    pub lint: LintConfig,
 }
 
 impl FlowConfig {
@@ -51,6 +56,7 @@ impl FlowConfig {
             seed: 42,
             anneal_iterations: 20_000,
             activity: 0.2,
+            lint: LintConfig::default(),
         }
     }
 }
@@ -224,9 +230,12 @@ fn cts_estimate(flops: usize, library: &Library, clock: Hertz) -> CtsReport {
 ///
 /// # Errors
 ///
-/// Returns a [`NetlistError`] if synthesis produces an invalid netlist
-/// (which indicates an IR bug and is surfaced rather than masked).
-pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, NetlistError> {
+/// Returns [`FlowError::Lint`] if the design-lint gate finds
+/// Error-level diagnostics (on the RTL IR before synthesis, or on the
+/// mapped netlist after), and [`FlowError::Netlist`] if synthesis or
+/// STA produce an invalid netlist (which indicates an IR bug and is
+/// surfaced rather than masked).
+pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, FlowError> {
     let mut log = Vec::new();
     let library = Library::sky130(config.pvt);
     log.push(format!(
@@ -235,6 +244,19 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Netl
         config.pvt,
         config.clock.ghz()
     ));
+
+    // Stage 0: the IR half of the lint gate (yosys' `check` stand-in) —
+    // broken RTL is rejected before any stage spends time on it.
+    let ir_lint = crate::lint::lint(design, &config.lint);
+    log.push(format!(
+        "[lint] ir: {} error(s), {} warning(s), {} info(s)",
+        ir_lint.count(openserdes_lint::Severity::Error),
+        ir_lint.count(openserdes_lint::Severity::Warn),
+        ir_lint.count(openserdes_lint::Severity::Info)
+    ));
+    if ir_lint.has_errors() {
+        return Err(FlowError::Lint(ir_lint));
+    }
 
     // Stage 1: synthesis (yosys + ABC stand-in) plus timing-driven
     // sizing (the resizer step of OpenLANE's optimization).
@@ -251,6 +273,21 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Netl
         bumps,
         stats.area.value()
     ));
+
+    // Lint gate, netlist half: full gate-level ERC (including the
+    // drive/fanout audit against the characterized library) on the
+    // mapped netlist before committing to physical design.
+    let nl_lint =
+        openserdes_netlist::lint::lint_with_library(&synth.netlist, &library, &config.lint);
+    log.push(format!(
+        "[lint] netlist: {} error(s), {} warning(s), {} info(s)",
+        nl_lint.count(openserdes_lint::Severity::Error),
+        nl_lint.count(openserdes_lint::Severity::Warn),
+        nl_lint.count(openserdes_lint::Severity::Info)
+    ));
+    if nl_lint.has_errors() {
+        return Err(FlowError::Lint(nl_lint));
+    }
 
     // Stage 2: floorplan (init_fp stand-in).
     let floorplan = Floorplan::for_area(stats.area, config.utilization, config.aspect);
@@ -359,7 +396,44 @@ mod tests {
         assert!(r.area().value() > 0.0);
         assert!(r.total_power().mw() > 0.0);
         assert!(r.timing.fmax.ghz() > 0.1);
-        assert_eq!(r.log.len(), 9);
+        assert_eq!(r.log.len(), 11);
+    }
+
+    #[test]
+    fn lint_gate_rejects_broken_ir() {
+        let mut d = Design::new("broken");
+        let q = d.reg(); // never connected: IR001, an Error
+        d.output("q", q);
+        match run_flow(&d, &FlowConfig::default()) {
+            Err(FlowError::Lint(report)) => {
+                assert!(report.has_errors());
+                assert_eq!(report.domain(), "ir");
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_gate_can_be_relaxed() {
+        use openserdes_lint::Rule;
+        // A design with a warning-level finding still flows; allowing
+        // the rule drops it from the log counts entirely.
+        let mut d = counter8();
+        let q0 = d.outputs()[0].1;
+        d.set_multicycle(q0, 2);
+        d.set_multicycle(q0, 2); // IR006, Warn
+        let r = run_flow(&d, &FlowConfig::default()).expect("warnings do not gate");
+        assert!(r
+            .log
+            .iter()
+            .any(|l| l.contains("[lint] ir: 0 error(s), 1 warning(s)")));
+        let mut cfg = FlowConfig::default();
+        cfg.lint = cfg.lint.allow(Rule::DuplicateMulticycle);
+        let r = run_flow(&d, &cfg).expect("allowed");
+        assert!(r
+            .log
+            .iter()
+            .any(|l| l.contains("[lint] ir: 0 error(s), 0 warning(s)")));
     }
 
     #[test]
@@ -400,6 +474,7 @@ mod tests {
         let s = r.to_string();
         for stage in [
             "[flow]",
+            "[lint]",
             "[synthesis]",
             "[floorplan]",
             "[placement]",

@@ -227,8 +227,12 @@ impl Design {
             let ai_gt = self.and(a[i], nb);
             let here = self.and(equal, ai_gt);
             greater = self.or(greater, here);
-            let same = self.xnor(a[i], b[i]);
-            equal = self.and(equal, same);
+            // The equality chain feeds only lower bit positions; an
+            // update at the LSB would be dead logic.
+            if i > 0 {
+                let same = self.xnor(a[i], b[i]);
+                equal = self.and(equal, same);
+            }
         }
         greater
     }
@@ -376,6 +380,12 @@ impl Design {
     /// Panics if the register was never connected.
     pub fn reg_d(&self, idx: usize) -> Sig {
         self.regs[idx].d.expect("register data input connected")
+    }
+
+    /// The data input of register `idx`, or `None` if it was never
+    /// connected (the non-panicking form the lint pass uses).
+    pub fn reg_d_opt(&self, idx: usize) -> Option<Sig> {
+        self.regs[idx].d
     }
 
     /// Imports another design as a sub-block (hierarchical composition,
@@ -716,6 +726,35 @@ mod tests {
         let one = d.constant(true);
         d.connect_reg(q, one);
         d.connect_reg(q, one);
+    }
+
+    #[test]
+    fn gt_is_exact_and_has_no_dead_logic() {
+        let mut d = Design::new("gt");
+        let a = d.input_bus("a", 4);
+        let b = d.input_bus("b", 4);
+        let y = d.gt(&a, &b);
+        d.output("y", y);
+        let mut sim = IrSim::new(&d);
+        for av in 0..16 {
+            for bv in 0..16 {
+                sim.set_bus(&a, av);
+                sim.set_bus(&b, bv);
+                sim.settle();
+                assert_eq!(sim.get(y), av > bv, "a = {av}, b = {bv}");
+            }
+        }
+        // Regression: the equality chain used to be updated at the LSB
+        // too, leaving an XNOR/AND pair outside every output cone
+        // (IR002 dead logic in every comparator).
+        let report = crate::lint::lint(&d, &openserdes_lint::LintConfig::default());
+        assert!(
+            report
+                .findings()
+                .iter()
+                .all(|f| f.rule != openserdes_lint::Rule::DeadNode),
+            "gt must not synthesize dead logic:\n{report}"
+        );
     }
 
     #[test]

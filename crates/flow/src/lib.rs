@@ -8,6 +8,9 @@
 //! PVT point, which is the process-portability claim in executable form.
 //!
 //! * [`ir`] — a word-friendly RTL IR with a golden interpreter,
+//! * [`lint`] — the `IR0xx` half of the design-lint engine (unconnected
+//!   registers, dead nodes, stuck state, ragged buses); [`run_flow`]
+//!   gates on it before synthesis and on the netlist ERC after,
 //! * [`synth`] — folding, structural hashing and technology mapping,
 //! * [`floorplan`] / [`place`] / [`route`] — row-based floorplan, greedy +
 //!   simulated-annealing placement, global-routing estimate,
@@ -28,21 +31,24 @@
 //!
 //! let result = run_flow(&d, &FlowConfig::at_clock(Hertz::from_mhz(500.0)))?;
 //! assert!(result.timing.clean());
-//! # Ok::<(), openserdes_netlist::NetlistError>(())
+//! # Ok::<(), openserdes_flow::FlowError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod export;
 pub mod floorplan;
 pub mod flow;
 pub mod ir;
+pub mod lint;
 pub mod place;
 pub mod power;
 pub mod route;
 pub mod sta;
 pub mod synth;
 
+pub use error::FlowError;
 pub use export::{to_def, to_verilog};
 pub use flow::{optimize_timing, run_flow, CtsReport, FlowConfig, FlowResult};
 pub use power::{analyze_power, PowerConfig, PowerReport};

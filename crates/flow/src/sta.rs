@@ -101,7 +101,7 @@ pub fn analyze(
     route: Option<&RouteResult>,
     config: StaConfig,
 ) -> Result<StaReport, NetlistError> {
-    netlist.validate()?;
+    netlist.check()?;
     let order = netlist.topo_order()?;
     let fanout = netlist.fanout_table();
     let wireload = WireloadModel::small_block();

@@ -465,7 +465,7 @@ pub fn synthesize(design: &Design, library: &Library) -> Result<SynthResult, Net
     buffer_high_fanout(&mut netlist, MAX_FANOUT);
     resize_drives(&mut netlist, library);
 
-    netlist.validate()?;
+    netlist.check()?;
     let mapped_nodes = netlist.cell_count();
     let multicycle = design
         .multicycle()

@@ -1,0 +1,290 @@
+//! The rule catalog: every check the lint engine implements, with its
+//! stable ID, default severity and rationale.
+//!
+//! Rule IDs are grouped by the data structure they inspect:
+//!
+//! * `NL0xx` — gate-level netlist ERC (`openserdes_netlist::lint`),
+//! * `IR0xx` — RTL IR checks (`openserdes_flow::lint`),
+//! * `AN0xx` — analog circuit DRC (`openserdes_analog::drc`).
+//!
+//! IDs are stable across releases: rules may be retired but never
+//! renumbered, so suppression lists in user configs keep meaning the
+//! same thing.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordered: `Info < Warn < Error`, so `report.worst()` comparisons read
+/// naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth a look, never gates anything.
+    Info,
+    /// Suspicious: almost always a latent bug; gates CI under
+    /// `--deny warn`.
+    Warn,
+    /// Broken: the design cannot work; gates the flow and the solver.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in text and JSON renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One rule of the catalog. See each variant for the rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    // ---- NL0xx: gate-level netlist ERC ---------------------------------
+    /// `NL001` — a net is driven by more than one cell output, or a cell
+    /// drives a primary input. Electrical contention: the resolved value
+    /// is undefined.
+    MultiplyDrivenNet,
+    /// `NL002` — a net is read (by a pin or a primary output) but nothing
+    /// drives it. The reader sees a floating input.
+    UndrivenNet,
+    /// `NL003` — a combinational feedback loop (Tarjan SCC over the
+    /// combinational driver graph). Unclocked feedback is a latch at
+    /// best and an oscillator at worst; no static timing exists.
+    CombinationalLoop,
+    /// `NL004` — a cell output drives nothing and is not a primary
+    /// output. The cell burns area and leakage for no observable effect.
+    DanglingOutput,
+    /// `NL005` — a cell is not in the fan-in cone of any primary output
+    /// (transitively dead, even though its output has local readers).
+    DeadLogic,
+    /// `NL006` — a flop's data cone crosses from another clock domain
+    /// without a recognizable two-flop synchronizer, or crosses through
+    /// multi-input combinational logic. Metastability hazard.
+    UnsyncClockCrossing,
+    /// `NL007` — a net's capacitive load (sink pins) exceeds the driving
+    /// cell's library `max_load` for its drive strength. Slew collapse.
+    DriveOverload,
+    /// `NL008` — an instance references a net id that does not exist in
+    /// this netlist, or a sequential cell has no clock. Corrupt
+    /// structure.
+    BadReference,
+
+    // ---- IR0xx: RTL IR checks ------------------------------------------
+    /// `IR001` — a register was declared but its data input was never
+    /// connected. Synthesis would emit a flop with a floating D pin.
+    UnconnectedRegister,
+    /// `IR002` — a logic node is outside the fan-in cone of every output
+    /// and every connected register: dead logic in the IR.
+    DeadNode,
+    /// `IR003` — three-valued constant propagation (inputs unknown,
+    /// registers from their power-up value) proves a register never
+    /// leaves a constant value: dead state, typically a wiring bug.
+    ConstantRegister,
+    /// `IR004` — a declared primary input drives nothing.
+    UnusedInput,
+    /// `IR005` — a bus-style port (`name[i]`) has a width gap: indices
+    /// are not contiguous from 0. Almost always an off-by-one in a
+    /// builder loop; downstream width assumptions break.
+    RaggedBus,
+    /// `IR006` — the same register carries more than one multicycle
+    /// exception. The STA honours one; the duplicate is a stale edit.
+    DuplicateMulticycle,
+
+    // ---- AN0xx: analog circuit DRC -------------------------------------
+    /// `AN001` — a node has no DC path to ground or to any voltage
+    /// source (only capacitors or MOS gates reach it). The MNA matrix is
+    /// structurally singular at DC without `gmin`; the bias point is
+    /// undefined.
+    NoDcPath,
+    /// `AN002` — a resistor/capacitor value is zero, negative or
+    /// non-finite, or a MOS device has non-positive geometry. The stamp
+    /// is ill-conditioned or meaningless.
+    NonPositiveElement,
+    /// `AN003` — a degenerate element: both terminals of an R/C on the
+    /// same node, or a MOS with drain shorted to source. Contributes
+    /// nothing (or a self-short) to the solve.
+    DegenerateElement,
+    /// `AN004` — a node was declared but no element or source touches
+    /// it. Usually a forgotten connection.
+    UnusedNode,
+    /// `AN005` — conflicting voltage sources: two sources on one node,
+    /// or a source forcing the ground node.
+    SourceConflict,
+    /// `AN006` — a stimulus carries non-finite values or a
+    /// piecewise-linear time axis that runs backwards.
+    BadStimulus,
+}
+
+impl Rule {
+    /// Every rule in the catalog, in ID order. Tests iterate this to
+    /// assert one triggering fixture exists per rule.
+    pub const ALL: [Rule; 20] = [
+        Rule::MultiplyDrivenNet,
+        Rule::UndrivenNet,
+        Rule::CombinationalLoop,
+        Rule::DanglingOutput,
+        Rule::DeadLogic,
+        Rule::UnsyncClockCrossing,
+        Rule::DriveOverload,
+        Rule::BadReference,
+        Rule::UnconnectedRegister,
+        Rule::DeadNode,
+        Rule::ConstantRegister,
+        Rule::UnusedInput,
+        Rule::RaggedBus,
+        Rule::DuplicateMulticycle,
+        Rule::NoDcPath,
+        Rule::NonPositiveElement,
+        Rule::DegenerateElement,
+        Rule::UnusedNode,
+        Rule::SourceConflict,
+        Rule::BadStimulus,
+    ];
+
+    /// The stable rule ID (`NL001` …).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::MultiplyDrivenNet => "NL001",
+            Rule::UndrivenNet => "NL002",
+            Rule::CombinationalLoop => "NL003",
+            Rule::DanglingOutput => "NL004",
+            Rule::DeadLogic => "NL005",
+            Rule::UnsyncClockCrossing => "NL006",
+            Rule::DriveOverload => "NL007",
+            Rule::BadReference => "NL008",
+            Rule::UnconnectedRegister => "IR001",
+            Rule::DeadNode => "IR002",
+            Rule::ConstantRegister => "IR003",
+            Rule::UnusedInput => "IR004",
+            Rule::RaggedBus => "IR005",
+            Rule::DuplicateMulticycle => "IR006",
+            Rule::NoDcPath => "AN001",
+            Rule::NonPositiveElement => "AN002",
+            Rule::DegenerateElement => "AN003",
+            Rule::UnusedNode => "AN004",
+            Rule::SourceConflict => "AN005",
+            Rule::BadStimulus => "AN006",
+        }
+    }
+
+    /// Short human title (kebab case, stable).
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::MultiplyDrivenNet => "multiply-driven-net",
+            Rule::UndrivenNet => "undriven-net",
+            Rule::CombinationalLoop => "combinational-loop",
+            Rule::DanglingOutput => "dangling-output",
+            Rule::DeadLogic => "dead-logic",
+            Rule::UnsyncClockCrossing => "unsynchronized-clock-crossing",
+            Rule::DriveOverload => "drive-overload",
+            Rule::BadReference => "bad-reference",
+            Rule::UnconnectedRegister => "unconnected-register",
+            Rule::DeadNode => "dead-node",
+            Rule::ConstantRegister => "constant-register",
+            Rule::UnusedInput => "unused-input",
+            Rule::RaggedBus => "ragged-bus",
+            Rule::DuplicateMulticycle => "duplicate-multicycle",
+            Rule::NoDcPath => "no-dc-path",
+            Rule::NonPositiveElement => "non-positive-element",
+            Rule::DegenerateElement => "degenerate-element",
+            Rule::UnusedNode => "unused-node",
+            Rule::SourceConflict => "source-conflict",
+            Rule::BadStimulus => "bad-stimulus",
+        }
+    }
+
+    /// The severity a finding gets unless a [`crate::LintConfig`]
+    /// overrides it.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::MultiplyDrivenNet
+            | Rule::UndrivenNet
+            | Rule::CombinationalLoop
+            | Rule::BadReference
+            | Rule::UnconnectedRegister
+            | Rule::NoDcPath
+            | Rule::NonPositiveElement
+            | Rule::SourceConflict
+            | Rule::BadStimulus => Severity::Error,
+            Rule::DanglingOutput
+            | Rule::DeadLogic
+            | Rule::UnsyncClockCrossing
+            | Rule::DriveOverload
+            | Rule::DeadNode
+            | Rule::ConstantRegister
+            | Rule::RaggedBus
+            | Rule::DuplicateMulticycle
+            | Rule::DegenerateElement
+            | Rule::UnusedNode => Severity::Warn,
+            Rule::UnusedInput => Severity::Info,
+        }
+    }
+
+    /// The analysis domain this rule belongs to (`netlist`, `ir` or
+    /// `analog`), derived from the ID prefix.
+    pub fn domain(self) -> &'static str {
+        match &self.code()[..2] {
+            "NL" => "netlist",
+            "IR" => "ir",
+            _ => "analog",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.title())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate rule codes");
+        for c in codes {
+            assert_eq!(c.len(), 5);
+            assert!(c.ends_with(|ch: char| ch.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn domains_follow_prefixes() {
+        assert_eq!(Rule::MultiplyDrivenNet.domain(), "netlist");
+        assert_eq!(Rule::DeadNode.domain(), "ir");
+        assert_eq!(Rule::NoDcPath.domain(), "analog");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn catalog_has_at_least_twelve_rules() {
+        assert!(Rule::ALL.len() >= 12);
+    }
+
+    #[test]
+    fn display_carries_code_and_title() {
+        let s = Rule::CombinationalLoop.to_string();
+        assert!(s.contains("NL003") && s.contains("combinational-loop"));
+    }
+}

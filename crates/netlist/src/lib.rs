@@ -7,8 +7,11 @@
 //!
 //! * [`Netlist`] — arena-style netlist with a builder API
 //!   ([`Netlist::gate`], [`Netlist::dff`], …), validation
-//!   ([`Netlist::validate`]) and graph queries (drivers, fanout,
+//!   ([`Netlist::check`]) and graph queries (drivers, fanout,
 //!   topological order).
+//! * [`lint`] — the gate-level ERC half of the design-lint engine
+//!   (`NL0xx` rules: driver conflicts, floating nets, combinational
+//!   loops, dead logic, clock-domain audit, drive overloads).
 //! * [`NetlistStats`] — cell histograms and area/leakage rollups against a
 //!   characterized [`openserdes_pdk::library::Library`].
 //! * [`to_dot`] — Graphviz export for inspection.
@@ -27,7 +30,7 @@
 //! let m = nl.gate(LogicFn::Mux2, DriveStrength::X1, &[a, b, sel]);
 //! let q = nl.dff(m, clk, DriveStrength::X1);
 //! nl.mark_output("q", q);
-//! nl.validate()?;
+//! nl.check()?;
 //!
 //! let lib = Library::sky130(Pvt::nominal());
 //! let stats = NetlistStats::compute(&nl, &lib);
@@ -40,6 +43,7 @@
 mod dot;
 pub mod error;
 pub mod ids;
+pub mod lint;
 mod netlist;
 mod stats;
 

@@ -17,7 +17,7 @@
 //! let carry = nl.gate(LogicFn::And2, DriveStrength::X1, &[a, b]);
 //! nl.mark_output("sum", sum);
 //! nl.mark_output("carry", carry);
-//! assert!(nl.validate().is_ok());
+//! assert!(nl.check().is_ok());
 //! ```
 
 use crate::error::NetlistError;
@@ -292,57 +292,20 @@ impl Netlist {
         t
     }
 
-    /// Structural validation: arity (checked at build time), dangling net
-    /// references, exactly one driver per read net, no combinational
-    /// loops.
+    /// Structural validation — deprecated shim over [`Netlist::check`],
+    /// which is the lint engine's Error-level rule subset (`NL008`,
+    /// `NL001`, `NL002`, `NL003`). The full diagnostic catalog lives in
+    /// [`crate::lint`].
     ///
     /// # Errors
     ///
     /// Returns the first [`NetlistError`] found.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Netlist::check()` (same errors, one checker) or `openserdes_netlist::lint::lint` for the full rule catalog"
+    )]
     pub fn validate(&self) -> Result<(), NetlistError> {
-        let nets = self.net_count();
-        for (id, inst) in self.instances() {
-            for &n in inst.inputs.iter().chain(inst.clock.iter()) {
-                if n.index() >= nets {
-                    return Err(NetlistError::DanglingNet { cell: id, net: n });
-                }
-            }
-            if inst.output.index() >= nets {
-                return Err(NetlistError::DanglingNet {
-                    cell: id,
-                    net: inst.output,
-                });
-            }
-            if inst.function.is_sequential() && inst.clock.is_none() {
-                return Err(NetlistError::MissingClock(id));
-            }
-        }
-        // Driver uniqueness: instance outputs must not collide with each
-        // other or with primary inputs.
-        let mut drivers: Vec<Vec<CellId>> = vec![Vec::new(); nets];
-        for (id, inst) in self.instances() {
-            drivers[inst.output.index()].push(id);
-        }
-        for (ni, d) in drivers.iter().enumerate() {
-            let net = NetId(ni as u32);
-            let pi = self.is_primary_input(net);
-            if d.len() > 1 || (pi && !d.is_empty()) {
-                return Err(NetlistError::MultipleDrivers {
-                    net,
-                    drivers: d.clone(),
-                });
-            }
-        }
-        // Every read net must be driven by an instance or a primary input.
-        let fanout = self.fanout_table();
-        for ni in 0..nets {
-            let net = NetId(ni as u32);
-            let read = !fanout[ni].is_empty() || self.outputs.iter().any(|(_, n)| *n == net);
-            if read && drivers[ni].is_empty() && !self.is_primary_input(net) {
-                return Err(NetlistError::UndrivenNet(net));
-            }
-        }
-        self.topo_order().map(|_| ())
+        self.check()
     }
 
     /// Topological order of the *combinational* instances.
@@ -428,7 +391,7 @@ mod tests {
         assert_eq!(nl.cell_count(), 2);
         assert_eq!(nl.net_count(), 4);
         assert_eq!(nl.flop_count(), 0);
-        assert!(nl.validate().is_ok());
+        assert!(nl.check().is_ok());
     }
 
     #[test]
@@ -451,7 +414,7 @@ mod tests {
         nl.gate_into(LogicFn::Buf, DriveStrength::X1, &[a], out);
         nl.mark_output("out", out);
         assert!(matches!(
-            nl.validate(),
+            nl.check(),
             Err(NetlistError::MultipleDrivers { .. })
         ));
     }
@@ -463,7 +426,7 @@ mod tests {
         let b = nl.add_input("b");
         nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[a], b);
         assert!(matches!(
-            nl.validate(),
+            nl.check(),
             Err(NetlistError::MultipleDrivers { .. })
         ));
     }
@@ -474,7 +437,7 @@ mod tests {
         let float = nl.add_net("floating");
         let out = nl.gate(LogicFn::Inv, DriveStrength::X1, &[float]);
         nl.mark_output("out", out);
-        assert_eq!(nl.validate(), Err(NetlistError::UndrivenNet(float)));
+        assert_eq!(nl.check(), Err(NetlistError::UndrivenNet(float)));
     }
 
     #[test]
@@ -486,7 +449,7 @@ mod tests {
         nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[x], fb);
         nl.mark_output("out", x);
         assert!(matches!(
-            nl.validate(),
+            nl.check(),
             Err(NetlistError::CombinationalLoop(_))
         ));
     }
@@ -500,7 +463,7 @@ mod tests {
         let d = nl.gate(LogicFn::Inv, DriveStrength::X1, &[q]);
         nl.dff_into(d, clk, DriveStrength::X1, q);
         nl.mark_output("q", q);
-        assert!(nl.validate().is_ok());
+        assert!(nl.check().is_ok());
         assert_eq!(nl.flop_count(), 1);
     }
 
@@ -547,8 +510,21 @@ mod tests {
         let d = nl.add_input("d");
         let q = nl.dff_rstn(d, rst_n, clk, DriveStrength::X1);
         nl.mark_output("q", q);
-        assert!(nl.validate().is_ok());
+        assert!(nl.check().is_ok());
         assert_eq!(nl.flop_count(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn validate_shim_matches_check() {
+        let good = half_adder();
+        assert_eq!(good.validate(), good.check());
+        let mut bad = Netlist::new("bad");
+        let float = bad.add_net("floating");
+        let out = bad.gate(LogicFn::Inv, DriveStrength::X1, &[float]);
+        bad.mark_output("out", out);
+        assert_eq!(bad.validate(), bad.check());
+        assert_eq!(bad.validate(), Err(NetlistError::UndrivenNet(float)));
     }
 
     #[test]

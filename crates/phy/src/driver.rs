@@ -5,11 +5,13 @@
 //! power than current-mode drivers; the cost is edge rate into heavy
 //! loads, which the taper handles.
 
+use openserdes_analog::drc;
 use openserdes_analog::primitives::{add_inverter_chain, InverterSize};
 use openserdes_analog::solver::{
     reference, transient, SolverError, SolverStats, TransientConfig, TransientResult,
 };
 use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
+use openserdes_lint::{LintConfig, LintReport};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::mos::{MosDevice, MosParams};
 use openserdes_pdk::units::{AreaUm2, Farad, Hertz, Time, Watt};
@@ -90,6 +92,14 @@ impl TxDriver {
     /// The configuration.
     pub fn config(&self) -> &DriverConfig {
         &self.config
+    }
+
+    /// Runs the `AN0xx` analog DRC over the assembled driver circuit —
+    /// the same checks the solver applies in debug builds, but
+    /// available unconditionally for signoff and CI.
+    pub fn lint(&self) -> LintReport {
+        let (c, _, _) = self.build(&[false, true], Time::from_ps(500.0));
+        drc::lint(&c, "tx-driver", &LintConfig::default())
     }
 
     /// Builds the driver circuit; returns `(circuit, input, stage outs)`.
@@ -275,6 +285,12 @@ mod tests {
             "driver area = {:.0} µm²",
             a.value()
         );
+    }
+
+    #[test]
+    fn driver_circuit_lints_clean() {
+        let report = driver().lint();
+        assert!(report.is_clean(), "DRC findings:\n{report}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! minimum input swing that still restores clean logic levels at a given
 //! data rate. This is the model behind the paper's Fig. 9 sweeps.
 
+use openserdes_analog::drc;
 use openserdes_analog::par::bisect_speculative;
 use openserdes_analog::primitives::{
     add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
@@ -25,6 +26,7 @@ use openserdes_analog::solver::{
     SolverStats, TransientConfig, TransientResult,
 };
 use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
+use openserdes_lint::{LintConfig, LintReport};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::mos::{MosDevice, MosParams};
 use openserdes_pdk::units::{AreaUm2, Farad, Hertz, Time, Volt, Watt};
@@ -126,6 +128,18 @@ impl RxFrontEnd {
     /// The configuration.
     pub fn config(&self) -> &FrontEndConfig {
         &self.config
+    }
+
+    /// Runs the `AN0xx` analog DRC over the assembled front-end circuit
+    /// with the source bound to its bias point — the same checks the
+    /// solver applies in debug builds, but available unconditionally
+    /// for signoff and CI. In particular this proves the AC-coupled
+    /// input bias has a DC path through the pseudo-resistor channel.
+    pub fn lint(&self) -> LintReport {
+        let mut c = Circuit::new();
+        let (src, _, _, _) = self.build(&mut c);
+        c.vsource(src, Stimulus::Dc(0.5 * self.pvt.vdd.value()));
+        drc::lint(&c, "rx-frontend", &LintConfig::default())
     }
 
     /// Builds the front-end circuit; returns `(src, vin, vmid, vout)`.
@@ -491,6 +505,14 @@ mod tests {
 
     fn fe() -> RxFrontEnd {
         RxFrontEnd::new(FrontEndConfig::paper_default(), Pvt::nominal())
+    }
+
+    #[test]
+    fn frontend_circuit_lints_clean() {
+        // The AC-coupled input is biased only through the PMOS
+        // pseudo-resistor channel — AN001 must accept that DC path.
+        let report = fe().lint();
+        assert!(report.is_clean(), "DRC findings:\n{report}");
     }
 
     #[test]

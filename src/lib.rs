@@ -16,6 +16,7 @@
 //! | [`analog`] | `openserdes-analog` | SPICE/Virtuoso transients |
 //! | [`phy`] | `openserdes-phy` | driver, channel, RX front end |
 //! | [`core`] | `openserdes-core` | the SerDes itself |
+//! | [`lint`] | `openserdes-lint` | DRC/ERC signoff (rule catalog in DESIGN.md §12) |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use openserdes_analog as analog;
 pub use openserdes_core as core;
 pub use openserdes_digital as digital;
 pub use openserdes_flow as flow;
+pub use openserdes_lint as lint;
 pub use openserdes_netlist as netlist;
 pub use openserdes_pdk as pdk;
 pub use openserdes_phy as phy;
