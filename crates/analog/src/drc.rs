@@ -26,10 +26,29 @@
 use crate::circuit::{Circuit, Element, Node, Stimulus};
 use openserdes_lint::{Finding, LintConfig, LintLevel, LintReport, Rule};
 
+impl Circuit {
+    /// Runs every `AN0xx` check over this circuit and returns the
+    /// report. `design` names the circuit in the report (a [`Circuit`]
+    /// itself is anonymous).
+    pub fn lint(&self, design: &str, config: &LintConfig) -> LintReport {
+        lint_circuit(self, design, config)
+    }
+}
+
 /// Runs every `AN0xx` check over `circuit` and returns the report.
 /// `design` names the circuit in the report (a [`Circuit`] itself is
 /// anonymous).
+///
+/// # Deprecated
+///
+/// The same engine is reachable as the inherent [`Circuit::lint`]
+/// method.
+#[deprecated(note = "use `Circuit::lint`")]
 pub fn lint(circuit: &Circuit, design: &str, config: &LintConfig) -> LintReport {
+    lint_circuit(circuit, design, config)
+}
+
+fn lint_circuit(circuit: &Circuit, design: &str, config: &LintConfig) -> LintReport {
     let mut report = LintReport::new(design, "analog");
     check_elements(circuit, config, &mut report);
     check_sources(circuit, config, &mut report);
@@ -55,7 +74,7 @@ pub fn gate_config() -> LintConfig {
 /// Panics in debug builds when the circuit has Error-level DRC findings.
 pub fn debug_check(circuit: &Circuit) {
     if cfg!(debug_assertions) {
-        let report = lint(circuit, "circuit", &gate_config());
+        let report = circuit.lint("circuit", &gate_config());
         assert!(
             !report.has_errors(),
             "analog DRC rejected the circuit (compile with --release to skip this gate):\n{report}"
@@ -355,7 +374,7 @@ mod tests {
 
     #[test]
     fn clean_circuit_is_clean() {
-        let report = lint(&clean_frontend(), "fe", &LintConfig::default());
+        let report = clean_frontend().lint("fe", &LintConfig::default());
         assert!(report.is_clean(), "unexpected findings:\n{report}");
     }
 
@@ -366,7 +385,7 @@ mod tests {
         let x = c.node("x");
         c.vsource(vin, Stimulus::Dc(1.0));
         c.capacitor(vin, x, 1e-15);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let f = &report.findings()[0];
         assert_eq!(f.rule, Rule::NoDcPath);
         assert_eq!(f.severity, Severity::Error);
@@ -384,7 +403,7 @@ mod tests {
         c.resistor(vdd, out, 1e3);
         c.mos(nmos(), out, bias, c.gnd());
         c.capacitor(bias, c.gnd(), 1e-15);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         assert!(report
             .findings()
             .iter()
@@ -400,7 +419,7 @@ mod tests {
         c.vsource(vdd, Stimulus::Dc(1.8));
         c.pseudo_resistor(pmos(), vdd, vin);
         c.capacitor(vin, c.gnd(), 1e-15);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         assert!(report.is_clean(), "{report}");
     }
 
@@ -414,7 +433,7 @@ mod tests {
             b: c.gnd(),
             ohms: -50.0,
         });
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let f = &report.findings()[0];
         assert_eq!(f.rule, Rule::NonPositiveElement);
         assert!(f.message.contains("-5e1"), "{}", f.message);
@@ -435,7 +454,7 @@ mod tests {
             b: c.gnd(),
             ohms: f64::NAN,
         });
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         assert_eq!(
             report
                 .findings()
@@ -459,7 +478,7 @@ mod tests {
             g: a,
             s: c.gnd(),
         });
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         assert!(report
             .findings()
             .iter()
@@ -473,7 +492,7 @@ mod tests {
         c.vsource(a, Stimulus::Dc(1.0));
         c.resistor(a, a, 1e3);
         c.mos(nmos(), a, a, a);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let hits: Vec<_> = report
             .findings()
             .iter()
@@ -493,7 +512,7 @@ mod tests {
         c.vsource(a, Stimulus::Dc(1.0));
         c.pseudo_resistor(pmos(), a, b);
         c.resistor(b, c.gnd(), 1e3);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         assert!(report.is_clean(), "{report}");
     }
 
@@ -504,7 +523,7 @@ mod tests {
         let _orphan = c.node("orphan");
         c.vsource(a, Stimulus::Dc(1.0));
         c.resistor(a, c.gnd(), 1e3);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let f = &report.findings()[0];
         assert_eq!(f.rule, Rule::UnusedNode);
         assert!(f.message.contains("orphan"));
@@ -518,7 +537,7 @@ mod tests {
         c.vsource(a, Stimulus::Dc(0.5));
         c.vsource(c.gnd(), Stimulus::Dc(0.3));
         c.resistor(a, c.gnd(), 1e3);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let hits: Vec<_> = report
             .findings()
             .iter()
@@ -541,7 +560,7 @@ mod tests {
         c.resistor(a, c.gnd(), 1e3);
         c.resistor(b, c.gnd(), 1e3);
         c.resistor(d, c.gnd(), 1e3);
-        let report = lint(&c, "t", &LintConfig::default());
+        let report = c.lint("t", &LintConfig::default());
         let hits: Vec<_> = report
             .findings()
             .iter()
@@ -558,7 +577,7 @@ mod tests {
         let x = c.node("x");
         c.vsource(vin, Stimulus::Dc(1.0));
         c.capacitor(vin, x, 1e-15);
-        let report = lint(&c, "t", &gate_config());
+        let report = c.lint("t", &gate_config());
         assert!(!report.has_errors());
         assert_eq!(report.count(Severity::Warn), 1);
     }
@@ -578,7 +597,7 @@ mod tests {
     fn lint_is_read_only() {
         let c = clean_frontend();
         let before = format!("{c:?}");
-        let _ = lint(&c, "fe", &LintConfig::default());
+        let _ = c.lint("fe", &LintConfig::default());
         assert_eq!(format!("{c:?}"), before);
     }
 }

@@ -14,6 +14,7 @@
 //!
 //! Built on `std::thread::scope` — no runtime dependency.
 
+use openserdes_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker count: every available core.
@@ -23,10 +24,14 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Maps `f` over `items` on `threads` scoped workers, returning results
-/// in input order. Workers pull indices from a shared atomic counter
-/// (work stealing), so uneven item costs still balance.
-pub fn map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// The fan-out core shared by [`map_with_threads`] and
+/// [`bisect_speculative`]: runs every item inside its own telemetry
+/// scope and returns `(result, record)` pairs in input order **without
+/// absorbing** the records — the caller decides which records enter
+/// the merged telemetry and in what order (the determinism contract of
+/// DESIGN.md §14). With telemetry disabled the records are all empty
+/// and the collection wrapper is a single flag check per item.
+fn map_recorded<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<(R, telemetry::Record)>
 where
     T: Sync,
     R: Send,
@@ -34,10 +39,14 @@ where
 {
     let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| telemetry::collect(|| f(i, t)))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut indexed: Vec<(usize, (R, telemetry::Record))> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -48,7 +57,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        mine.push((i, f(i, &items[i])));
+                        mine.push((i, telemetry::collect(|| f(i, &items[i]))));
                     }
                     mine
                 })
@@ -60,6 +69,29 @@ where
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over `items` on `threads` scoped workers, returning results
+/// in input order. Workers pull indices from a shared atomic counter
+/// (work stealing), so uneven item costs still balance.
+///
+/// Telemetry recorded inside `f` is captured per item on the worker
+/// thread and absorbed into the caller's scope in **input-index
+/// order**, so the merged counters, histograms and span structure are
+/// identical for any worker count (only wall times vary).
+pub fn map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_recorded(items, threads, f)
+        .into_iter()
+        .map(|(r, rec)| {
+            telemetry::absorb(rec);
+            r
+        })
+        .collect()
 }
 
 /// [`map_with_threads`] on every available core.
@@ -134,12 +166,23 @@ where
             fill(probes, 2 * i + 2, mid, hi);
         }
         fill(&mut probes, 0, lo, hi);
-        let mut verdicts: Vec<Option<Result<bool, E>>> =
-            map_with_threads(&probes, threads, |_, &x| Some(probe(x)));
+        // Probe the whole tree, but keep each probe's telemetry record
+        // separate: only the probes on the walked path are absorbed —
+        // in walk order, which equals the sequential probe order — so
+        // merged telemetry is worker-count independent too. Discarded
+        // speculative probes leave no trace, just as the sequential
+        // loop never ran them.
+        let mut verdicts: Vec<Option<(Result<bool, E>, telemetry::Record)>> =
+            map_recorded(&probes, threads, |_, &x| probe(x))
+                .into_iter()
+                .map(Some)
+                .collect();
         let mut node = 0usize;
         while node < nodes {
             let mid = probes[node];
-            match verdicts[node].take().expect("each node visited once")? {
+            let (verdict, rec) = verdicts[node].take().expect("each node visited once");
+            telemetry::absorb(rec);
+            match verdict? {
                 true => {
                     lo = mid;
                     node = 2 * node + 2;

@@ -206,7 +206,7 @@ mod tests {
             vout,
             vdd,
         );
-        let res = transient(&c, &TransientConfig::with_dt(6e-9, 2e-12)).expect("runs");
+        let res = transient(&c, &TransientConfig::until(6e-9).with_fixed_dt(2e-12)).expect("runs");
         let out = res.waveform(vout);
         // Skip the first bit (settling).
         let settled = crate::waveform::Waveform::from_fn(

@@ -36,6 +36,7 @@
 use crate::circuit::{Circuit, Element, Node};
 use crate::waveform::Waveform;
 use openserdes_pdk::mos::{MosDevice, MosType};
+use openserdes_telemetry as telemetry;
 use std::error::Error;
 use std::fmt;
 use std::ops::Deref;
@@ -113,8 +114,19 @@ pub struct TransientConfig {
 }
 
 impl TransientConfig {
-    /// A configuration with fixed 1 ps steps up to `t_end`.
-    pub fn to(t_end: f64) -> Self {
+    /// The canonical constructor: fixed 1 ps steps up to `t_end`, the
+    /// solver's default Newton budget and tolerances. Refine with the
+    /// consuming `with_*` builders:
+    ///
+    /// ```
+    /// use openserdes_analog::solver::TransientConfig;
+    ///
+    /// let cfg = TransientConfig::until(5e-9)
+    ///     .with_fixed_dt(2e-12)
+    ///     .with_max_newton(200);
+    /// assert_eq!(cfg.out_dt(), 2e-12);
+    /// ```
+    pub fn until(t_end: f64) -> Self {
         Self {
             step: StepMode::Fixed(1.0e-12),
             t_end,
@@ -124,25 +136,64 @@ impl TransientConfig {
         }
     }
 
+    /// Uniform backward-Euler steps of `dt` seconds.
+    #[must_use]
+    pub fn with_fixed_dt(mut self, dt: f64) -> Self {
+        self.step = StepMode::Fixed(dt);
+        self
+    }
+
+    /// Step-doubling LTE control between `dt_min` and `dt_max`, with
+    /// the accepted per-step error bound `lte_tol` volts; the output
+    /// waveform grid is `dt_min`.
+    #[must_use]
+    pub fn with_adaptive_steps(mut self, dt_min: f64, dt_max: f64, lte_tol: f64) -> Self {
+        self.step = StepMode::Adaptive {
+            dt_min,
+            dt_max,
+            lte_tol,
+        };
+        self
+    }
+
+    /// Maximum Newton iterations per step.
+    #[must_use]
+    pub fn with_max_newton(mut self, max_newton: usize) -> Self {
+        self.max_newton = max_newton;
+        self
+    }
+
+    /// Convergence tolerance on voltage updates, volts.
+    #[must_use]
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Stabilizing node-to-ground conductance, siemens.
+    #[must_use]
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// A configuration with fixed 1 ps steps up to `t_end`.
+    #[deprecated(note = "use `TransientConfig::until`")]
+    pub fn to(t_end: f64) -> Self {
+        Self::until(t_end)
+    }
+
     /// Same but with an explicit fixed timestep.
+    #[deprecated(note = "use `TransientConfig::until(..).with_fixed_dt(..)`")]
     pub fn with_dt(t_end: f64, dt: f64) -> Self {
-        Self {
-            step: StepMode::Fixed(dt),
-            ..Self::to(t_end)
-        }
+        Self::until(t_end).with_fixed_dt(dt)
     }
 
     /// An adaptive-step configuration; the output waveform grid is
     /// `dt_min`.
+    #[deprecated(note = "use `TransientConfig::until(..).with_adaptive_steps(..)`")]
     pub fn adaptive(t_end: f64, dt_min: f64, dt_max: f64, lte_tol: f64) -> Self {
-        Self {
-            step: StepMode::Adaptive {
-                dt_min,
-                dt_max,
-                lte_tol,
-            },
-            ..Self::to(t_end)
-        }
+        Self::until(t_end).with_adaptive_steps(dt_min, dt_max, lte_tol)
     }
 
     /// The uniform output-grid pitch the run produces: the fixed step,
@@ -200,6 +251,26 @@ impl SolverStats {
         self.steps_taken += other.steps_taken;
         self.steps_rejected += other.steps_rejected;
         self.total_time += other.total_time;
+    }
+
+    /// Emits these counters into the active telemetry scope under the
+    /// `analog.*` namespace — the bridge that generalizes this struct
+    /// into the workspace-wide observability layer (DESIGN.md §14)
+    /// without changing its public fields. `residual_builds` surfaces
+    /// as `analog.device_eval_passes` (each residual assembly is one
+    /// full device-evaluation pass) and `factorization_reuses` as
+    /// `analog.lu_cache_hits`.
+    pub fn record_telemetry(&self) {
+        if !telemetry::is_enabled() {
+            return;
+        }
+        telemetry::counter("analog.newton_iterations", self.newton_iterations);
+        telemetry::counter("analog.device_eval_passes", self.residual_builds);
+        telemetry::counter("analog.jacobian_builds", self.jacobian_builds);
+        telemetry::counter("analog.lu_factorizations", self.factorizations);
+        telemetry::counter("analog.lu_cache_hits", self.factorization_reuses);
+        telemetry::counter("analog.steps_taken", self.steps_taken);
+        telemetry::counter("analog.lte_rejections", self.steps_rejected);
     }
 
     /// The counters accrued since `earlier` (a snapshot of the same
@@ -1046,6 +1117,7 @@ impl<'c> Solver<'c> {
         &mut self,
         config: &TransientConfig,
     ) -> Result<TransientResult, SolverError> {
+        let _span = telemetry::span("analog.transient");
         let before = self.stats;
         let started = Instant::now();
         let waveforms = match config.step {
@@ -1057,10 +1129,11 @@ impl<'c> Solver<'c> {
             } => self.transient_adaptive(dt_min, dt_max, lte_tol, config),
         }?;
         self.stats.total_time += started.elapsed();
-        Ok(TransientResult {
-            waveforms,
-            stats: self.stats.since(&before),
-        })
+        let stats = self.stats.since(&before);
+        stats.record_telemetry();
+        telemetry::record_value("analog.newton_per_transient", stats.newton_iterations);
+        telemetry::record_value("analog.steps_per_transient", stats.steps_taken);
+        Ok(TransientResult { waveforms, stats })
     }
 
     /// Historical fixed-step loop, with samples streamed into per-node
@@ -1424,10 +1497,12 @@ impl<'c> Solver<'c> {
 /// gate (non-positive elements, source conflicts, bad stimuli).
 pub fn dc_operating_point(circuit: &Circuit) -> Result<DcSolution, SolverError> {
     crate::drc::debug_check(circuit);
+    let _span = telemetry::span("analog.dc");
     let mut solver = Solver::new(circuit);
     let started = Instant::now();
     let voltages = solver.dc_at(0.0)?;
     solver.stats.total_time += started.elapsed();
+    solver.stats.record_telemetry();
     Ok(DcSolution {
         voltages,
         stats: solver.stats,
@@ -1452,10 +1527,12 @@ pub fn dc_operating_point_with_nodeset(
     nodeset: &[(Node, f64)],
 ) -> Result<DcSolution, SolverError> {
     crate::drc::debug_check(circuit);
+    let _span = telemetry::span("analog.dc");
     let mut solver = Solver::new(circuit);
     let started = Instant::now();
     let voltages = solver.dc_nodeset(nodeset)?;
     solver.stats.total_time += started.elapsed();
+    solver.stats.record_telemetry();
     Ok(DcSolution {
         voltages,
         stats: solver.stats,
@@ -1518,10 +1595,12 @@ pub fn dc_sweep(
         source_index < circuit.sources().len(),
         "source index out of range"
     );
+    let _span = telemetry::span("analog.dc_sweep");
     let mut solver = Solver::new(circuit);
     let started = Instant::now();
     let points = dc_sweep_on(&mut solver, source_index, values)?;
     solver.stats.total_time += started.elapsed();
+    solver.stats.record_telemetry();
     Ok(DcSweepResult {
         points,
         stats: solver.stats,
@@ -1564,11 +1643,13 @@ pub fn dc_sweep_with_threads(
         source_index < circuit.sources().len(),
         "source index out of range"
     );
+    let _span = telemetry::span("analog.dc_sweep");
     let started = Instant::now();
     let chunks: Vec<&[f64]> = values.chunks(DC_SWEEP_CHUNK).collect();
     let results = crate::par::map_with_threads(&chunks, threads, |_, chunk| {
         let mut solver = Solver::new(circuit);
         let points = dc_sweep_on(&mut solver, source_index, chunk)?;
+        solver.stats.record_telemetry();
         Ok::<_, SolverError>((points, solver.stats))
     });
     let mut points = Vec::with_capacity(values.len());
@@ -1634,7 +1715,7 @@ mod tests {
         c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]));
         c.resistor(vin, out, 1e3);
         c.capacitor(out, c.gnd(), 1e-12); // tau = 1 ns
-        let res = transient(&c, &TransientConfig::with_dt(5e-9, 5e-12)).expect("runs");
+        let res = transient(&c, &TransientConfig::until(5e-9).with_fixed_dt(5e-12)).expect("runs");
         let w = res.waveform(out);
         // After one tau: 63.2 %; after 3 tau: 95 %.
         let v_tau = w.sample_at(1e-9);
@@ -1710,7 +1791,7 @@ mod tests {
         );
         inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
         c.capacitor(vout, c.gnd(), 10e-15);
-        let res = transient(&c, &TransientConfig::with_dt(3e-9, 2e-12)).expect("runs");
+        let res = transient(&c, &TransientConfig::until(3e-9).with_fixed_dt(2e-12)).expect("runs");
         let w = res.waveform(vout);
         assert!(w.sample_at(0.9e-9) > VDD - 0.1, "high before edge");
         assert!(w.sample_at(2.5e-9) < 0.1, "low after edge");
@@ -1808,8 +1889,8 @@ mod tests {
             (c, out)
         };
         let (c, out) = build();
-        let coarse = transient(&c, &TransientConfig::with_dt(4e-9, 8e-12)).expect("ok");
-        let fine = transient(&c, &TransientConfig::with_dt(4e-9, 1e-12)).expect("ok");
+        let coarse = transient(&c, &TransientConfig::until(4e-9).with_fixed_dt(8e-12)).expect("ok");
+        let fine = transient(&c, &TransientConfig::until(4e-9).with_fixed_dt(1e-12)).expect("ok");
         for k in 0..40 {
             let t = k as f64 * 0.1e-9;
             let d = (coarse.waveform(out).sample_at(t) - fine.waveform(out).sample_at(t)).abs();
@@ -1826,7 +1907,7 @@ mod tests {
         c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (10e-12, 1.0)]));
         c.capacitor(vin, mid, 1e-12);
         c.capacitor(mid, c.gnd(), 1e-12);
-        let res = transient(&c, &TransientConfig::with_dt(1e-9, 1e-12)).expect("ok");
+        let res = transient(&c, &TransientConfig::until(1e-9).with_fixed_dt(1e-12)).expect("ok");
         let v = res.waveform(mid).sample_at(0.5e-9);
         assert!((v - 0.5).abs() < 0.02, "cap divider mid = {v}");
     }
@@ -1839,7 +1920,7 @@ mod tests {
         c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]));
         c.resistor(vin, out, 10e3);
         c.capacitor(out, c.gnd(), 50e-15);
-        let cfg = TransientConfig::with_dt(2e-9, 1e-12);
+        let cfg = TransientConfig::until(2e-9).with_fixed_dt(1e-12);
         let a = transient(&c, &cfg).expect("ok");
         let b = transient(&c, &cfg).expect("ok");
         assert_eq!(a.waveform(out).samples(), b.waveform(out).samples());
@@ -1862,7 +1943,7 @@ mod tests {
                 "rc",
                 c,
                 vec![vin, node_out],
-                TransientConfig::with_dt(5e-9, 5e-12),
+                TransientConfig::until(5e-9).with_fixed_dt(5e-12),
             ));
         }
         {
@@ -1881,7 +1962,7 @@ mod tests {
                 "inverter",
                 c,
                 vec![vin, vout],
-                TransientConfig::with_dt(3e-9, 2e-12),
+                TransientConfig::until(3e-9).with_fixed_dt(2e-12),
             ));
         }
         {
@@ -1895,7 +1976,7 @@ mod tests {
                 "series-caps",
                 c,
                 vec![vin, mid],
-                TransientConfig::with_dt(1e-9, 1e-12),
+                TransientConfig::until(1e-9).with_fixed_dt(1e-12),
             ));
         }
         out
@@ -1982,9 +2063,13 @@ mod tests {
         c.resistor(vin, out, 1e3);
         c.capacitor(out, c.gnd(), 1e-12);
         let lte_tol = 1e-3;
-        let fixed = transient(&c, &TransientConfig::with_dt(5e-9, 1e-12)).expect("fixed");
-        let adaptive = transient(&c, &TransientConfig::adaptive(5e-9, 1e-12, 64e-12, lte_tol))
-            .expect("adaptive");
+        let fixed =
+            transient(&c, &TransientConfig::until(5e-9).with_fixed_dt(1e-12)).expect("fixed");
+        let adaptive = transient(
+            &c,
+            &TransientConfig::until(5e-9).with_adaptive_steps(1e-12, 64e-12, lte_tol),
+        )
+        .expect("adaptive");
         let err = adaptive.waveform(out).max_abs_diff(fixed.waveform(out));
         assert!(err < 10.0 * lte_tol, "adaptive error {err:.3e}");
         // The point of the exercise: far fewer steps than the grid.
@@ -2004,7 +2089,7 @@ mod tests {
         c.vsource(vin, Stimulus::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]));
         c.resistor(vin, out, 10e3);
         c.capacitor(out, c.gnd(), 50e-15);
-        let res = transient(&c, &TransientConfig::with_dt(2e-9, 1e-12)).expect("ok");
+        let res = transient(&c, &TransientConfig::until(2e-9).with_fixed_dt(1e-12)).expect("ok");
         let s = res.stats();
         // One factorization per distinct (dt, gmin) key: the DC solve
         // ladder uses several gmins, the transient exactly one more.
@@ -2028,7 +2113,7 @@ mod tests {
         c.vsource(vin, Stimulus::Dc(1.0));
         c.resistor(vin, out, 1e3);
         c.capacitor(out, c.gnd(), 1e-12);
-        let res = transient(&c, &TransientConfig::with_dt(1e-9, 1e-12)).expect("ok");
+        let res = transient(&c, &TransientConfig::until(1e-9).with_fixed_dt(1e-12)).expect("ok");
         let s = res.stats();
         let expect = (1e-9f64 / 1e-12).ceil() as u64;
         assert_eq!(s.steps_taken, expect);

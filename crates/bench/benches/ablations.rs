@@ -168,7 +168,9 @@ fn ablate_flow_seed(c: &mut Criterion) {
                 cfg.seed = seed;
                 cfg.anneal_iterations = 2_000;
                 black_box(
-                    openserdes_flow::run_flow(&openserdes_core::cdr_design(5), &cfg)
+                    openserdes_flow::Flow::new()
+                        .with_config(cfg)
+                        .run(&openserdes_core::cdr_design(5))
                         .expect("flow runs"),
                 )
             })

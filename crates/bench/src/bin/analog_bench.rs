@@ -119,7 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fixed-step kernel: identical grids, stamped+LU vs dense rebuild.
     let (c, out, t_end, dt) = chain_circuit();
-    let cfg = TransientConfig::with_dt(t_end, dt);
+    let cfg = TransientConfig::until(t_end).with_fixed_dt(dt);
     let mut w_new = None;
     let fixed_new_ms = time_ms(reps, || {
         w_new = Some(transient(&c, &cfg).expect("fixed transient"));
@@ -147,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Adaptive vs fixed on the same kernel.
-    let acfg = TransientConfig::adaptive(t_end, dt, 32.0 * dt, 1.0e-3);
+    let acfg = TransientConfig::until(t_end).with_adaptive_steps(dt, 32.0 * dt, 1.0e-3);
     let mut w_ad = None;
     let adaptive_ms = time_ms(reps, || {
         w_ad = Some(transient(&c, &acfg).expect("adaptive transient"));

@@ -7,7 +7,7 @@
 
 use openserdes_bench::report::table;
 use openserdes_core::sweep::parallel;
-use openserdes_core::{eye_width_at, BerTest, LinkConfig, SerdesLink};
+use openserdes_core::{eye_width_at, BerTest, LinkConfig, Sweep};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads
     );
     let t0 = Instant::now();
-    let curve = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, threads)?;
+    let curve = Sweep::new()
+        .with_bits(100_000)
+        .with_phases(24)
+        .with_seed(11)
+        .with_threads(threads)
+        .bathtub(&cfg)?;
     let elapsed = t0.elapsed();
     let rows: Vec<Vec<String>> = curve
         .iter()
@@ -45,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-stage link instrumentation at the same operating point.
     let bertest = BerTest::prbs31(cfg.clone(), 40);
-    let report = SerdesLink::new(cfg).run_frames(&bertest.stimulus(), bertest.seed)?;
+    let report = openserdes_core::link::run_frames(&cfg, &bertest.stimulus(), bertest.seed)?;
     let s = report.stats;
     println!("\nlink stage stats (40 frames):");
     println!(

@@ -3,7 +3,7 @@
 use openserdes_bench::figures::fig09_sensitivity;
 use openserdes_bench::report::table;
 use openserdes_core::sweep::parallel;
-use openserdes_core::{LinkConfig, SerdesLink};
+use openserdes_core::{LinkConfig, Sweep};
 use openserdes_pdk::units::Hertz;
 use std::time::Instant;
 
@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&g| Hertz::from_ghz(g))
         .collect();
     let t0 = Instant::now();
-    let sweep = parallel::rate_sweep_parallel(&cfg, &rates, 8, 0.5, threads)?;
+    let sweep = Sweep::new()
+        .with_threads(threads)
+        .rate_sweep(&cfg, &rates)?;
     let elapsed = t0.elapsed();
     for p in &sweep {
         println!(
@@ -54,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-stage instrumentation at the nominal operating point.
     let bertest = openserdes_core::BerTest::prbs31(cfg.clone(), 8);
-    let report = SerdesLink::new(cfg).run_frames(&bertest.stimulus(), bertest.seed)?;
+    let report = openserdes_core::link::run_frames(&cfg, &bertest.stimulus(), bertest.seed)?;
     let s = report.stats;
     println!(
         "\nlink stage stats (8 frames): serialize {} bits / {:.2} ms, phy {} samples / {:.2} ms, cdr {} bits / {:.2} ms, score {} bits / {:.2} ms, total {:.2} ms",

@@ -20,13 +20,9 @@ use openserdes_pdk::library::Library;
 use openserdes_phy::{DriverConfig, FrontEndConfig, RxFrontEnd, TxDriver};
 
 fn digital_reports(design: &Design, library: &Library, cfg: &LintConfig) -> Vec<LintReport> {
-    let mut reports = vec![openserdes_flow::lint::lint(design, cfg)];
+    let mut reports = vec![design.lint(cfg)];
     match openserdes_flow::synthesize(design, library) {
-        Ok(synth) => reports.push(openserdes_netlist::lint::lint_with_library(
-            &synth.netlist,
-            library,
-            cfg,
-        )),
+        Ok(synth) => reports.push(synth.netlist.lint_with_library(library, cfg)),
         Err(e) => {
             // Surface synthesis failures through the same gate: a design
             // that cannot synthesize cannot be linted clean.

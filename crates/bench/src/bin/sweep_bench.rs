@@ -66,10 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Parallel bathtub: 1 worker vs host default, seed identity checked.
     let threads = parallel::default_threads();
     let t0 = Instant::now();
-    let seq = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, 1)?;
+    let sweep = openserdes_core::Sweep::new()
+        .with_bits(100_000)
+        .with_phases(24)
+        .with_seed(11);
+    let seq = sweep.with_threads(1).bathtub(&cfg)?;
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t0 = Instant::now();
-    let par = parallel::bathtub_parallel(&cfg, 100_000, 24, 11, threads)?;
+    let par = sweep.with_threads(threads).bathtub(&cfg)?;
     let par_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(seq, par, "parallel bathtub must be seed-identical");
     println!(

@@ -10,9 +10,9 @@ use openserdes_analog::{EyeDiagram, Waveform};
 use openserdes_core::{
     cost::{cost_model, CostPoint},
     oversample_bits, CdrConfig, LinkBudget, LinkConfig, LinkReport, OversamplingCdr, PrbsGenerator,
-    PrbsOrder, SerdesLink, SweepPoint,
+    PrbsOrder, SweepPoint,
 };
-use openserdes_flow::{run_flow, FlowConfig, FlowResult};
+use openserdes_flow::{Flow, FlowConfig, FlowResult};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time, Volt};
 use openserdes_phy::{
@@ -170,7 +170,7 @@ pub struct Fig08 {
 /// Propagates link failures.
 pub fn fig08_link(frames: usize) -> Result<Fig08, openserdes_core::LinkError> {
     let cfg = LinkConfig::paper_default();
-    let link = SerdesLink::new(cfg.clone());
+
     let mut g = PrbsGenerator::new(PrbsOrder::Prbs31);
     let stimulus: Vec<[u32; 8]> = (0..frames)
         .map(|_| {
@@ -185,7 +185,7 @@ pub fn fig08_link(frames: usize) -> Result<Fig08, openserdes_core::LinkError> {
             f
         })
         .collect();
-    let report = link.run_frames(&stimulus, 0xF168)?;
+    let report = openserdes_core::link::run_frames(&cfg, &stimulus, 0xF168)?;
 
     // Short analog record for the waveform plot.
     let analog = openserdes_phy::AnalogLink::paper_default(cfg.pvt, cfg.channel.clone());
@@ -211,7 +211,7 @@ pub fn fig09_sensitivity() -> Result<Vec<SweepPoint>, openserdes_core::LinkError
         .iter()
         .map(|&g| Hertz::from_ghz(g))
         .collect();
-    openserdes_core::sensitivity_sweep(Pvt::nominal(), &rates)
+    openserdes_core::Sweep::new().sensitivity(Pvt::nominal(), &rates)
 }
 
 /// Fig. 10: power budget and area breakdown.
@@ -239,7 +239,9 @@ pub fn fig11_floorplan() -> Result<Vec<(&'static str, FlowResult)>, openserdes_c
     blocks
         .into_iter()
         .map(|(name, design)| {
-            run_flow(&design, &cfg)
+            Flow::new()
+                .with_config(cfg.clone())
+                .run(&design)
                 .map(|r| (name, r))
                 .map_err(openserdes_core::LinkError::from)
         })
@@ -270,7 +272,6 @@ pub fn headline() -> Result<Vec<HeadlineRow>, openserdes_core::LinkError> {
         .find(|p| (p.data_rate.ghz() - 2.0).abs() < 1e-9)
         .expect("2 GHz in sweep");
     let budget = fig10_budget()?;
-    let link = SerdesLink::new(LinkConfig::paper_default());
     let mut g = PrbsGenerator::new(PrbsOrder::Prbs31);
     let frames: Vec<[u32; 8]> = (0..40)
         .map(|_| {
@@ -285,7 +286,7 @@ pub fn headline() -> Result<Vec<HeadlineRow>, openserdes_core::LinkError> {
             f
         })
         .collect();
-    let report = link.run_frames(&frames, 0x4EAD)?;
+    let report = openserdes_core::link::run_frames(&LinkConfig::paper_default(), &frames, 0x4EAD)?;
 
     Ok(vec![
         HeadlineRow {

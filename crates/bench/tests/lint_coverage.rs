@@ -22,7 +22,7 @@ fn rules_of(report: &LintReport) -> BTreeSet<Rule> {
 fn fixtures() -> Vec<(Rule, LintReport)> {
     let cfg = LintConfig::default();
     let mut out = Vec::new();
-    let nl_case = |rule: Rule, nl: &Netlist| (rule, openserdes_netlist::lint::lint(nl, &cfg));
+    let nl_case = |rule: Rule, nl: &Netlist| (rule, nl.lint(&cfg));
 
     // NL001: two cells drive the same net.
     let mut nl = Netlist::new("nl001");
@@ -85,10 +85,7 @@ fn fixtures() -> Vec<(Rule, LintReport)> {
         let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[weak]);
         nl.mark_output(format!("y{i}"), y);
     }
-    out.push((
-        Rule::DriveOverload,
-        openserdes_netlist::lint::lint_with_library(&nl, &lib, &cfg),
-    ));
+    out.push((Rule::DriveOverload, nl.lint_with_library(&lib, &cfg)));
 
     // NL008: a sequential cell whose clock was wiped by a raw edit.
     let mut nl = Netlist::new("nl008");
@@ -100,7 +97,7 @@ fn fixtures() -> Vec<(Rule, LintReport)> {
     nl.instance_mut(id).clock = None;
     out.push(nl_case(Rule::BadReference, &nl));
 
-    let ir_case = |rule: Rule, d: &Design| (rule, openserdes_flow::lint::lint(d, &cfg));
+    let ir_case = |rule: Rule, d: &Design| (rule, d.lint(&cfg));
 
     // IR001: a register declared but never connected.
     let mut d = Design::new("ir001");
@@ -151,8 +148,7 @@ fn fixtures() -> Vec<(Rule, LintReport)> {
     d.output("q", q);
     out.push(ir_case(Rule::DuplicateMulticycle, &d));
 
-    let an_case =
-        |rule: Rule, c: &Circuit| (rule, openserdes_analog::drc::lint(c, "fixture", &cfg));
+    let an_case = |rule: Rule, c: &Circuit| (rule, c.lint("fixture", &cfg));
 
     // AN001: a node reachable only through a capacitor floats at DC.
     let mut c = Circuit::new();

@@ -7,7 +7,7 @@
 //! bits certifies `BER < 3/n` at 95 % confidence.
 
 use crate::error::LinkError;
-use crate::link::{LinkConfig, SerdesLink};
+use crate::link::LinkConfig;
 use crate::prbs::PrbsOrder;
 use crate::serializer::{Frame, LANES};
 use openserdes_phy::BerEstimate;
@@ -60,8 +60,7 @@ impl BerTest {
     ///
     /// Propagates link failures.
     pub fn run(&self) -> Result<BerEstimate, LinkError> {
-        let link = SerdesLink::new(self.link.clone());
-        let report = link.run_frames(&self.stimulus(), self.seed)?;
+        let report = crate::link::run_frames(&self.link, &self.stimulus(), self.seed)?;
         Ok(BerEstimate {
             bits: report.bits,
             errors: report.bit_errors,

@@ -18,7 +18,7 @@ use crate::prbs::{PrbsGenerator, PrbsOrder};
 use crate::serializer::{serializer_design, FRAME_BITS};
 use openserdes_digital::CycleSim;
 use openserdes_flow::ir::Design;
-use openserdes_flow::{analyze_power, run_flow, FlowConfig, FlowResult, PowerConfig};
+use openserdes_flow::{analyze_power, Flow, FlowConfig, FlowResult, PowerConfig};
 use openserdes_netlist::NetId;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::library::Library;
@@ -137,9 +137,10 @@ impl LinkBudget {
         let ser_design = serializer_design();
         let des_design = deserializer_design();
         let cdr_design5 = cdr_design(5);
-        let ser = run_flow(&ser_design, &flow_cfg).map_err(LinkError::from)?;
-        let des = run_flow(&des_design, &flow_cfg).map_err(LinkError::from)?;
-        let cdr = run_flow(&cdr_design5, &flow_cfg).map_err(LinkError::from)?;
+        let flow = Flow::new().with_config(flow_cfg.clone());
+        let ser = flow.run(&ser_design).map_err(LinkError::from)?;
+        let des = flow.run(&des_design).map_err(LinkError::from)?;
+        let cdr = flow.run(&cdr_design5).map_err(LinkError::from)?;
 
         // Vector-based power: drive each block with PRBS traffic and
         // measure real per-net toggle rates (the shift-register

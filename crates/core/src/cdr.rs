@@ -594,8 +594,7 @@ mod tests {
         // Regression: the argmax fold used to refresh its running
         // maximum after the final comparison, leaving a 6-bit mux bank
         // outside every output cone (IR002 dead logic per CDR).
-        let report =
-            openserdes_flow::lint::lint(&cdr_design(5), &openserdes_lint::LintConfig::default());
+        let report = cdr_design(5).lint(&openserdes_lint::LintConfig::default());
         assert!(
             report
                 .findings()

@@ -1,9 +1,10 @@
-//! Error type for link-level operations.
+//! Error types: [`LinkError`] for link-level operations and the
+//! unified [`Error`] surfaced by [`crate::session::Session`].
 
 use openserdes_analog::SolverError;
 use openserdes_flow::FlowError;
 use openserdes_netlist::NetlistError;
-use std::error::Error;
+use std::error::Error as StdError;
 use std::fmt;
 
 /// Failures surfaced by link simulation and budget computation.
@@ -36,8 +37,8 @@ impl fmt::Display for LinkError {
     }
 }
 
-impl Error for LinkError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl StdError for LinkError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             LinkError::Solver(e) => Some(e),
             LinkError::Netlist(e) => Some(e),
@@ -70,6 +71,79 @@ impl From<FlowError> for LinkError {
     }
 }
 
+/// The unified error surface of the [`crate::session::Session`] API —
+/// every entry point (link, analog, flow, lint, sweeps) reports through
+/// this one enum, so callers match a single type regardless of which
+/// layer failed.
+///
+/// Marked `#[non_exhaustive]`: future layers may add variants without a
+/// breaking release, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A link-level failure (CDR, budget, or a wrapped lower layer).
+    Link(LinkError),
+    /// The RTL→layout flow refused or failed on a design.
+    Flow(FlowError),
+    /// The analog solver failed (DC or transient).
+    Solver(SolverError),
+    /// An operation produced or met an invalid netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Link(e) => write!(f, "link: {e}"),
+            Error::Flow(e) => write!(f, "flow: {e}"),
+            Error::Solver(e) => write!(f, "solver: {e}"),
+            Error::Netlist(e) => write!(f, "netlist: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Link(e) => Some(e),
+            Error::Flow(e) => Some(e),
+            Error::Solver(e) => Some(e),
+            Error::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinkError> for Error {
+    fn from(e: LinkError) -> Self {
+        // Flatten wrapped lower-layer failures so matching on the
+        // unified enum reaches the root cause in one step.
+        match e {
+            LinkError::Solver(s) => Error::Solver(s),
+            LinkError::Netlist(n) => Error::Netlist(n),
+            LinkError::Flow(fl) => Error::Flow(fl),
+            other => Error::Link(other),
+        }
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(e: FlowError) -> Self {
+        Error::Flow(e)
+    }
+}
+
+impl From<SolverError> for Error {
+    fn from(e: SolverError) -> Self {
+        Error::Solver(e)
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,7 +152,7 @@ mod tests {
     fn conversions_and_display() {
         let e: LinkError = SolverError::NonConvergence { time: 1e-9 }.into();
         assert!(e.to_string().contains("analog solver"));
-        assert!(Error::source(&e).is_some());
+        assert!(StdError::source(&e).is_some());
         let e = LinkError::CdrUnlocked { uis: 100 };
         assert!(e.to_string().contains("100"));
     }
@@ -87,5 +161,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<LinkError>();
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn unified_error_flattens_link_wrappers() {
+        let e: Error = LinkError::Solver(SolverError::NonConvergence { time: 1e-9 }).into();
+        assert!(matches!(e, Error::Solver(_)));
+        let e: Error = LinkError::CdrUnlocked { uis: 3 }.into();
+        assert!(matches!(e, Error::Link(LinkError::CdrUnlocked { uis: 3 })));
+        let e: Error = SolverError::SingularMatrix { time: 0.0 }.into();
+        assert!(e.to_string().starts_with("solver:"));
+        assert!(StdError::source(&e).is_some());
     }
 }

@@ -40,6 +40,7 @@ pub mod link;
 pub mod prbs;
 pub mod scan;
 pub mod serializer;
+pub mod session;
 pub mod sweep;
 pub mod top;
 
@@ -50,7 +51,7 @@ pub use bitstream::BitVec;
 pub use budget::{BlockBudget, LinkBudget};
 pub use cdr::{cdr_design, oversample_bits, oversample_bits_packed, CdrConfig, OversamplingCdr};
 pub use deserializer::{deserializer_design, Deserializer};
-pub use error::LinkError;
+pub use error::{Error, LinkError};
 pub use link::{AnalogFrameReport, LinkConfig, LinkReport, LinkStats, SerdesLink};
 pub use prbs::{PrbsChecker, PrbsGenerator, PrbsOrder};
 pub use scan::{scan_chain_design, ScanChain, SCAN_BITS};
@@ -58,7 +59,9 @@ pub use serializer::{
     bits_to_frame, frame_to_bits, serializer_design, Frame, Serializer, FRAME_BITS, LANES,
     WORD_BITS,
 };
-pub use sweep::{
-    bathtub, eye_width_at, max_loss_bisect, sensitivity_sweep, BathtubPoint, SweepPoint,
-};
+pub use session::Session;
+pub use sweep::parallel::CornerPoint;
+#[allow(deprecated)]
+pub use sweep::{bathtub, max_loss_bisect, sensitivity_sweep};
+pub use sweep::{eye_width_at, BathtubPoint, Sweep, SweepPoint};
 pub use top::serdes_digital_top;

@@ -21,6 +21,7 @@ use crate::serializer::{frame_to_bits, Frame, Serializer, FRAME_BITS, LANES, WOR
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time};
 use openserdes_phy::{AnalogLink, BehavioralLink, ChannelModel, LinkRun};
+use openserdes_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -237,75 +238,9 @@ impl SerdesLink {
     /// # Errors
     ///
     /// Propagates solver failures from the front-end characterization.
+    #[deprecated(note = "use `Session::run_link` (openserdes::Session)")]
     pub fn run_frames(&self, frames: &[Frame], seed: u64) -> Result<LinkReport, LinkError> {
-        let t_start = Instant::now();
-        // Serialize everything into one contiguous packed bit stream.
-        let mut ser = Serializer::new();
-        let mut bits = BitVec::with_capacity(frames.len() * FRAME_BITS);
-        for &f in frames {
-            ser.serialize_into(f, &mut bits);
-        }
-        let serialize_time = t_start.elapsed();
-
-        // PHY statistics from the analog models at this operating point.
-        let t_phy = Instant::now();
-        let analog = AnalogLink::paper_default(self.config.pvt, self.config.channel.clone());
-        let beh = BehavioralLink::from_analog(&analog, self.config.data_rate)?;
-        let ui = 1.0 / self.config.data_rate.value();
-        let jitter_frac = self.config.channel.rj_sigma.value() / ui;
-        let flip_prob = beh.flip_probability_jitter_eroded();
-
-        // Oversample with a deliberate phase offset (the reference clock
-        // is not aligned to the data — the CDR's whole job), plus edge
-        // jitter and per-sample noise flips.
-        let n = self.config.cdr.oversampling;
-        let mut stream = oversample_bits_packed(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
-        let mut rng = StdRng::seed_from_u64(seed);
-        for s in 0..stream.len() {
-            if rng.gen::<f64>() < flip_prob {
-                stream.toggle(s);
-            }
-        }
-        let phy_time = t_phy.elapsed();
-
-        // CDR recovery.
-        let t_cdr = Instant::now();
-        let mut cdr = OversamplingCdr::new(self.config.cdr);
-        let recovered = cdr.recover_packed(&stream);
-        let cdr_time = t_cdr.elapsed();
-
-        // Score against the sent stream (skip the CDR's first two
-        // decision windows), then deserialize from the aligned position
-        // and count frames from what the deserializer actually produced.
-        let t_score = Instant::now();
-        let skip = 2 * self.config.cdr.window;
-        let (lag, bit_errors, overlap) = Self::align(&bits, &recovered, skip);
-        let mut des = Deserializer::new();
-        let got = des.push_packed(&recovered, lag, recovered.len() - lag);
-        let frames_correct = Self::score_frames(frames, &got, des.partial_frame(), skip, overlap);
-        let score_time = t_score.elapsed();
-
-        let stats = LinkStats {
-            tx_bits: bits.len() as u64,
-            phy_samples: stream.len() as u64,
-            recovered_bits: recovered.len() as u64,
-            compared_bits: overlap as u64,
-            serialize_time,
-            phy_time,
-            cdr_time,
-            score_time,
-            total_time: t_start.elapsed(),
-        };
-        Ok(LinkReport {
-            frames_sent: frames.len(),
-            frames_correct,
-            bits: overlap as u64,
-            bit_errors,
-            cdr_locked: cdr.is_locked(),
-            cdr_phase_updates: cdr.phase_updates(),
-            alignment_lag: lag,
-            stats,
-        })
+        run_frames(&self.config, frames, seed)
     }
 
     /// Runs one frame through the full transistor-level path.
@@ -313,35 +248,153 @@ impl SerdesLink {
     /// # Errors
     ///
     /// Propagates solver failures from the transients.
+    #[deprecated(note = "use `Session::run_analog_link` (openserdes::Session)")]
     pub fn run_frame_analog(&self, frame: Frame) -> Result<AnalogFrameReport, LinkError> {
-        let bits = frame_to_bits(&frame);
-        let ui = Time::new(1.0 / self.config.data_rate.value());
-        let analog = AnalogLink::paper_default(self.config.pvt, self.config.channel.clone());
-        let run = analog.transmit(&bits, ui)?;
-
-        // Slice the restored output at the oversampling rate. The
-        // three-stage driver inverts and the two-stage front end does
-        // not, so polarity is inverted end-to-end.
-        let n = self.config.cdr.oversampling;
-        let threshold = 0.5 * self.config.pvt.vdd.value();
-        let mut stream = BitVec::with_capacity(bits.len() * n);
-        for i in 0..bits.len() {
-            for j in 0..n {
-                let t = (i as f64 + (j as f64 + 0.5) / n as f64) * ui.value();
-                stream.push(run.rx.restored.sample_at(t) <= threshold);
-            }
-        }
-
-        let mut cdr = OversamplingCdr::new(self.config.cdr);
-        let recovered = cdr.recover_packed(&stream);
-        let skip = 8;
-        let (_, bit_errors, overlap) = Self::align(&BitVec::from_bools(&bits), &recovered, skip);
-        Ok(AnalogFrameReport {
-            run,
-            bit_errors,
-            bits: overlap as u64,
-        })
+        run_frame_analog(&self.config, frame)
     }
+}
+
+/// The fast-path link engine: serializer → statistical PHY → CDR →
+/// deserializer → scoring, at `config`'s operating point. This is the
+/// canonical implementation behind both the deprecated
+/// [`SerdesLink::run_frames`] and `Session::run_link`.
+///
+/// # Errors
+///
+/// Propagates solver failures from the front-end characterization.
+pub fn run_frames(
+    config: &LinkConfig,
+    frames: &[Frame],
+    seed: u64,
+) -> Result<LinkReport, LinkError> {
+    let _span = telemetry::span("link.run");
+    let t_start = Instant::now();
+    // Serialize everything into one contiguous packed bit stream.
+    let t_ser_span = telemetry::span("link.serialize");
+    let mut ser = Serializer::new();
+    let mut bits = BitVec::with_capacity(frames.len() * FRAME_BITS);
+    for &f in frames {
+        ser.serialize_into(f, &mut bits);
+    }
+    drop(t_ser_span);
+    let serialize_time = t_start.elapsed();
+
+    // PHY statistics from the analog models at this operating point.
+    let t_phy = Instant::now();
+    let phy_span = telemetry::span("link.phy");
+    let analog = AnalogLink::paper_default(config.pvt, config.channel.clone());
+    let beh = BehavioralLink::from_analog(&analog, config.data_rate)?;
+    let ui = 1.0 / config.data_rate.value();
+    let jitter_frac = config.channel.rj_sigma.value() / ui;
+    let flip_prob = beh.flip_probability_jitter_eroded();
+
+    // Oversample with a deliberate phase offset (the reference clock
+    // is not aligned to the data — the CDR's whole job), plus edge
+    // jitter and per-sample noise flips.
+    let n = config.cdr.oversampling;
+    let mut stream = oversample_bits_packed(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for s in 0..stream.len() {
+        if rng.gen::<f64>() < flip_prob {
+            stream.toggle(s);
+        }
+    }
+    drop(phy_span);
+    let phy_time = t_phy.elapsed();
+
+    // CDR recovery.
+    let t_cdr = Instant::now();
+    let cdr_span = telemetry::span("link.cdr");
+    let mut cdr = OversamplingCdr::new(config.cdr);
+    let recovered = cdr.recover_packed(&stream);
+    drop(cdr_span);
+    let cdr_time = t_cdr.elapsed();
+
+    // Score against the sent stream (skip the CDR's first two
+    // decision windows), then deserialize from the aligned position
+    // and count frames from what the deserializer actually produced.
+    let t_score = Instant::now();
+    let score_span = telemetry::span("link.score");
+    let skip = 2 * config.cdr.window;
+    let (lag, bit_errors, overlap) = SerdesLink::align(&bits, &recovered, skip);
+    let mut des = Deserializer::new();
+    let got = des.push_packed(&recovered, lag, recovered.len() - lag);
+    let frames_correct = SerdesLink::score_frames(frames, &got, des.partial_frame(), skip, overlap);
+    drop(score_span);
+    let score_time = t_score.elapsed();
+
+    telemetry::counter("link.tx_bits", bits.len() as u64);
+    telemetry::counter("link.phy_samples", stream.len() as u64);
+    telemetry::counter("link.compared_bits", overlap as u64);
+    telemetry::counter("link.bit_errors", bit_errors);
+    telemetry::counter("link.cdr_phase_updates", cdr.phase_updates());
+    telemetry::record_value("link.bit_errors_per_run", bit_errors);
+
+    let stats = LinkStats {
+        tx_bits: bits.len() as u64,
+        phy_samples: stream.len() as u64,
+        recovered_bits: recovered.len() as u64,
+        compared_bits: overlap as u64,
+        serialize_time,
+        phy_time,
+        cdr_time,
+        score_time,
+        total_time: t_start.elapsed(),
+    };
+    Ok(LinkReport {
+        frames_sent: frames.len(),
+        frames_correct,
+        bits: overlap as u64,
+        bit_errors,
+        cdr_locked: cdr.is_locked(),
+        cdr_phase_updates: cdr.phase_updates(),
+        alignment_lag: lag,
+        stats,
+    })
+}
+
+/// The faithful-path link engine: one frame through the full
+/// transistor-level transient (driver → channel → front end), sliced at
+/// the oversampling rate and recovered by the same CDR. The canonical
+/// implementation behind the deprecated [`SerdesLink::run_frame_analog`]
+/// and `Session::run_analog_link`.
+///
+/// # Errors
+///
+/// Propagates solver failures from the transients.
+pub fn run_frame_analog(config: &LinkConfig, frame: Frame) -> Result<AnalogFrameReport, LinkError> {
+    let _span = telemetry::span("link.analog_frame");
+    let bits = frame_to_bits(&frame);
+    let ui = Time::new(1.0 / config.data_rate.value());
+    let analog = AnalogLink::paper_default(config.pvt, config.channel.clone());
+    let run = analog.transmit(&bits, ui)?;
+
+    // Slice the restored output at the oversampling rate. The
+    // three-stage driver inverts and the two-stage front end does
+    // not, so polarity is inverted end-to-end.
+    let n = config.cdr.oversampling;
+    let threshold = 0.5 * config.pvt.vdd.value();
+    let mut stream = BitVec::with_capacity(bits.len() * n);
+    for i in 0..bits.len() {
+        for j in 0..n {
+            let t = (i as f64 + (j as f64 + 0.5) / n as f64) * ui.value();
+            stream.push(run.rx.restored.sample_at(t) <= threshold);
+        }
+    }
+
+    let cdr_span = telemetry::span("link.cdr");
+    let mut cdr = OversamplingCdr::new(config.cdr);
+    let recovered = cdr.recover_packed(&stream);
+    drop(cdr_span);
+    let skip = 8;
+    let (_, bit_errors, overlap) = SerdesLink::align(&BitVec::from_bools(&bits), &recovered, skip);
+    telemetry::counter("link.bit_errors", bit_errors);
+    telemetry::counter("link.cdr_phase_updates", cdr.phase_updates());
+    Ok(AnalogFrameReport {
+        run,
+        bit_errors,
+        bits: overlap as u64,
+    })
 }
 
 #[cfg(test)]
@@ -370,8 +423,7 @@ mod tests {
     #[test]
     fn paper_operating_point_error_free() {
         // 2 Gb/s, 34 dB, PRBS-31 — the Fig. 8 scenario, fast path.
-        let link = SerdesLink::new(LinkConfig::paper_default());
-        let report = link.run_frames(&prbs_frames(40), 1).expect("runs");
+        let report = run_frames(&LinkConfig::paper_default(), &prbs_frames(40), 1).expect("runs");
         assert!(report.cdr_locked, "CDR must lock");
         assert_eq!(report.bit_errors, 0, "zero BER at the paper's point");
         assert!(report.error_free());
@@ -382,8 +434,7 @@ mod tests {
     fn heavy_loss_breaks_the_link() {
         let mut cfg = LinkConfig::paper_default();
         cfg.channel = ChannelModel::lossy(46.0);
-        let link = SerdesLink::new(cfg);
-        let report = link.run_frames(&prbs_frames(10), 1).expect("runs");
+        let report = run_frames(&cfg, &prbs_frames(10), 1).expect("runs");
         assert!(report.ber() > 0.05, "ber = {}", report.ber());
         assert!(!report.error_free());
     }
@@ -392,9 +443,8 @@ mod tests {
     fn clean_channel_many_frames() {
         let mut cfg = LinkConfig::paper_default();
         cfg.channel = ChannelModel::emib(3.0);
-        let link = SerdesLink::new(cfg);
         let frames = prbs_frames(100);
-        let report = link.run_frames(&frames, 9).expect("runs");
+        let report = run_frames(&cfg, &frames, 9).expect("runs");
         assert!(report.error_free());
         assert_eq!(report.frames_sent, 100);
     }
@@ -463,8 +513,7 @@ mod tests {
         let mut cfg = LinkConfig::paper_default();
         cfg.channel = ChannelModel::emib(3.0);
         cfg.cdr.window = 512; // skip = 1024 > 2 frames = 512 bits
-        let link = SerdesLink::new(cfg);
-        let report = link.run_frames(&prbs_frames(2), 1).expect("runs");
+        let report = run_frames(&cfg, &prbs_frames(2), 1).expect("runs");
         assert_eq!(report.bits, 0, "nothing survives the settling skip");
         assert_eq!(report.bit_errors, 0);
     }
@@ -498,11 +547,14 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_per_seed() {
+    #[allow(deprecated)]
+    fn deterministic_per_seed_and_shim_equivalence() {
         let link = SerdesLink::new(LinkConfig::paper_default());
         let frames = prbs_frames(5);
+        // The deprecated method is a shim over the free function: both
+        // runs of either spelling agree bit-exactly.
         let a = link.run_frames(&frames, 3).expect("runs");
-        let b = link.run_frames(&frames, 3).expect("runs");
+        let b = run_frames(link.config(), &frames, 3).expect("runs");
         assert_eq!(a, b);
     }
 
@@ -513,9 +565,8 @@ mod tests {
         // 1 Gb/s over a gentle channel keeps the analog run robust.
         cfg.data_rate = Hertz::from_ghz(1.0);
         cfg.channel = ChannelModel::lossy(20.0);
-        let link = SerdesLink::new(cfg);
         let frame = prbs_frames(1)[0];
-        let report = link.run_frame_analog(frame).expect("transients run");
+        let report = run_frame_analog(&cfg, frame).expect("transients run");
         assert_eq!(report.bit_errors, 0, "analog path recovers the frame");
     }
 }

@@ -1,0 +1,386 @@
+//! One coherent entry point over the whole workspace: link runs, analog
+//! transients, the RTL→layout flow, design lint and the Monte-Carlo
+//! sweeps, all behind a single consuming-builder [`Session`].
+//!
+//! Prior to the session API each subsystem had its own spelling
+//! (`SerdesLink::run_frames`, `run_flow`, the `lint`/`bathtub`/…
+//! free functions). Those entry points still exist as deprecated shims;
+//! a `Session` reproduces their outputs exactly — it threads the same
+//! configs into the same engines — while adding what the scattered
+//! spellings could not: one place to set the operating point
+//! (rate/corner/seed) for every run, and built-in telemetry capture.
+//!
+//! ```
+//! use openserdes_core::session::Session;
+//!
+//! let mut session = Session::new().with_seed(42).with_telemetry(true);
+//! let frames = [[0xDEAD_BEEF_u32, 1, 2, 3, 4, 5, 6, 7]; 2];
+//! let report = session.run_link(&frames)?;
+//! assert!(report.error_free());
+//! // Telemetry captured by the run, merged deterministically:
+//! assert!(session.telemetry().counter("link.tx_bits") > 0);
+//! # Ok::<(), openserdes_core::error::Error>(())
+//! ```
+
+use crate::error::Error;
+use crate::link::{self, AnalogFrameReport, LinkConfig, LinkReport};
+use crate::serializer::Frame;
+use crate::sweep::parallel::CornerPoint;
+use crate::sweep::{BathtubPoint, Sweep, SweepPoint};
+use openserdes_flow::ir::Design;
+use openserdes_flow::{Flow, FlowConfig, FlowResult};
+use openserdes_lint::{LintConfig, LintReport};
+use openserdes_netlist::Netlist;
+use openserdes_pdk::corner::Pvt;
+use openserdes_pdk::units::Hertz;
+use openserdes_phy::ChannelModel;
+use openserdes_telemetry as telemetry;
+
+/// The unified front door: holds one operating point (link config, flow
+/// config, lint policy, sweep options, run seed) and runs any engine at
+/// it. Construct with [`Session::new`], shape with the consuming
+/// `with_*` builders, then call the `run_*`/sweep methods.
+///
+/// When telemetry is enabled ([`Session::with_telemetry`]) every run
+/// executes under an enabled telemetry scope and its spans, counters
+/// and histograms are merged into the session's accumulated
+/// [`telemetry::Record`] — deterministically, so two sessions issuing
+/// the same runs hold bit-identical records regardless of worker
+/// counts. Inspect with [`Session::telemetry`], drain with
+/// [`Session::take_telemetry`].
+#[derive(Debug, Clone)]
+pub struct Session {
+    link: LinkConfig,
+    flow: FlowConfig,
+    lint: LintConfig,
+    sweep: Sweep,
+    seed: u64,
+    telemetry: bool,
+    record: telemetry::Record,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session at the paper's operating point (2 Gb/s over a 34 dB
+    /// channel, nominal corner), telemetry off.
+    pub fn new() -> Self {
+        Self {
+            link: LinkConfig::paper_default(),
+            flow: FlowConfig::default(),
+            lint: LintConfig::default(),
+            sweep: Sweep::new(),
+            seed: 42,
+            telemetry: false,
+            record: telemetry::Record::new(),
+        }
+    }
+
+    // ---- builders ---------------------------------------------------
+
+    /// Replace the whole link configuration.
+    #[must_use]
+    pub fn with_link_config(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Set the data rate for link runs and sweeps.
+    #[must_use]
+    pub fn with_rate(mut self, rate: Hertz) -> Self {
+        self.link.data_rate = rate;
+        self
+    }
+
+    /// Set the PVT corner for both the link and the flow.
+    #[must_use]
+    pub fn with_corner(mut self, pvt: Pvt) -> Self {
+        self.link.pvt = pvt;
+        self.flow.pvt = pvt;
+        self
+    }
+
+    /// Set the channel model (attenuation, jitter) for link runs.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelModel) -> Self {
+        self.link.channel = channel;
+        self
+    }
+
+    /// Replace the whole flow configuration.
+    #[must_use]
+    pub fn with_flow_config(mut self, flow: FlowConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Set the lint policy, used by [`Session::lint`] /
+    /// [`Session::lint_netlist`] and as the flow's lint gate.
+    #[must_use]
+    pub fn with_lint_config(mut self, lint: LintConfig) -> Self {
+        self.flow.lint = lint.clone();
+        self.lint = lint;
+        self
+    }
+
+    /// Replace the sweep options (bits, phases, frames, tolerance).
+    /// The sweep's own seed and thread count still apply.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: Sweep) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Set the run seed for link runs and Monte-Carlo sweeps.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.sweep = self.sweep.with_seed(seed);
+        self
+    }
+
+    /// Set the worker-thread count for sweeps. Results are identical
+    /// for any value; only wall time changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sweep = self.sweep.with_threads(threads);
+        self
+    }
+
+    /// Enable or disable telemetry capture for every subsequent run.
+    #[must_use]
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    // ---- accessors --------------------------------------------------
+
+    /// The link configuration the session runs at.
+    pub fn link_config(&self) -> &LinkConfig {
+        &self.link
+    }
+
+    /// The flow configuration the session runs at.
+    pub fn flow_config(&self) -> &FlowConfig {
+        &self.flow
+    }
+
+    /// The lint policy.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint
+    }
+
+    /// The sweep options.
+    pub fn sweep_options(&self) -> &Sweep {
+        &self.sweep
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Telemetry accumulated by this session's runs so far (empty when
+    /// telemetry is disabled).
+    pub fn telemetry(&self) -> &telemetry::Record {
+        &self.record
+    }
+
+    /// Drain the accumulated telemetry, leaving the session's record
+    /// empty — hand the result to the exporters in
+    /// `openserdes_telemetry::export`.
+    pub fn take_telemetry(&mut self) -> telemetry::Record {
+        std::mem::take(&mut self.record)
+    }
+
+    // ---- runs -------------------------------------------------------
+
+    /// Run `frames` through the full link (serializer → statistical PHY
+    /// → CDR → deserializer) at the session's operating point and seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link failures as the unified [`Error`].
+    pub fn run_link(&mut self, frames: &[Frame]) -> Result<LinkReport, Error> {
+        let (link, seed) = (self.link.clone(), self.seed);
+        self.scoped(|| link::run_frames(&link, frames, seed))
+            .map_err(Error::from)
+    }
+
+    /// Run one frame through the transistor-level analog PHY transient
+    /// (slow; the full SPICE-style route).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and link failures as the unified [`Error`].
+    pub fn run_analog_link(&mut self, frame: Frame) -> Result<AnalogFrameReport, Error> {
+        let link = self.link.clone();
+        self.scoped(|| link::run_frame_analog(&link, frame))
+            .map_err(Error::from)
+    }
+
+    /// Push a design through the RTL→layout flow (synthesis → place →
+    /// CTS → route → STA → power) at the session's corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures as the unified [`Error`].
+    pub fn run_flow(&mut self, design: &Design) -> Result<FlowResult, Error> {
+        let flow = Flow::new().with_config(self.flow.clone());
+        self.scoped(|| flow.run(design)).map_err(Error::from)
+    }
+
+    /// Run the `IR0xx` lint rules over a design under the session's
+    /// lint policy.
+    pub fn lint(&mut self, design: &Design) -> LintReport {
+        let lint = self.lint.clone();
+        self.scoped(|| design.lint(&lint))
+    }
+
+    /// Run the `NL0xx` ERC rules over a gate-level netlist under the
+    /// session's lint policy.
+    pub fn lint_netlist(&mut self, netlist: &Netlist) -> LintReport {
+        let lint = self.lint.clone();
+        self.scoped(|| netlist.lint(&lint))
+    }
+
+    // ---- sweeps -----------------------------------------------------
+
+    /// BER bathtub at the session's operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as the unified [`Error`].
+    pub fn bathtub(&mut self) -> Result<Vec<BathtubPoint>, Error> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.bathtub(&link)).map_err(Error::from)
+    }
+
+    /// Maximum error-free channel loss at the session's operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link failures as the unified [`Error`].
+    pub fn max_loss(&mut self) -> Result<f64, Error> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.max_loss(&link)).map_err(Error::from)
+    }
+
+    /// Maximum channel loss at each data rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first link failure in rate order.
+    pub fn rate_sweep(&mut self, rates: &[Hertz]) -> Result<Vec<SweepPoint>, Error> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.rate_sweep(&link, rates))
+            .map_err(Error::from)
+    }
+
+    /// Maximum channel loss at the tt/ss/ff corners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first link failure in corner order.
+    pub fn corner_sweep(&mut self) -> Result<Vec<CornerPoint>, Error> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.corner_sweep(&link))
+            .map_err(Error::from)
+    }
+
+    /// Model-route sensitivity sweep across `rates` at the session's
+    /// corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures as the unified [`Error`].
+    pub fn sensitivity_sweep(&mut self, rates: &[Hertz]) -> Result<Vec<SweepPoint>, Error> {
+        let (sweep, pvt) = (self.sweep, self.link.pvt);
+        self.scoped(|| sweep.sensitivity(pvt, rates))
+            .map_err(Error::from)
+    }
+
+    /// Run `f` under the session's telemetry policy: when capture is on,
+    /// enable recording for the duration, collect what `f` records, and
+    /// merge it into the session's accumulated record.
+    fn scoped<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if !self.telemetry {
+            return f();
+        }
+        let was = telemetry::is_enabled();
+        telemetry::set_enabled(true);
+        let (out, rec) = telemetry::collect(f);
+        telemetry::set_enabled(was);
+        self.record.merge(rec, telemetry::max_events());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| {
+                let mut f = [0u32; 8];
+                for (k, w) in f.iter_mut().enumerate() {
+                    *w = (i * 8 + k) as u32 ^ 0xA5A5_5A5A;
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_link_engine() {
+        let stim = frames(3);
+        let direct = link::run_frames(&LinkConfig::paper_default(), &stim, 7).expect("direct");
+        let via = Session::new()
+            .with_seed(7)
+            .run_link(&stim)
+            .expect("session");
+        assert_eq!(via, direct);
+        assert_eq!(via.bit_errors, direct.bit_errors);
+    }
+
+    #[test]
+    fn telemetry_accumulates_and_drains() {
+        let mut s = Session::new().with_telemetry(true);
+        s.run_link(&frames(1)).expect("runs");
+        assert!(s.telemetry().counter("link.tx_bits") > 0);
+        assert!(s.telemetry().span("link.run").is_some());
+        let rec = s.take_telemetry();
+        assert!(!rec.is_empty());
+        assert!(s.telemetry().is_empty(), "drained");
+        // Telemetry disabled: runs record nothing.
+        let mut quiet = Session::new();
+        quiet.run_link(&frames(1)).expect("runs");
+        assert!(quiet.telemetry().is_empty());
+    }
+
+    #[test]
+    fn operating_point_threads_through() {
+        let s = Session::new()
+            .with_rate(Hertz::from_ghz(1.0))
+            .with_corner(Pvt::worst_case());
+        assert_eq!(s.link_config().data_rate, Hertz::from_ghz(1.0));
+        assert_eq!(s.link_config().pvt, Pvt::worst_case());
+        assert_eq!(s.flow_config().pvt, Pvt::worst_case());
+    }
+
+    #[test]
+    fn session_lint_matches_inherent() {
+        let mut d = Design::new("t");
+        let a = d.input("a");
+        d.output("y", a);
+        let direct = d.lint(&LintConfig::default());
+        let via = Session::new().lint(&d);
+        assert_eq!(via.findings().len(), direct.findings().len());
+    }
+}

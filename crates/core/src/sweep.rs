@@ -1,11 +1,12 @@
 //! Parameter sweeps: sensitivity and maximum channel loss vs data rate
 //! (the paper's Fig. 9).
 //!
-//! Two independent routes to the same curve:
+//! Two independent routes to the same curve, both reachable through the
+//! [`Sweep`] options builder:
 //!
-//! * [`sensitivity_sweep`] — the model route: the front end's
+//! * [`Sweep::sensitivity`] — the model route: the front end's
 //!   small-signal characterization evaluated across rates,
-//! * [`max_loss_bisect`] — the measurement route: bisect channel
+//! * [`Sweep::max_loss`] — the measurement route: bisect channel
 //!   attenuation at each rate for the zero-BER boundary using the full
 //!   link (serializer + statistical PHY + CDR + deserializer).
 //!
@@ -18,6 +19,7 @@ use crate::link::LinkConfig;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Volt};
 use openserdes_phy::{ChannelModel, FrontEndConfig, RxFrontEnd};
+use openserdes_telemetry as telemetry;
 
 pub mod parallel;
 
@@ -38,12 +40,19 @@ pub struct SweepPoint {
 /// # Errors
 ///
 /// Propagates solver failures from the characterization.
+#[deprecated(note = "use `Sweep::new().sensitivity(..)` (openserdes_core::Sweep)")]
 pub fn sensitivity_sweep(pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, LinkError> {
+    sensitivity_impl(pvt, rates)
+}
+
+pub(crate) fn sensitivity_impl(pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, LinkError> {
+    let _span = telemetry::span("sweep.sensitivity");
     let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), pvt);
     let tx_swing = pvt.vdd;
     rates
         .iter()
         .map(|&rate| {
+            telemetry::counter("sweep.rate_points", 1);
             let sensitivity = fe.sensitivity(rate)?;
             let max_loss_db = fe.max_loss_db(rate, tx_swing)?;
             Ok(SweepPoint {
@@ -61,10 +70,21 @@ pub fn sensitivity_sweep(pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, L
 /// # Errors
 ///
 /// Propagates link failures.
+#[deprecated(note = "use `Sweep::new().max_loss(..)` (openserdes_core::Sweep)")]
 pub fn max_loss_bisect(base: &LinkConfig, frames: usize, tol_db: f64) -> Result<f64, LinkError> {
+    max_loss_impl(base, frames, tol_db)
+}
+
+pub(crate) fn max_loss_impl(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+) -> Result<f64, LinkError> {
+    let _span = telemetry::span("sweep.max_loss_bisect");
     let mut lo = 0.0f64; // known good
     let mut hi = 60.0f64; // known bad
     let error_free = |db: f64| -> Result<bool, LinkError> {
+        telemetry::counter("sweep.bisect_probes", 1);
         let mut cfg = base.clone();
         cfg.channel = ChannelModel {
             attenuation_db: db,
@@ -113,12 +133,23 @@ pub struct BathtubPoint {
 /// # Errors
 ///
 /// Propagates solver failures from the front-end characterization.
+#[deprecated(note = "use `Sweep::new().bathtub(..)` (openserdes_core::Sweep)")]
 pub fn bathtub(
     config: &LinkConfig,
     nbits: usize,
     phases: usize,
     seed: u64,
 ) -> Result<Vec<BathtubPoint>, LinkError> {
+    bathtub_impl(config, nbits, phases, seed)
+}
+
+pub(crate) fn bathtub_impl(
+    config: &LinkConfig,
+    nbits: usize,
+    phases: usize,
+    seed: u64,
+) -> Result<Vec<BathtubPoint>, LinkError> {
+    let _span = telemetry::span("sweep.bathtub");
     let (bits, model) = bathtub_setup(config, nbits)?;
     Ok((0..phases)
         .map(|k| bathtub_point(&bits, &model, k, phases, seed))
@@ -171,6 +202,8 @@ fn bathtub_point(
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    let _span = telemetry::span("sweep.eye_phase");
+    telemetry::counter("sweep.eye_phases", 1);
     let phase = (k as f64 + 0.5) / phases as f64;
     let mut rng = StdRng::seed_from_u64(parallel::derive_seed(seed, k));
     let mut errors = 0u64;
@@ -200,9 +233,164 @@ fn bathtub_point(
             errors += 1;
         }
     }
+    telemetry::record_value("sweep.phase_errors", errors);
     BathtubPoint {
         phase_ui: phase,
         ber: errors as f64 / (bits.len() - 1) as f64,
+    }
+}
+
+/// Sweep options on the consuming-builder pattern — the one knob set
+/// shared by every Monte-Carlo sweep entry point (bathtub, loss
+/// bisection, rate and corner sweeps). Construct with [`Sweep::new`],
+/// adjust with the `with_*` methods, then call a run method:
+///
+/// ```
+/// use openserdes_core::{LinkConfig, Sweep};
+///
+/// let cfg = LinkConfig::paper_default();
+/// let curve = Sweep::new().with_bits(4_000).with_phases(8).bathtub(&cfg)?;
+/// assert_eq!(curve.len(), 8);
+/// # Ok::<(), openserdes_core::LinkError>(())
+/// ```
+///
+/// Every run fans out across [`Sweep::with_threads`] workers and is
+/// bit-identical for any worker count (see [`parallel`]); telemetry
+/// recorded under an enabled scope merges deterministically too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sweep {
+    nbits: usize,
+    phases: usize,
+    frames: usize,
+    tol_db: f64,
+    seed: u64,
+    threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// Paper-default sweep options: 10 000 bits over 32 phases per
+    /// bathtub, 8-frame probes bisected to 0.5 dB, seed 1, one worker
+    /// per host core.
+    pub fn new() -> Self {
+        Self {
+            nbits: 10_000,
+            phases: 32,
+            frames: 8,
+            tol_db: 0.5,
+            seed: 1,
+            threads: parallel::default_threads(),
+        }
+    }
+
+    /// PRBS bits measured per bathtub phase.
+    #[must_use]
+    pub fn with_bits(mut self, nbits: usize) -> Self {
+        self.nbits = nbits;
+        self
+    }
+
+    /// Sampling phases across the unit interval.
+    #[must_use]
+    pub fn with_phases(mut self, phases: usize) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Frames per error-free probe in the loss bisections.
+    #[must_use]
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Bisection tolerance in dB.
+    #[must_use]
+    pub fn with_tolerance_db(mut self, tol_db: f64) -> Self {
+        self.tol_db = tol_db;
+        self
+    }
+
+    /// Monte-Carlo run seed; per-item streams derive from it and the
+    /// item index alone ([`parallel::derive_seed`]).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads. Results are bit-identical for any value; only
+    /// wall time changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// BER bathtub at the operating point, one [`BathtubPoint`] per
+    /// configured phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the front-end characterization.
+    pub fn bathtub(&self, config: &LinkConfig) -> Result<Vec<BathtubPoint>, LinkError> {
+        parallel::bathtub_par_impl(config, self.nbits, self.phases, self.seed, self.threads)
+    }
+
+    /// Maximum error-free channel attenuation (dB) at the configured
+    /// operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link failures from the probes the bisection uses.
+    pub fn max_loss(&self, config: &LinkConfig) -> Result<f64, LinkError> {
+        parallel::max_loss_par_impl(config, self.frames, self.tol_db, self.threads)
+    }
+
+    /// Maximum channel loss at each data rate (Fig. 9's measured curve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first link failure in rate order.
+    pub fn rate_sweep(
+        &self,
+        config: &LinkConfig,
+        rates: &[Hertz],
+    ) -> Result<Vec<SweepPoint>, LinkError> {
+        parallel::rate_sweep_impl(config, rates, self.frames, self.tol_db, self.threads)
+    }
+
+    /// Maximum channel loss at the three classic PVT corners, in
+    /// `[nominal, worst_case, best_case]` order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first link failure in corner order.
+    pub fn corner_sweep(
+        &self,
+        config: &LinkConfig,
+    ) -> Result<Vec<parallel::CornerPoint>, LinkError> {
+        parallel::corner_sweep_impl(config, self.frames, self.tol_db, self.threads)
+    }
+
+    /// Model-route sensitivity sweep across `rates` (the fast half of
+    /// Fig. 9; no Monte-Carlo options apply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the characterization.
+    pub fn sensitivity(&self, pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, LinkError> {
+        sensitivity_impl(pvt, rates)
     }
 }
 
@@ -248,7 +436,9 @@ mod tests {
             .iter()
             .map(|&g| Hertz::from_ghz(g))
             .collect();
-        let pts = sensitivity_sweep(Pvt::nominal(), &rates).expect("sweeps");
+        let pts = Sweep::new()
+            .sensitivity(Pvt::nominal(), &rates)
+            .expect("sweeps");
         for w in pts.windows(2) {
             assert!(w[1].sensitivity > w[0].sensitivity, "sensitivity rises");
             assert!(w[1].max_loss_db < w[0].max_loss_db, "loss budget falls");
@@ -269,9 +459,11 @@ mod tests {
     #[test]
     fn bisected_loss_agrees_with_model() {
         let base = LinkConfig::paper_default();
-        let measured = max_loss_bisect(&base, 8, 0.5).expect("bisects");
-        let model =
-            sensitivity_sweep(Pvt::nominal(), &[base.data_rate]).expect("sweeps")[0].max_loss_db;
+        let measured = Sweep::new().max_loss(&base).expect("bisects");
+        let model = Sweep::new()
+            .sensitivity(Pvt::nominal(), &[base.data_rate])
+            .expect("sweeps")[0]
+            .max_loss_db;
         assert!(
             (measured - model).abs() < 4.0,
             "measured {measured:.1} dB vs model {model:.1} dB"
@@ -282,7 +474,12 @@ mod tests {
     #[test]
     fn bathtub_has_walls_and_a_floor() {
         let cfg = LinkConfig::paper_default();
-        let curve = bathtub(&cfg, 20_000, 20, 3).expect("runs");
+        let curve = Sweep::new()
+            .with_bits(20_000)
+            .with_phases(20)
+            .with_seed(3)
+            .bathtub(&cfg)
+            .expect("runs");
         assert_eq!(curve.len(), 20);
         let edge_left = curve.first().expect("points").ber;
         let edge_right = curve.last().expect("points").ber;
@@ -302,8 +499,9 @@ mod tests {
         let clean = LinkConfig::paper_default();
         let mut dirty = clean.clone();
         dirty.channel.rj_sigma = openserdes_pdk::units::Time::from_ps(30.0);
-        let w_clean = eye_width_at(&bathtub(&clean, 10_000, 20, 5).expect("ok"), 1e-3);
-        let w_dirty = eye_width_at(&bathtub(&dirty, 10_000, 20, 5).expect("ok"), 1e-3);
+        let sweep = Sweep::new().with_phases(20).with_seed(5);
+        let w_clean = eye_width_at(&sweep.bathtub(&clean).expect("ok"), 1e-3);
+        let w_dirty = eye_width_at(&sweep.bathtub(&dirty).expect("ok"), 1e-3);
         assert!(
             w_dirty < w_clean,
             "jitter must narrow the eye: {w_dirty} vs {w_clean}"
@@ -353,8 +551,12 @@ mod tests {
     #[test]
     fn slow_corner_shrinks_loss_budget() {
         let rates = [Hertz::from_ghz(2.0)];
-        let tt = sensitivity_sweep(Pvt::nominal(), &rates).expect("tt")[0];
-        let ss = sensitivity_sweep(Pvt::worst_case(), &rates).expect("ss")[0];
+        let tt = Sweep::new()
+            .sensitivity(Pvt::nominal(), &rates)
+            .expect("tt")[0];
+        let ss = Sweep::new()
+            .sensitivity(Pvt::worst_case(), &rates)
+            .expect("ss")[0];
         assert!(ss.max_loss_db < tt.max_loss_db);
     }
 }

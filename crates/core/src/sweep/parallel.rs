@@ -32,6 +32,7 @@ pub use openserdes_analog::par::{bisect_speculative, default_threads, map, map_w
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::Hertz;
 use openserdes_phy::ChannelModel;
+use openserdes_telemetry as telemetry;
 
 /// Derives work item `k`'s RNG seed from the run seed. This is the
 /// contract the sequential sweeps already use (a Weyl-style odd
@@ -48,6 +49,7 @@ pub fn derive_seed(seed: u64, k: usize) -> u64 {
 /// # Errors
 ///
 /// Propagates solver failures from the front-end characterization.
+#[deprecated(note = "use `Sweep::new().with_threads(..).bathtub(..)` (openserdes_core::Sweep)")]
 pub fn bathtub_parallel(
     config: &LinkConfig,
     nbits: usize,
@@ -55,6 +57,17 @@ pub fn bathtub_parallel(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<super::BathtubPoint>, LinkError> {
+    bathtub_par_impl(config, nbits, phases, seed, threads)
+}
+
+pub(crate) fn bathtub_par_impl(
+    config: &LinkConfig,
+    nbits: usize,
+    phases: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<super::BathtubPoint>, LinkError> {
+    let _span = telemetry::span("sweep.bathtub");
     let (bits, model) = super::bathtub_setup(config, nbits)?;
     let ks: Vec<usize> = (0..phases).collect();
     Ok(map_with_threads(&ks, threads, |_, &k| {
@@ -71,13 +84,25 @@ pub fn bathtub_parallel(
 /// # Errors
 ///
 /// Propagates link failures from the probes the bisection actually uses.
+#[deprecated(note = "use `Sweep::new().with_threads(..).max_loss(..)` (openserdes_core::Sweep)")]
 pub fn max_loss_bisect_parallel(
     base: &LinkConfig,
     frames: usize,
     tol_db: f64,
     threads: usize,
 ) -> Result<f64, LinkError> {
+    max_loss_par_impl(base, frames, tol_db, threads)
+}
+
+pub(crate) fn max_loss_par_impl(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<f64, LinkError> {
+    let _span = telemetry::span("sweep.max_loss_bisect");
     let error_free = |db: f64| -> Result<bool, LinkError> {
+        telemetry::counter("sweep.bisect_probes", 1);
         let mut cfg = base.clone();
         cfg.channel = ChannelModel {
             attenuation_db: db,
@@ -103,6 +128,7 @@ pub fn max_loss_bisect_parallel(
 /// # Errors
 ///
 /// Propagates the first link failure in rate order.
+#[deprecated(note = "use `Sweep::new().with_threads(..).rate_sweep(..)` (openserdes_core::Sweep)")]
 pub fn rate_sweep_parallel(
     base: &LinkConfig,
     rates: &[Hertz],
@@ -110,11 +136,23 @@ pub fn rate_sweep_parallel(
     tol_db: f64,
     threads: usize,
 ) -> Result<Vec<SweepPoint>, LinkError> {
+    rate_sweep_impl(base, rates, frames, tol_db, threads)
+}
+
+pub(crate) fn rate_sweep_impl(
+    base: &LinkConfig,
+    rates: &[Hertz],
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, LinkError> {
     use openserdes_phy::{FrontEndConfig, RxFrontEnd};
+    let _span = telemetry::span("sweep.rate_sweep");
     let results = map_with_threads(rates, threads, |_, &rate| {
+        telemetry::counter("sweep.rate_points", 1);
         let mut cfg = base.clone();
         cfg.data_rate = rate;
-        let max_loss_db = super::max_loss_bisect(&cfg, frames, tol_db)?;
+        let max_loss_db = super::max_loss_impl(&cfg, frames, tol_db)?;
         let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
         Ok(SweepPoint {
             data_rate: rate,
@@ -140,19 +178,33 @@ pub struct CornerPoint {
 /// # Errors
 ///
 /// Propagates the first link failure in corner order.
+#[deprecated(
+    note = "use `Sweep::new().with_threads(..).corner_sweep(..)` (openserdes_core::Sweep)"
+)]
 pub fn corner_sweep_parallel(
     base: &LinkConfig,
     frames: usize,
     tol_db: f64,
     threads: usize,
 ) -> Result<Vec<CornerPoint>, LinkError> {
+    corner_sweep_impl(base, frames, tol_db, threads)
+}
+
+pub(crate) fn corner_sweep_impl(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> Result<Vec<CornerPoint>, LinkError> {
+    let _span = telemetry::span("sweep.corner_sweep");
     let corners = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()];
     let results = map_with_threads(&corners, threads, |_, &pvt| {
+        telemetry::counter("sweep.corner_points", 1);
         let mut cfg = base.clone();
         cfg.pvt = pvt;
         Ok(CornerPoint {
             pvt,
-            max_loss_db: super::max_loss_bisect(&cfg, frames, tol_db)?,
+            max_loss_db: super::max_loss_impl(&cfg, frames, tol_db)?,
         })
     });
     results.into_iter().collect()
@@ -161,7 +213,7 @@ pub fn corner_sweep_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{bathtub, max_loss_bisect};
+    use crate::sweep::{bathtub_impl, max_loss_impl, Sweep};
 
     #[test]
     fn map_preserves_input_order() {
@@ -190,9 +242,15 @@ mod tests {
     #[test]
     fn parallel_bathtub_is_seed_identical() {
         let cfg = LinkConfig::paper_default();
-        let seq = bathtub(&cfg, 4_000, 12, 9).expect("sequential");
+        let seq = bathtub_impl(&cfg, 4_000, 12, 9).expect("sequential");
         for threads in [1, 2, 4] {
-            let par = bathtub_parallel(&cfg, 4_000, 12, 9, threads).expect("parallel");
+            let par = Sweep::new()
+                .with_bits(4_000)
+                .with_phases(12)
+                .with_seed(9)
+                .with_threads(threads)
+                .bathtub(&cfg)
+                .expect("parallel");
             assert_eq!(par, seq, "threads = {threads}");
         }
     }
@@ -200,9 +258,14 @@ mod tests {
     #[test]
     fn parallel_bisect_is_seed_identical() {
         let base = LinkConfig::paper_default();
-        let seq = max_loss_bisect(&base, 4, 1.0).expect("sequential");
+        let seq = max_loss_impl(&base, 4, 1.0).expect("sequential");
         for threads in [1, 3, 4] {
-            let par = max_loss_bisect_parallel(&base, 4, 1.0, threads).expect("parallel");
+            let par = Sweep::new()
+                .with_frames(4)
+                .with_tolerance_db(1.0)
+                .with_threads(threads)
+                .max_loss(&base)
+                .expect("parallel");
             assert_eq!(
                 par.to_bits(),
                 seq.to_bits(),
@@ -214,7 +277,11 @@ mod tests {
     #[test]
     fn corner_sweep_orders_and_ranks_corners() {
         let base = LinkConfig::paper_default();
-        let pts = corner_sweep_parallel(&base, 4, 1.0, 4).expect("runs");
+        let sweep = Sweep::new()
+            .with_frames(4)
+            .with_tolerance_db(1.0)
+            .with_threads(4);
+        let pts = sweep.corner_sweep(&base).expect("runs");
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].pvt, Pvt::nominal());
         assert_eq!(pts[1].pvt, Pvt::worst_case());
@@ -231,12 +298,16 @@ mod tests {
     fn rate_sweep_matches_pointwise_bisection() {
         let base = LinkConfig::paper_default();
         let rates = [Hertz::from_ghz(1.0), Hertz::from_ghz(2.0)];
-        let pts = rate_sweep_parallel(&base, &rates, 4, 1.0, 4).expect("runs");
+        let sweep = Sweep::new()
+            .with_frames(4)
+            .with_tolerance_db(1.0)
+            .with_threads(4);
+        let pts = sweep.rate_sweep(&base, &rates).expect("runs");
         assert_eq!(pts.len(), 2);
         for (pt, &rate) in pts.iter().zip(&rates) {
             let mut cfg = base.clone();
             cfg.data_rate = rate;
-            let seq = max_loss_bisect(&cfg, 4, 1.0).expect("sequential");
+            let seq = max_loss_impl(&cfg, 4, 1.0).expect("sequential");
             assert_eq!(pt.data_rate, rate);
             assert_eq!(pt.max_loss_db.to_bits(), seq.to_bits());
         }

@@ -218,8 +218,7 @@ mod tests {
         // synthesize as dead cells still billed in area/power.
         let lib = openserdes_pdk::library::Library::sky130(openserdes_pdk::corner::Pvt::nominal());
         let res = openserdes_flow::synthesize(&serdes_digital_top(5), &lib).expect("ok");
-        let report =
-            openserdes_netlist::lint::lint(&res.netlist, &openserdes_lint::LintConfig::default());
+        let report = res.netlist.lint(&openserdes_lint::LintConfig::default());
         assert!(
             !report.findings().iter().any(|f| {
                 f.rule == openserdes_lint::Rule::DeadLogic

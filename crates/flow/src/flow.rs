@@ -2,10 +2,11 @@
 //! (the paper's Fig. 12): synthesis → floorplan → placement → CTS →
 //! routing → STA → power signoff.
 //!
-//! [`run_flow`] takes a [`Design`] and a [`FlowConfig`] and produces a
-//! [`FlowResult`] carrying every intermediate artifact plus a stage log,
-//! so callers can reproduce the paper's area/power breakdowns
-//! (Figs. 10–11) block by block.
+//! [`Flow::run`] takes a [`Design`] and produces a [`FlowResult`]
+//! carrying every intermediate artifact plus a stage log, so callers
+//! can reproduce the paper's area/power breakdowns (Figs. 10–11) block
+//! by block. The free function [`run_flow`] is the deprecated
+//! pre-builder spelling of the same engine.
 
 use crate::error::FlowError;
 use crate::floorplan::Floorplan;
@@ -21,6 +22,7 @@ use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::library::Library;
 use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
 use openserdes_pdk::units::{AreaUm2, Hertz, Watt};
+use openserdes_telemetry as telemetry;
 use std::fmt;
 
 /// Flow configuration knobs (the `config.tcl` of our OpenLANE stand-in).
@@ -226,6 +228,77 @@ fn cts_estimate(flops: usize, library: &Library, clock: Hertz) -> CtsReport {
     }
 }
 
+/// The RTL→layout flow as a configured object: the canonical
+/// entry point behind both the deprecated [`run_flow`] free function
+/// and `Session::run_flow`.
+///
+/// Built with the same consuming-builder idiom as
+/// [`openserdes_lint::LintConfig`]:
+///
+/// ```
+/// use openserdes_flow::{Flow, FlowConfig};
+/// use openserdes_pdk::units::Hertz;
+///
+/// let flow = Flow::new().with_config(FlowConfig::at_clock(Hertz::from_mhz(500.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Flow {
+    config: FlowConfig,
+}
+
+impl Flow {
+    /// A flow at the default configuration (1 GHz clock, nominal PVT).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: FlowConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the target clock frequency.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Hertz) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Sets the PVT corner the library is characterized at.
+    #[must_use]
+    pub fn with_corner(mut self, pvt: Pvt) -> Self {
+        self.config.pvt = pvt;
+        self
+    }
+
+    /// Sets the lint-gate rule overrides.
+    #[must_use]
+    pub fn with_lint(mut self, lint: openserdes_lint::LintConfig) -> Self {
+        self.config.lint = lint;
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the complete flow on a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Lint`] if the design-lint gate finds
+    /// Error-level diagnostics (on the RTL IR before synthesis, or on
+    /// the mapped netlist after), and [`FlowError::Netlist`] if
+    /// synthesis or STA produce an invalid netlist (which indicates an
+    /// IR bug and is surfaced rather than masked).
+    pub fn run(&self, design: &Design) -> Result<FlowResult, FlowError> {
+        run_flow_impl(design, &self.config)
+    }
+}
+
 /// Runs the complete flow on a design.
 ///
 /// # Errors
@@ -235,7 +308,13 @@ fn cts_estimate(flops: usize, library: &Library, clock: Hertz) -> CtsReport {
 /// mapped netlist after), and [`FlowError::Netlist`] if synthesis or
 /// STA produce an invalid netlist (which indicates an IR bug and is
 /// surfaced rather than masked).
+#[deprecated(note = "use `Flow::new().with_config(..).run(..)` or `Session::run_flow`")]
 pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    run_flow_impl(design, config)
+}
+
+fn run_flow_impl(design: &Design, config: &FlowConfig) -> Result<FlowResult, FlowError> {
+    let _span = telemetry::span("flow.run");
     let mut log = Vec::new();
     let library = Library::sky130(config.pvt);
     log.push(format!(
@@ -247,7 +326,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
 
     // Stage 0: the IR half of the lint gate (yosys' `check` stand-in) —
     // broken RTL is rejected before any stage spends time on it.
-    let ir_lint = crate::lint::lint(design, &config.lint);
+    let lint_span = telemetry::span("flow.lint");
+    let ir_lint = design.lint(&config.lint);
+    telemetry::counter("flow.lint_findings", ir_lint.findings().len() as u64);
+    drop(lint_span);
     log.push(format!(
         "[lint] ir: {} error(s), {} warning(s), {} info(s)",
         ir_lint.count(openserdes_lint::Severity::Error),
@@ -260,11 +342,15 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
 
     // Stage 1: synthesis (yosys + ABC stand-in) plus timing-driven
     // sizing (the resizer step of OpenLANE's optimization).
+    let synth_span = telemetry::span("flow.synthesis");
     let mut synth = synthesize(design, &library)?;
     let mut sta_cfg = StaConfig::at_clock(config.clock);
     sta_cfg.multicycle = synth.multicycle.clone();
     let bumps = optimize_timing(&mut synth.netlist, &library, &sta_cfg);
     let stats = NetlistStats::compute(&synth.netlist, &library);
+    telemetry::counter("flow.cells", stats.cell_count as u64);
+    telemetry::counter("flow.flops", stats.flop_count as u64);
+    drop(synth_span);
     log.push(format!(
         "[synthesis] {} cells ({} flops), {} IR nodes eliminated, {} upsized cells, area {:.1} µm²",
         stats.cell_count,
@@ -277,8 +363,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     // Lint gate, netlist half: full gate-level ERC (including the
     // drive/fanout audit against the characterized library) on the
     // mapped netlist before committing to physical design.
-    let nl_lint =
-        openserdes_netlist::lint::lint_with_library(&synth.netlist, &library, &config.lint);
+    let lint_span = telemetry::span("flow.lint");
+    let nl_lint = synth.netlist.lint_with_library(&library, &config.lint);
+    telemetry::counter("flow.lint_findings", nl_lint.findings().len() as u64);
+    drop(lint_span);
     log.push(format!(
         "[lint] netlist: {} error(s), {} warning(s), {} info(s)",
         nl_lint.count(openserdes_lint::Severity::Error),
@@ -290,7 +378,9 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     }
 
     // Stage 2: floorplan (init_fp stand-in).
+    let fp_span = telemetry::span("flow.floorplan");
     let floorplan = Floorplan::for_area(stats.area, config.utilization, config.aspect);
+    drop(fp_span);
     log.push(format!(
         "[floorplan] die {:.1} × {:.1} µm, {} rows, utilization {:.0}%",
         floorplan.width.value(),
@@ -300,6 +390,7 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     ));
 
     // Stage 3: placement (RePlAce/OpenDP stand-in).
+    let place_span = telemetry::span("flow.place");
     let mut placement = place_greedy(&synth.netlist, &library, &floorplan);
     let anneal_stats = anneal(
         &synth.netlist,
@@ -307,6 +398,8 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
         config.seed,
         config.anneal_iterations,
     );
+    telemetry::counter("flow.anneal_moves", anneal_stats.attempted as u64);
+    drop(place_span);
     log.push(format!(
         "[placement] HPWL {:.1} → {:.1} µm ({} / {} moves accepted)",
         anneal_stats.initial_hpwl,
@@ -316,7 +409,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     ));
 
     // Stage 4: clock-tree synthesis (TritonCTS stand-in).
+    let cts_span = telemetry::span("flow.cts");
     let cts = cts_estimate(stats.flop_count, &library, config.clock);
+    telemetry::counter("flow.clock_buffers", cts.buffers as u64);
+    drop(cts_span);
     log.push(format!(
         "[cts] {} buffers in {} levels, +{:.1} µm², +{:.3} mW",
         cts.buffers,
@@ -326,7 +422,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     ));
 
     // Stage 5: global routing (FastRoute stand-in).
+    let route_span = telemetry::span("flow.route");
     let route = global_route(&synth.netlist, &placement);
+    telemetry::counter("flow.routed_nets", route.iter().count() as u64);
+    drop(route_span);
     log.push(format!(
         "[routing] total wirelength {:.1} µm, peak congestion {:.2}",
         route.total_length.value(),
@@ -334,7 +433,10 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     ));
 
     // Stage 6: STA (OpenSTA stand-in), honouring multicycle exceptions.
+    let sta_span = telemetry::span("flow.sta");
     let timing = analyze(&synth.netlist, &library, Some(&route), sta_cfg)?;
+    telemetry::counter("flow.timing_violations", timing.violations as u64);
+    drop(sta_span);
     log.push(format!(
         "[sta] wns {:.1} ps, tns {:.1} ps, {} violations, fmax {:.3} GHz",
         timing.wns.ps(),
@@ -344,9 +446,11 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flow
     ));
 
     // Stage 7: power signoff.
+    let power_span = telemetry::span("flow.power");
     let mut pcfg = PowerConfig::at_clock(config.clock);
     pcfg.activity = config.activity;
     let power = analyze_power(&synth.netlist, &library, Some(&route), &pcfg);
+    drop(power_span);
     log.push(format!(
         "[power] total {:.3} mW (switching {:.3}, internal {:.3}, clock {:.3}, leakage {:.4})",
         power.total().mw() + cts.power.mw(),
@@ -390,7 +494,7 @@ mod tests {
 
     #[test]
     fn flow_runs_end_to_end() {
-        let r = run_flow(&counter8(), &FlowConfig::default()).expect("flow ok");
+        let r = Flow::new().run(&counter8()).expect("flow ok");
         assert!(r.stats.cell_count > 8);
         assert_eq!(r.stats.flop_count, 8);
         assert!(r.area().value() > 0.0);
@@ -404,7 +508,7 @@ mod tests {
         let mut d = Design::new("broken");
         let q = d.reg(); // never connected: IR001, an Error
         d.output("q", q);
-        match run_flow(&d, &FlowConfig::default()) {
+        match Flow::new().run(&d) {
             Err(FlowError::Lint(report)) => {
                 assert!(report.has_errors());
                 assert_eq!(report.domain(), "ir");
@@ -422,14 +526,14 @@ mod tests {
         let q0 = d.outputs()[0].1;
         d.set_multicycle(q0, 2);
         d.set_multicycle(q0, 2); // IR006, Warn
-        let r = run_flow(&d, &FlowConfig::default()).expect("warnings do not gate");
+        let r = Flow::new().run(&d).expect("warnings do not gate");
         assert!(r
             .log
             .iter()
             .any(|l| l.contains("[lint] ir: 0 error(s), 1 warning(s)")));
         let mut cfg = FlowConfig::default();
         cfg.lint = cfg.lint.allow(Rule::DuplicateMulticycle);
-        let r = run_flow(&d, &cfg).expect("allowed");
+        let r = Flow::new().with_config(cfg).run(&d).expect("allowed");
         assert!(r
             .log
             .iter()
@@ -439,15 +543,21 @@ mod tests {
     #[test]
     fn counter_closes_timing_at_modest_clock() {
         let cfg = FlowConfig::at_clock(Hertz::from_mhz(250.0));
-        let r = run_flow(&counter8(), &cfg).expect("flow ok");
+        let r = Flow::new()
+            .with_config(cfg)
+            .run(&counter8())
+            .expect("flow ok");
         assert!(r.timing.clean(), "wns = {} ps", r.timing.wns.ps());
     }
 
     #[test]
     fn flow_is_deterministic() {
         let cfg = FlowConfig::default();
-        let a = run_flow(&counter8(), &cfg).expect("ok");
-        let b = run_flow(&counter8(), &cfg).expect("ok");
+        let a = Flow::new()
+            .with_config(cfg.clone())
+            .run(&counter8())
+            .expect("ok");
+        let b = Flow::new().with_config(cfg).run(&counter8()).expect("ok");
         assert_eq!(a.stats.cell_count, b.stats.cell_count);
         assert_eq!(a.anneal.final_hpwl.to_bits(), b.anneal.final_hpwl.to_bits());
         assert_eq!(
@@ -470,7 +580,7 @@ mod tests {
 
     #[test]
     fn display_prints_stage_log() {
-        let r = run_flow(&counter8(), &FlowConfig::default()).expect("ok");
+        let r = Flow::new().run(&counter8()).expect("ok");
         let s = r.to_string();
         for stage in [
             "[flow]",

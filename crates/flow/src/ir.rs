@@ -747,7 +747,7 @@ mod tests {
         // Regression: the equality chain used to be updated at the LSB
         // too, leaving an XNOR/AND pair outside every output cone
         // (IR002 dead logic in every comparator).
-        let report = crate::lint::lint(&d, &openserdes_lint::LintConfig::default());
+        let report = d.lint(&openserdes_lint::LintConfig::default());
         assert!(
             report
                 .findings()

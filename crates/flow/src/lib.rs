@@ -9,18 +9,18 @@
 //!
 //! * [`ir`] — a word-friendly RTL IR with a golden interpreter,
 //! * [`lint`] — the `IR0xx` half of the design-lint engine (unconnected
-//!   registers, dead nodes, stuck state, ragged buses); [`run_flow`]
+//!   registers, dead nodes, stuck state, ragged buses); [`Flow::run`]
 //!   gates on it before synthesis and on the netlist ERC after,
 //! * [`synth`] — folding, structural hashing and technology mapping,
 //! * [`floorplan`] / [`place`] / [`route`] — row-based floorplan, greedy +
 //!   simulated-annealing placement, global-routing estimate,
 //! * [`sta`] — NLDM static timing analysis with wire delays,
 //! * [`power`] — activity-based switching/internal/clock/leakage power,
-//! * [`flow`] — the staged driver ([`run_flow`]) mirroring Fig. 12.
+//! * [`flow`] — the staged driver ([`Flow`]) mirroring Fig. 12.
 //!
 //! ```
 //! use openserdes_flow::ir::Design;
-//! use openserdes_flow::{run_flow, FlowConfig};
+//! use openserdes_flow::{Flow, FlowConfig};
 //! use openserdes_pdk::units::Hertz;
 //!
 //! let mut d = Design::new("counter4");
@@ -29,7 +29,8 @@
 //! d.connect_reg_bus(&q, &next);
 //! d.output_bus("q", &q);
 //!
-//! let result = run_flow(&d, &FlowConfig::at_clock(Hertz::from_mhz(500.0)))?;
+//! let flow = Flow::new().with_config(FlowConfig::at_clock(Hertz::from_mhz(500.0)));
+//! let result = flow.run(&d)?;
 //! assert!(result.timing.clean());
 //! # Ok::<(), openserdes_flow::FlowError>(())
 //! ```
@@ -50,7 +51,9 @@ pub mod synth;
 
 pub use error::FlowError;
 pub use export::{to_def, to_verilog};
-pub use flow::{optimize_timing, run_flow, CtsReport, FlowConfig, FlowResult};
+#[allow(deprecated)]
+pub use flow::run_flow;
+pub use flow::{optimize_timing, CtsReport, Flow, FlowConfig, FlowResult};
 pub use power::{analyze_power, PowerConfig, PowerReport};
 pub use sta::{analyze, StaConfig, StaReport};
 pub use synth::{synthesize, SynthResult};

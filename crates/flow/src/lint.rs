@@ -28,8 +28,25 @@ impl Lattice {
     }
 }
 
+impl Design {
+    /// Run the `IR0xx` rule set over this design.
+    pub fn lint(&self, cfg: &LintConfig) -> LintReport {
+        lint_design(self, cfg)
+    }
+}
+
 /// Run the `IR0xx` rule set over a design.
+///
+/// # Deprecated
+///
+/// The same engine is reachable as the inherent [`Design::lint`] method
+/// (or `Session::lint` at the top level).
+#[deprecated(note = "use `Design::lint` or `Session::lint`")]
 pub fn lint(design: &Design, cfg: &LintConfig) -> LintReport {
+    lint_design(design, cfg)
+}
+
+fn lint_design(design: &Design, cfg: &LintConfig) -> LintReport {
     let mut report = LintReport::new(design.name(), "ir");
 
     // IR001 — unconnected registers.
@@ -313,7 +330,7 @@ mod tests {
 
     #[test]
     fn clean_counter_is_clean() {
-        let r = lint(&counter(4), &LintConfig::default());
+        let r = counter(4).lint(&LintConfig::default());
         assert!(r.is_clean(), "unexpected findings: {r}");
     }
 
@@ -322,7 +339,7 @@ mod tests {
         let mut d = Design::new("bad");
         let q = d.reg();
         d.output("q", q);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::UnconnectedRegister));
         assert!(r.has_errors());
     }
@@ -335,7 +352,7 @@ mod tests {
         let y = d.and(a, b);
         d.output("y", y);
         let _orphan = d.xor(a, b); // never reaches an output
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         let dead: Vec<_> = r
             .findings()
             .iter()
@@ -354,7 +371,7 @@ mod tests {
         let next = d.and(q, zero);
         d.connect_reg(q, next);
         d.output("q", q);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::ConstantRegister));
     }
 
@@ -366,7 +383,7 @@ mod tests {
         let n = d.not(q);
         d.connect_reg(q, n);
         d.output("q", q);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(!rules_of(&r).contains(&Rule::ConstantRegister));
     }
 
@@ -376,7 +393,7 @@ mod tests {
         let a = d.input("a");
         let _unused = d.input("nc");
         d.output("y", a);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         let f: Vec<_> = r
             .findings()
             .iter()
@@ -394,7 +411,7 @@ mod tests {
         let b = d.input("bus[2]"); // gap: no bus[1]
         let y = d.and(a, b);
         d.output("y", y);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::RaggedBus));
     }
 
@@ -404,7 +421,7 @@ mod tests {
         let bus = d.input_bus("b", 4);
         let y = d.and_reduce(&bus);
         d.output("y", y);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(!rules_of(&r).contains(&Rule::RaggedBus));
     }
 
@@ -414,7 +431,7 @@ mod tests {
         let q0 = d.outputs()[0].1;
         d.set_multicycle(q0, 4);
         d.set_multicycle(q0, 8);
-        let r = lint(&d, &LintConfig::default());
+        let r = d.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::DuplicateMulticycle));
     }
 
@@ -422,7 +439,7 @@ mod tests {
     fn lint_is_read_only() {
         let d = counter(3);
         let before = format!("{d:?}");
-        let _ = lint(&d, &LintConfig::default());
+        let _ = d.lint(&LintConfig::default());
         assert_eq!(format!("{d:?}"), before);
     }
 }

@@ -4,9 +4,10 @@
 //! DESIGN.md §12. It runs entirely on the public [`Netlist`] query API
 //! and never mutates the design. Entry points:
 //!
-//! * [`lint`] — the full structural rule set (`NL001`–`NL006`, `NL008`),
-//! * [`lint_with_library`] — adds the `NL007` drive/fanout audit, which
-//!   needs characterized pin capacitances from a
+//! * [`Netlist::lint`] — the full structural rule set (`NL001`–`NL006`,
+//!   `NL008`),
+//! * [`Netlist::lint_with_library`] — adds the `NL007` drive/fanout
+//!   audit, which needs characterized pin capacitances from a
 //!   [`openserdes_pdk::library::Library`],
 //! * [`Netlist::check`] — the Error-level structural subset as a typed
 //!   [`NetlistError`], used by the flow/simulator gates (and by the
@@ -20,18 +21,43 @@ use openserdes_pdk::library::Library;
 use openserdes_pdk::units::Farad;
 use std::collections::{HashSet, VecDeque};
 
+impl Netlist {
+    /// Run the gate-level ERC rules that need no library data.
+    ///
+    /// Rules `NL001`–`NL006` and `NL008`. If the netlist has corrupt
+    /// structure (`NL008`: out-of-range net ids or clockless flops) only
+    /// those findings are reported — every other rule assumes indexable
+    /// tables.
+    pub fn lint(&self, cfg: &LintConfig) -> LintReport {
+        lint_impl(self, None, cfg)
+    }
+
+    /// Run the full gate-level ERC rule set, including the `NL007`
+    /// drive-strength audit against `library`'s pin capacitances.
+    pub fn lint_with_library(&self, library: &Library, cfg: &LintConfig) -> LintReport {
+        lint_impl(self, Some(library), cfg)
+    }
+}
+
 /// Run the gate-level ERC rules that need no library data.
 ///
-/// Rules `NL001`–`NL006` and `NL008`. If the netlist has corrupt
-/// structure (`NL008`: out-of-range net ids or clockless flops) only
-/// those findings are reported — every other rule assumes indexable
-/// tables.
+/// # Deprecated
+///
+/// The same engine is reachable as the inherent [`Netlist::lint`]
+/// method (or `Session::lint_netlist` at the top level).
+#[deprecated(note = "use `Netlist::lint` or `Session::lint_netlist`")]
 pub fn lint(netlist: &Netlist, cfg: &LintConfig) -> LintReport {
     lint_impl(netlist, None, cfg)
 }
 
 /// Run the full gate-level ERC rule set, including the `NL007`
 /// drive-strength audit against `library`'s pin capacitances.
+///
+/// # Deprecated
+///
+/// The same engine is reachable as the inherent
+/// [`Netlist::lint_with_library`] method.
+#[deprecated(note = "use `Netlist::lint_with_library`")]
 pub fn lint_with_library(netlist: &Netlist, library: &Library, cfg: &LintConfig) -> LintReport {
     lint_impl(netlist, Some(library), cfg)
 }
@@ -622,7 +648,7 @@ mod tests {
         let b = nl.add_input("b");
         let y = nl.gate(LogicFn::And2, DriveStrength::X1, &[a, b]);
         nl.mark_output("y", y);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert!(r.is_clean(), "unexpected findings: {r}");
     }
 
@@ -634,7 +660,7 @@ mod tests {
         nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[a], y);
         nl.gate_into(LogicFn::Buf, DriveStrength::X1, &[a], y);
         nl.mark_output("y", y);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::MultiplyDrivenNet));
         assert!(r.has_errors());
     }
@@ -645,7 +671,7 @@ mod tests {
         let float = nl.add_net("float");
         let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[float]);
         nl.mark_output("y", y);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         let f = &r.findings()[0];
         assert_eq!(f.rule, Rule::UndrivenNet);
         assert_eq!(f.location.as_ref().unwrap().name, "float");
@@ -659,7 +685,7 @@ mod tests {
         let x = nl.gate(LogicFn::Nand2, DriveStrength::X1, &[a, fb]);
         nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[x], fb);
         nl.mark_output("y", x);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         let loops: Vec<_> = r
             .findings()
             .iter()
@@ -677,7 +703,7 @@ mod tests {
         let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[a]);
         nl.mark_output("y", y);
         let _unused = nl.gate(LogicFn::Buf, DriveStrength::X1, &[a]);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::DanglingOutput));
         assert_eq!(r.worst(), Some(Severity::Warn));
     }
@@ -692,7 +718,7 @@ mod tests {
         nl.mark_output("y", y);
         let m = nl.gate(LogicFn::Buf, DriveStrength::X1, &[a]);
         let _end = nl.gate(LogicFn::Inv, DriveStrength::X1, &[m]);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         let rules = rules_of(&r);
         assert!(rules.contains(&Rule::DeadLogic));
         assert!(rules.contains(&Rule::DanglingOutput));
@@ -718,7 +744,7 @@ mod tests {
         let mixed = nl.gate(LogicFn::And2, DriveStrength::X1, &[qa, other]);
         let qb = nl.dff(mixed, clkb, DriveStrength::X1);
         nl.mark_output("qb", qb);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         let cdc: Vec<_> = r
             .findings()
             .iter()
@@ -738,7 +764,7 @@ mod tests {
         let s1 = nl.dff(qa, clkb, DriveStrength::X1); // stage 1: crossing, exempt
         let s2 = nl.dff(s1, clkb, DriveStrength::X1); // stage 2: same-domain source
         nl.mark_output("q", s2);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert!(
             !rules_of(&r).contains(&Rule::UnsyncClockCrossing),
             "2-flop synchronizer must not be flagged: {r}"
@@ -756,7 +782,7 @@ mod tests {
         let q1 = nl.dff(d, clk, DriveStrength::X1);
         let q2 = nl.dff(q1, clkb, DriveStrength::X1);
         nl.mark_output("q", q2);
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert!(!rules_of(&r).contains(&Rule::UnsyncClockCrossing));
     }
 
@@ -770,10 +796,10 @@ mod tests {
             let y = nl.gate(LogicFn::Inv, DriveStrength::X1, &[weak]);
             nl.mark_output(format!("y{i}"), y);
         }
-        let r = lint_with_library(&nl, &lib, &LintConfig::default());
+        let r = nl.lint_with_library(&lib, &LintConfig::default());
         assert!(rules_of(&r).contains(&Rule::DriveOverload));
         // The plain structural pass must not require the library.
-        assert!(!rules_of(&lint(&nl, &LintConfig::default())).contains(&Rule::DriveOverload));
+        assert!(!rules_of(&nl.lint(&LintConfig::default())).contains(&Rule::DriveOverload));
     }
 
     #[test]
@@ -785,7 +811,7 @@ mod tests {
         nl.mark_output("q", q);
         let id = nl.cell_ids().next().unwrap();
         nl.instance_mut(id).clock = None;
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert_eq!(rules_of(&r), vec![Rule::BadReference]);
         assert!(r.has_errors());
         assert_eq!(nl.check(), Err(NetlistError::MissingClock(id)));
@@ -800,7 +826,7 @@ mod tests {
         let id = nl.cell_ids().next().unwrap();
         let foreign = NetId(999);
         nl.instance_mut(id).inputs[0] = foreign;
-        let r = lint(&nl, &LintConfig::default());
+        let r = nl.lint(&LintConfig::default());
         assert_eq!(rules_of(&r), vec![Rule::BadReference]);
         assert_eq!(
             nl.check(),
@@ -832,7 +858,7 @@ mod tests {
         let x = nl.gate(LogicFn::Nand2, DriveStrength::X1, &[a, fb]);
         nl.gate_into(LogicFn::Inv, DriveStrength::X1, &[x], fb);
         let before = format!("{nl:?}");
-        let _ = lint(&nl, &LintConfig::default());
+        let _ = nl.lint(&LintConfig::default());
         let _ = nl.check();
         assert_eq!(format!("{nl:?}"), before);
     }
@@ -845,7 +871,7 @@ mod tests {
         nl.mark_output("y", y);
         let _unused = nl.gate(LogicFn::Buf, DriveStrength::X1, &[a]);
         let cfg = LintConfig::default().allow(Rule::DanglingOutput);
-        let r = lint(&nl, &cfg);
+        let r = nl.lint(&cfg);
         assert!(r.is_clean());
         assert_eq!(r.suppressed(), 1);
     }
@@ -880,7 +906,7 @@ mod tests {
                 picks in prop::collection::vec(0usize..1_000_000, 2..40),
             ) {
                 let (nl, _) = chain_dag(&picks);
-                let report = lint(&nl, &LintConfig::default());
+                let report = nl.lint(&LintConfig::default());
                 prop_assert!(
                     report.findings().iter().all(|f| f.rule != Rule::CombinationalLoop),
                     "false loop on an acyclic netlist:\n{}",
@@ -903,7 +929,7 @@ mod tests {
                 let j = i + 1 + hi % (n - 1 - i);
                 let cell = nl.cell_ids().nth(i).expect("cell exists");
                 nl.instance_mut(cell).inputs[0] = nets[2 + j];
-                let report = lint(&nl, &LintConfig::default());
+                let report = nl.lint(&LintConfig::default());
                 prop_assert!(
                     report.findings().iter().any(|f| f.rule == Rule::CombinationalLoop),
                     "missed the injected back-edge (i = {}, j = {}):\n{}",

@@ -5,7 +5,6 @@
 //! power than current-mode drivers; the cost is edge rate into heavy
 //! loads, which the taper handles.
 
-use openserdes_analog::drc;
 use openserdes_analog::primitives::{add_inverter_chain, InverterSize};
 use openserdes_analog::solver::{
     reference, transient, SolverError, SolverStats, TransientConfig, TransientResult,
@@ -99,7 +98,7 @@ impl TxDriver {
     /// available unconditionally for signoff and CI.
     pub fn lint(&self) -> LintReport {
         let (c, _, _) = self.build(&[false, true], Time::from_ps(500.0));
-        drc::lint(&c, "tx-driver", &LintConfig::default())
+        c.lint("tx-driver", &LintConfig::default())
     }
 
     /// Builds the driver circuit; returns `(circuit, input, stage outs)`.
@@ -147,7 +146,7 @@ impl TxDriver {
         let dt = (ui / 250.0).min(2.0e-12);
         let res = transient(
             &c,
-            &TransientConfig::adaptive(t_end, dt, 128.0 * dt, 8.0e-3),
+            &TransientConfig::until(t_end).with_adaptive_steps(dt, 128.0 * dt, 8.0e-3),
         )?;
         Ok(Self::collect(input, &outs, &res))
     }
@@ -168,7 +167,7 @@ impl TxDriver {
         let ui = bit_time.value();
         let t_end = (bits.len() + 1) as f64 * ui;
         let dt = (ui / 250.0).min(2.0e-12);
-        let res = reference::transient(&c, &TransientConfig::with_dt(t_end, dt))?;
+        let res = reference::transient(&c, &TransientConfig::until(t_end).with_fixed_dt(dt))?;
         Ok(Self::collect(input, &outs, &res))
     }
 

@@ -16,7 +16,6 @@
 //! minimum input swing that still restores clean logic levels at a given
 //! data rate. This is the model behind the paper's Fig. 9 sweeps.
 
-use openserdes_analog::drc;
 use openserdes_analog::par::bisect_speculative;
 use openserdes_analog::primitives::{
     add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
@@ -139,7 +138,7 @@ impl RxFrontEnd {
         let mut c = Circuit::new();
         let (src, _, _, _) = self.build(&mut c);
         c.vsource(src, Stimulus::Dc(0.5 * self.pvt.vdd.value()));
-        drc::lint(&c, "rx-frontend", &LintConfig::default())
+        c.lint("rx-frontend", &LintConfig::default())
     }
 
     /// Builds the front-end circuit; returns `(src, vin, vmid, vout)`.
@@ -226,7 +225,7 @@ impl RxFrontEnd {
         let dt = (input.dt()).min(2.0e-12);
         let res = transient(
             &c,
-            &TransientConfig::adaptive(input.t_end(), dt, 128.0 * dt, 8.0e-3),
+            &TransientConfig::until(input.t_end()).with_adaptive_steps(dt, 128.0 * dt, 8.0e-3),
         )?;
         Ok(Self::collect(input, (vin, vmid, vout), &res))
     }
@@ -241,7 +240,8 @@ impl RxFrontEnd {
     pub fn receive_reference(&self, input: &Waveform) -> Result<FrontEndWaveforms, SolverError> {
         let (c, vin, vmid, vout) = self.receive_setup(input);
         let dt = (input.dt()).min(2.0e-12);
-        let res = reference::transient(&c, &TransientConfig::with_dt(input.t_end(), dt))?;
+        let res =
+            reference::transient(&c, &TransientConfig::until(input.t_end()).with_fixed_dt(dt))?;
         Ok(Self::collect(input, (vin, vmid, vout), &res))
     }
 

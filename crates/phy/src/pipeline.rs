@@ -16,6 +16,7 @@ use openserdes_analog::solver::{SolverError, SolverStats};
 use openserdes_analog::Waveform;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time, Volt};
+use openserdes_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -101,9 +102,20 @@ impl AnalogLink {
     ///
     /// Propagates solver failures from either transient.
     pub fn transmit(&self, bits: &[bool], bit_time: Time) -> Result<LinkRun, SolverError> {
-        let tx = self.driver.drive(bits, bit_time)?;
-        let channel_out = self.channel.apply(&tx.output);
-        let rx = self.frontend.receive(&channel_out)?;
+        let _span = telemetry::span("phy.analog_link");
+        telemetry::counter("phy.bits_transmitted", bits.len() as u64);
+        let tx = {
+            let _s = telemetry::span("phy.drive");
+            self.driver.drive(bits, bit_time)?
+        };
+        let channel_out = {
+            let _s = telemetry::span("phy.channel");
+            self.channel.apply(&tx.output)
+        };
+        let rx = {
+            let _s = telemetry::span("phy.frontend");
+            self.frontend.receive(&channel_out)?
+        };
         let mut solver_stats = tx.stats;
         solver_stats.merge(&rx.stats);
         Ok(LinkRun {
@@ -128,9 +140,20 @@ impl AnalogLink {
         bits: &[bool],
         bit_time: Time,
     ) -> Result<LinkRun, SolverError> {
-        let tx = self.driver.drive_reference(bits, bit_time)?;
-        let channel_out = self.channel.apply(&tx.output);
-        let rx = self.frontend.receive_reference(&channel_out)?;
+        let _span = telemetry::span("phy.analog_link_reference");
+        telemetry::counter("phy.bits_transmitted", bits.len() as u64);
+        let tx = {
+            let _s = telemetry::span("phy.drive");
+            self.driver.drive_reference(bits, bit_time)?
+        };
+        let channel_out = {
+            let _s = telemetry::span("phy.channel");
+            self.channel.apply(&tx.output)
+        };
+        let rx = {
+            let _s = telemetry::span("phy.frontend");
+            self.frontend.receive_reference(&channel_out)?
+        };
         let mut solver_stats = tx.stats;
         solver_stats.merge(&rx.stats);
         Ok(LinkRun {
@@ -199,6 +222,7 @@ impl BehavioralLink {
     ///
     /// Propagates solver failures from the front-end characterization.
     pub fn from_analog(link: &AnalogLink, data_rate: Hertz) -> Result<Self, SolverError> {
+        let _span = telemetry::span("phy.characterize");
         let pvt_vdd = link.sampler.threshold.value() * 2.0;
         let sens = link.frontend.sensitivity(data_rate)?;
         Ok(Self {

@@ -7,7 +7,7 @@
 //! cargo run --release --example chiplet_link
 //! ```
 
-use openserdes::core::{sensitivity_sweep, BerTest, LinkConfig};
+use openserdes::core::{BerTest, LinkConfig, Sweep};
 use openserdes::pdk::corner::Pvt;
 use openserdes::pdk::units::Hertz;
 use openserdes::phy::ChannelModel;
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("max clean rate at chiplet-class loss: {max_clean_ghz:.1} GHz");
 
     // Why the low-loss regime is so forgiving: the sensitivity budget.
-    let pts = sensitivity_sweep(
+    let pts = Sweep::new().sensitivity(
         Pvt::nominal(),
         &[Hertz::from_ghz(2.0), Hertz::from_ghz(4.0)],
     )?;

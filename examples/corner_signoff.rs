@@ -7,8 +7,8 @@
 //! ```
 
 use openserdes::core::sweep::parallel;
-use openserdes::core::{cdr_design, sensitivity_sweep, BerTest, LinkConfig};
-use openserdes::flow::{run_flow, FlowConfig};
+use openserdes::core::{cdr_design, BerTest, LinkConfig, Sweep};
+use openserdes::flow::{Flow, FlowConfig};
 use openserdes::pdk::corner::{ProcessCorner, Pvt};
 use openserdes::pdk::units::Hertz;
 
@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // order no matter which worker finishes first. Errors are carried
     // as strings because `Box<dyn Error>` is not `Send`.
     let rows = parallel::map(&corners, |_, &pvt| -> Result<String, String> {
-        let sweep = sensitivity_sweep(pvt, &[Hertz::from_ghz(2.0)]).map_err(|e| e.to_string())?[0];
+        let sweep = Sweep::new()
+            .sensitivity(pvt, &[Hertz::from_ghz(2.0)])
+            .map_err(|e| e.to_string())?[0];
         let mut link = LinkConfig::paper_default();
         link.pvt = pvt;
         link.channel.attenuation_db = 30.0;
@@ -38,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut flow_cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
         flow_cfg.pvt = pvt;
         flow_cfg.anneal_iterations = 2_000;
-        let flow = run_flow(&cdr_design(5), &flow_cfg).map_err(|e| e.to_string())?;
+        let flow = Flow::new()
+            .with_config(flow_cfg)
+            .run(&cdr_design(5))
+            .map_err(|e| e.to_string())?;
         Ok(format!(
             "{:<16} {:>12.1} {:>14.1} {:>12} {:>7.2} GHz",
             pvt.to_string(),

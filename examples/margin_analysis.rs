@@ -7,7 +7,7 @@
 //! cargo run --release --example margin_analysis
 //! ```
 
-use openserdes::core::{bathtub, eye_width_at, LinkConfig};
+use openserdes::core::{eye_width_at, LinkConfig, Sweep};
 use openserdes::pdk::corner::Pvt;
 use openserdes::phy::{mismatch, FrontEndConfig, RxFrontEnd};
 
@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.data_rate.ghz(),
         cfg.channel.attenuation_db
     );
-    let curve = bathtub(&cfg, 50_000, 24, 7)?;
+    let curve = Sweep::new()
+        .with_bits(50_000)
+        .with_phases(24)
+        .with_seed(7)
+        .bathtub(&cfg)?;
     for p in &curve {
         let bar_len = if p.ber > 0.0 {
             ((p.ber.log10() + 6.0).max(0.0) * 8.0) as usize

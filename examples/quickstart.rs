@@ -6,7 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use openserdes::core::{LinkConfig, PrbsGenerator, PrbsOrder, SerdesLink, LANES};
+use openserdes::core::{LinkConfig, PrbsGenerator, PrbsOrder, LANES};
+use openserdes::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = LinkConfig::paper_default();
@@ -33,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let link = SerdesLink::new(config);
-    let report = link.run_frames(&frames, 2021)?;
+    let mut session = Session::new()
+        .with_link_config(config)
+        .with_seed(2021)
+        .with_telemetry(true);
+    let report = session.run_link(&frames)?;
 
     println!();
     println!("frames sent       : {}", report.frames_sent);
@@ -51,5 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "errors observed"
         }
     );
+
+    // The same run, as the telemetry layer saw it.
+    println!("\ntelemetry:\n{}", session.telemetry().to_tree_string());
     Ok(())
 }

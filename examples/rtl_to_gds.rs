@@ -11,7 +11,7 @@
 //! ```
 
 use openserdes::core::{cdr_design, deserializer_design, serializer_design};
-use openserdes::flow::{run_flow, FlowConfig};
+use openserdes::flow::{Flow, FlowConfig};
 use openserdes::pdk::corner::Pvt;
 use openserdes::pdk::units::Hertz;
 
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("cdr", cdr_design(5)),
     ] {
         println!("=== {name}: RTL -> layout at {} ===", cfg.pvt);
-        let result = run_flow(&design, &cfg)?;
+        let result = Flow::new().with_config(cfg.clone()).run(&design)?;
         println!("{result}");
         println!(
             "    {} cells, {:.0} µm², fmax {:.2} GHz, hold wns {:.0} ps, {:.2} mW",
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pvt in [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()] {
         let mut corner_cfg = cfg.clone();
         corner_cfg.pvt = pvt;
-        let r = run_flow(&cdr_design(5), &corner_cfg)?;
+        let r = Flow::new().with_config(corner_cfg).run(&cdr_design(5))?;
         println!(
             "  {:<16} fmax {:>6.2} GHz   power {:>7.3} mW   area {:>7.0} µm²",
             pvt.to_string(),

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Validate BENCH_profile.json against schemas/BENCH_profile.schema.json.
+
+A dependency-free subset of JSON Schema draft-07 — enough for the
+profile schema (type/required/properties/additionalProperties/items/
+const/minimum/exclusiveMinimum/exclusiveMaximum/$ref/allOf). CI runs
+this after the profile smoke; exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA_PATH = "schemas/BENCH_profile.schema.json"
+DOC_PATH = "BENCH_profile.json"
+
+
+def main() -> None:
+    schema = json.load(open(SCHEMA_PATH))
+    doc = json.load(open(DOC_PATH))
+
+    def resolve(ref: str):
+        node = schema
+        for part in ref.lstrip("#/").split("/"):
+            node = node[part]
+        return node
+
+    def check(inst, sch, path="$"):
+        if "$ref" in sch:
+            check(inst, resolve(sch["$ref"]), path)
+        for sub in sch.get("allOf", []):
+            check(inst, sub, path)
+        if "const" in sch:
+            assert inst == sch["const"], f"{path}: {inst!r} != {sch['const']!r}"
+        t = sch.get("type")
+        if t == "object":
+            assert isinstance(inst, dict), f"{path}: not an object"
+            for r in sch.get("required", []):
+                assert r in inst, f"{path}: missing required key {r!r}"
+            props = sch.get("properties", {})
+            ap = sch.get("additionalProperties", True)
+            for k, v in inst.items():
+                if k in props:
+                    check(v, props[k], f"{path}.{k}")
+                elif isinstance(ap, dict):
+                    check(v, ap, f"{path}.{k}")
+                elif ap is False:
+                    raise AssertionError(f"{path}: unexpected key {k!r}")
+        elif t == "array":
+            assert isinstance(inst, list), f"{path}: not an array"
+            for i, v in enumerate(inst):
+                check(v, sch.get("items", {}), f"{path}[{i}]")
+        elif t == "integer":
+            assert isinstance(inst, int) and not isinstance(inst, bool), f"{path}: not an integer"
+        elif t == "number":
+            assert isinstance(inst, (int, float)) and not isinstance(inst, bool), f"{path}: not a number"
+        elif t == "string":
+            assert isinstance(inst, str), f"{path}: not a string"
+        elif t == "boolean":
+            assert isinstance(inst, bool), f"{path}: not a boolean"
+        if "minimum" in sch:
+            assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
+        if "exclusiveMinimum" in sch:
+            assert inst > sch["exclusiveMinimum"], f"{path}: {inst} not above {sch['exclusiveMinimum']}"
+        if "exclusiveMaximum" in sch:
+            assert inst < sch["exclusiveMaximum"], f"{path}: {inst} not below {sch['exclusiveMaximum']}"
+
+    check(doc, schema)
+    pct = doc["overhead"]["overhead_pct"]
+    print(f"BENCH_profile.json validates against {SCHEMA_PATH} (disabled overhead {pct} %)")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(1)

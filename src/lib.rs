@@ -17,18 +17,19 @@
 //! | [`phy`] | `openserdes-phy` | driver, channel, RX front end |
 //! | [`core`] | `openserdes-core` | the SerDes itself |
 //! | [`lint`] | `openserdes-lint` | DRC/ERC signoff (rule catalog in DESIGN.md §12) |
+//! | [`telemetry`] | `openserdes-telemetry` | spans/counters/histograms over every engine |
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use openserdes::core::{LinkConfig, SerdesLink};
+//! use openserdes::Session;
 //!
 //! // The paper's headline operating point: 2 Gb/s over a 34 dB channel.
-//! let link = SerdesLink::new(LinkConfig::paper_default());
+//! let mut session = Session::new().with_seed(42);
 //! let frames = [[0xDEAD_BEEF_u32, 1, 2, 3, 4, 5, 6, 7]; 4];
-//! let report = link.run_frames(&frames, 42)?;
+//! let report = session.run_link(&frames)?;
 //! assert!(report.error_free());
-//! # Ok::<(), openserdes::core::LinkError>(())
+//! # Ok::<(), openserdes::Error>(())
 //! ```
 //!
 //! See `examples/` for runnable scenarios (PCIe lanes, EMIB chiplet
@@ -45,3 +46,7 @@ pub use openserdes_lint as lint;
 pub use openserdes_netlist as netlist;
 pub use openserdes_pdk as pdk;
 pub use openserdes_phy as phy;
+pub use openserdes_telemetry as telemetry;
+
+pub use openserdes_core::error::Error;
+pub use openserdes_core::session::Session;

@@ -64,10 +64,13 @@ fn assert_adaptive_tracks_fixed(
     t_end: f64,
     dt: f64,
 ) -> Result<f64, String> {
-    let fixed =
-        transient(c, &TransientConfig::with_dt(t_end, dt)).map_err(|e| format!("fixed: {e}"))?;
-    let adaptive = transient(c, &TransientConfig::adaptive(t_end, dt, 64.0 * dt, LTE_TOL))
-        .map_err(|e| format!("adaptive: {e}"))?;
+    let fixed = transient(c, &TransientConfig::until(t_end).with_fixed_dt(dt))
+        .map_err(|e| format!("fixed: {e}"))?;
+    let adaptive = transient(
+        c,
+        &TransientConfig::until(t_end).with_adaptive_steps(dt, 64.0 * dt, LTE_TOL),
+    )
+    .map_err(|e| format!("adaptive: {e}"))?;
     let wf = fixed.waveform(out);
     let wa = adaptive.waveform(out);
     if wf.samples().len() != wa.samples().len() {

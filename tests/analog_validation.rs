@@ -158,7 +158,8 @@ fn sensitivity_model_consistent_between_api_layers() {
     // phy's sensitivity and core's sweep must report the same numbers.
     let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), Pvt::nominal());
     let direct = fe.sensitivity(Hertz::from_ghz(2.0)).expect("ok");
-    let swept = openserdes::core::sensitivity_sweep(Pvt::nominal(), &[Hertz::from_ghz(2.0)])
+    let swept = openserdes::core::Sweep::new()
+        .sensitivity(Pvt::nominal(), &[Hertz::from_ghz(2.0)])
         .expect("ok")[0]
         .sensitivity;
     assert!((direct.value() - swept.value()).abs() < 1e-12);

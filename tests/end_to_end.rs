@@ -2,12 +2,12 @@
 //! paper's operating points and across PVT corners.
 
 use openserdes::core::{
-    frame_to_bits, BerTest, Deserializer, LinkConfig, PrbsGenerator, PrbsOrder, SerdesLink,
-    Serializer, LANES,
+    frame_to_bits, BerTest, Deserializer, LinkConfig, PrbsGenerator, PrbsOrder, Serializer, LANES,
 };
 use openserdes::pdk::corner::{ProcessCorner, Pvt};
 use openserdes::pdk::units::Hertz;
 use openserdes::phy::ChannelModel;
+use openserdes::Session;
 
 fn prbs_frames(count: usize, order: PrbsOrder) -> Vec<[u32; LANES]> {
     let mut g = PrbsGenerator::new(order);
@@ -29,9 +29,9 @@ fn prbs_frames(count: usize, order: PrbsOrder) -> Vec<[u32; LANES]> {
 #[test]
 fn paper_figure8_scenario_is_error_free() {
     // 2 Gb/s, PRBS-31, 34 dB — the paper's central claim.
-    let link = SerdesLink::new(LinkConfig::paper_default());
-    let report = link
-        .run_frames(&prbs_frames(60, PrbsOrder::Prbs31), 8)
+    let report = Session::new()
+        .with_seed(8)
+        .run_link(&prbs_frames(60, PrbsOrder::Prbs31))
         .expect("link runs");
     assert!(report.cdr_locked);
     assert!(report.error_free(), "ber = {:.2e}", report.ber());
@@ -45,8 +45,10 @@ fn loss_sweep_has_a_sharp_waterfall() {
     let at = |db: f64| {
         let mut cfg = LinkConfig::paper_default();
         cfg.channel = ChannelModel::lossy(db);
-        SerdesLink::new(cfg)
-            .run_frames(&prbs_frames(12, PrbsOrder::Prbs31), 5)
+        Session::new()
+            .with_link_config(cfg)
+            .with_seed(5)
+            .run_link(&prbs_frames(12, PrbsOrder::Prbs31))
             .expect("runs")
             .ber()
     };
@@ -63,8 +65,10 @@ fn rate_scaling_trades_against_loss() {
         let mut cfg = LinkConfig::paper_default();
         cfg.data_rate = Hertz::from_ghz(ghz);
         cfg.channel = ChannelModel::lossy(db);
-        SerdesLink::new(cfg)
-            .run_frames(&prbs_frames(10, PrbsOrder::Prbs31), 3)
+        Session::new()
+            .with_link_config(cfg)
+            .with_seed(3)
+            .run_link(&prbs_frames(10, PrbsOrder::Prbs31))
             .expect("runs")
             .ber()
     };
@@ -93,8 +97,10 @@ fn corners_shift_the_operating_envelope() {
         let mut cfg = LinkConfig::paper_default();
         cfg.pvt = pvt;
         cfg.channel = ChannelModel::lossy(db);
-        SerdesLink::new(cfg)
-            .run_frames(&prbs_frames(10, PrbsOrder::Prbs31), 11)
+        Session::new()
+            .with_link_config(cfg)
+            .with_seed(11)
+            .run_link(&prbs_frames(10, PrbsOrder::Prbs31))
             .expect("runs")
             .ber()
     };

@@ -6,7 +6,7 @@ use openserdes::core::{
     cdr_design, deserializer_design, frame_to_bits, serializer_design, Serializer, FRAME_BITS,
 };
 use openserdes::digital::CycleSim;
-use openserdes::flow::{run_flow, synthesize, FlowConfig};
+use openserdes::flow::{synthesize, Flow, FlowConfig};
 use openserdes::pdk::corner::{ProcessCorner, Pvt};
 use openserdes::pdk::library::Library;
 use openserdes::pdk::units::Hertz;
@@ -77,9 +77,10 @@ fn all_three_blocks_complete_the_flow() {
         c.anneal_iterations = 2_000;
         c
     };
-    let ser = run_flow(&serializer_design(), &cfg).expect("serializer flow");
-    let des = run_flow(&deserializer_design(), &cfg).expect("deserializer flow");
-    let cdr = run_flow(&cdr_design(5), &cfg).expect("cdr flow");
+    let flow = Flow::new().with_config(cfg);
+    let ser = flow.run(&serializer_design()).expect("serializer flow");
+    let des = flow.run(&deserializer_design()).expect("deserializer flow");
+    let cdr = flow.run(&cdr_design(5)).expect("cdr flow");
 
     // Area ordering of Fig. 11: DES > SER > CDR.
     assert!(des.area().value() > ser.area().value());
@@ -103,7 +104,10 @@ fn flow_retargets_across_corners_without_rtl_changes() {
         let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(1.0));
         cfg.pvt = pvt;
         cfg.anneal_iterations = 1_000;
-        run_flow(&design, &cfg).expect("flow runs")
+        Flow::new()
+            .with_config(cfg)
+            .run(&design)
+            .expect("flow runs")
     };
     let tt = run_at(Pvt::nominal());
     let ss = run_at(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0));
@@ -125,7 +129,10 @@ fn serializer_timing_envelope() {
     // ≈ 90 ps). EXPERIMENTS.md discusses the gap to the paper's claim.
     let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
     cfg.anneal_iterations = 4_000;
-    let r = run_flow(&serializer_design(), &cfg).expect("flow runs");
+    let r = Flow::new()
+        .with_config(cfg)
+        .run(&serializer_design())
+        .expect("flow runs");
     assert!(
         r.timing.fmax.ghz() >= 1.1,
         "serializer fmax = {:.2} GHz",
@@ -161,11 +168,12 @@ fn whole_chip_top_completes_the_flow() {
     let mut cfg = FlowConfig::at_clock(Hertz::from_ghz(2.0));
     cfg.anneal_iterations = 2_000;
     let top = openserdes::core::serdes_digital_top(5);
-    let r = run_flow(&top, &cfg).expect("top-level flow");
+    let flow = Flow::new().with_config(cfg);
+    let r = flow.run(&top).expect("top-level flow");
     assert_eq!(r.stats.flop_count, 583);
     assert!(r.stats.cell_count > 2_000);
     // The whole digital chip is bigger than any single block.
-    let des = run_flow(&deserializer_design(), &cfg).expect("des flow");
+    let des = flow.run(&deserializer_design()).expect("des flow");
     assert!(r.area().value() > des.area().value());
     // Hold-clean and with a finite setup envelope.
     assert_eq!(r.timing.hold_violations, 0);

@@ -1,0 +1,56 @@
+//! The telemetry layer's central promise: parallel sweeps aggregate
+//! *identically* for any worker count. Counters and histograms are
+//! integer sums absorbed in input-index order, and span trees fold by
+//! name, so everything except wall times is bit-identical whether a
+//! sweep ran on 1 worker or 8 — [`Record::deterministic_digest`] is
+//! that invariant as a comparable string.
+
+use openserdes::core::{LinkConfig, Sweep};
+use openserdes::telemetry;
+
+#[test]
+fn sweep_telemetry_is_worker_count_invariant() {
+    let cfg = LinkConfig::paper_default();
+    telemetry::set_enabled(true);
+    let run_at = |threads: usize| {
+        let sweep = Sweep::new()
+            .with_bits(2_000)
+            .with_phases(8)
+            .with_frames(4)
+            .with_tolerance_db(1.0)
+            .with_seed(5)
+            .with_threads(threads);
+        let (results, rec) = telemetry::collect(|| {
+            let curve = sweep.bathtub(&cfg).expect("bathtub");
+            let corners = sweep.corner_sweep(&cfg).expect("corners");
+            (curve, corners)
+        });
+        (results, rec)
+    };
+
+    let ((curve1, corners1), rec1) = run_at(1);
+    let digest1 = rec1.deterministic_digest();
+
+    // The record is non-trivial: every phase and corner left a mark.
+    assert_eq!(rec1.counter("sweep.eye_phases"), 8);
+    assert_eq!(rec1.counter("sweep.corner_points"), 3);
+    assert!(rec1.counter("sweep.bisect_probes") > 0);
+    assert!(rec1.span("sweep.bathtub").is_some());
+    assert!(
+        rec1.histogram("sweep.phase_errors")
+            .is_some_and(|h| h.count() == 8),
+        "one phase-error sample per bathtub phase"
+    );
+
+    for threads in [2usize, 4, 8] {
+        let ((curve, corners), rec) = run_at(threads);
+        assert_eq!(curve, curve1, "results diverge at {threads} workers");
+        assert_eq!(corners, corners1, "corners diverge at {threads} workers");
+        assert_eq!(
+            rec.deterministic_digest(),
+            digest1,
+            "telemetry digest diverges at {threads} workers"
+        );
+    }
+    telemetry::set_enabled(false);
+}
