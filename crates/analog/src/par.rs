@@ -94,6 +94,48 @@ where
         .collect()
 }
 
+/// Extracts a human-readable message from a panic payload — `&str` and
+/// `String` payloads (the two `panic!` produces) pass through, anything
+/// else gets a generic label.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Fault-isolating [`map_with_threads`]: each item runs inside its own
+/// `catch_unwind`, so one poisoned item reports `Err(panic message)` in
+/// its slot instead of tearing down the whole fan-out. Results still
+/// come back in input order and the outcome vector is worker-count
+/// independent — which item panicked depends only on the item, never on
+/// scheduling.
+///
+/// Telemetry recorded by an item that later panics is discarded with
+/// the item (absorbing half a record would make merged counters depend
+/// on where the panic struck), keeping merged telemetry deterministic.
+pub fn try_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_recorded(items, threads, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t))).map_err(panic_message)
+    })
+    .into_iter()
+    .map(|(r, rec)| {
+        if r.is_ok() {
+            telemetry::absorb(rec);
+        }
+        r
+    })
+    .collect()
+}
+
 /// [`map_with_threads`] on every available core.
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -217,6 +259,30 @@ mod tests {
         }
         let empty: Vec<usize> = Vec::new();
         assert!(map(&empty, |_, &x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_items() {
+        let items: Vec<usize> = (0..23).collect();
+        let run = |threads: usize| {
+            try_map_with_threads(&items, threads, |_, &x| {
+                assert!(x % 7 != 3, "poisoned item {x}");
+                x * 2
+            })
+        };
+        let base = run(1);
+        for (i, r) in base.iter().enumerate() {
+            if i % 7 == 3 {
+                let msg = r.as_ref().expect_err("poisoned item must fail");
+                assert!(msg.contains("poisoned item"), "got: {msg}");
+            } else {
+                assert_eq!(r.as_ref().expect("healthy item"), &(i * 2));
+            }
+        }
+        // The outcome pattern is worker-count independent.
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "threads = {threads}");
+        }
     }
 
     /// The sequential loop `bisect_speculative` must replicate.

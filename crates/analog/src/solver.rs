@@ -45,12 +45,19 @@ use std::time::{Duration, Instant};
 pub mod reference;
 
 /// Solver failures.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SolverError {
     /// Newton iteration failed to converge.
     NonConvergence {
         /// Simulation time at the failing step (0 for DC).
         time: f64,
+        /// Newton iterations spent before giving up (0 when the
+        /// failure was assembled without running an iteration, e.g.
+        /// the adaptive step-budget guard).
+        iterations: u64,
+        /// Name of the node with the largest residual magnitude at
+        /// the abandoned operating point, when known.
+        worst_node: Option<String>,
     },
     /// The Jacobian became singular (floating node or bad topology).
     SingularMatrix {
@@ -62,8 +69,19 @@ pub enum SolverError {
 impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolverError::NonConvergence { time } => {
-                write!(f, "newton iteration did not converge at t = {time:.3e} s")
+            SolverError::NonConvergence {
+                time,
+                iterations,
+                worst_node,
+            } => {
+                write!(f, "newton iteration did not converge at t = {time:.3e} s")?;
+                if *iterations > 0 {
+                    write!(f, " after {iterations} iterations")?;
+                }
+                if let Some(node) = worst_node {
+                    write!(f, " (worst residual at node `{node}`)")?;
+                }
+                Ok(())
             }
             SolverError::SingularMatrix { time } => {
                 write!(f, "singular jacobian at t = {time:.3e} s (floating node?)")
@@ -225,6 +243,15 @@ pub struct SolverStats {
     /// Rejected time steps (adaptive mode: LTE too large or Newton
     /// failed at a step larger than `dt_min`).
     pub steps_rejected: u64,
+    /// Steps that entered the non-convergence recovery ladder
+    /// (gmin-stepping → source-stepping → dt-cut).
+    pub recovery_attempts: u64,
+    /// Recoveries resolved by the gmin-stepping rung.
+    pub recovered_gmin: u64,
+    /// Recoveries resolved by the source-stepping rung.
+    pub recovered_source: u64,
+    /// Recoveries resolved by the dt-cut rung.
+    pub recovered_dt_cut: u64,
     /// Wall-clock time spent inside the solver.
     pub total_time: Duration,
 }
@@ -250,6 +277,10 @@ impl SolverStats {
         self.factorization_reuses += other.factorization_reuses;
         self.steps_taken += other.steps_taken;
         self.steps_rejected += other.steps_rejected;
+        self.recovery_attempts += other.recovery_attempts;
+        self.recovered_gmin += other.recovered_gmin;
+        self.recovered_source += other.recovered_source;
+        self.recovered_dt_cut += other.recovered_dt_cut;
         self.total_time += other.total_time;
     }
 
@@ -271,6 +302,10 @@ impl SolverStats {
         telemetry::counter("analog.lu_cache_hits", self.factorization_reuses);
         telemetry::counter("analog.steps_taken", self.steps_taken);
         telemetry::counter("analog.lte_rejections", self.steps_rejected);
+        telemetry::counter("analog.recovery_attempts", self.recovery_attempts);
+        telemetry::counter("analog.recovered_gmin", self.recovered_gmin);
+        telemetry::counter("analog.recovered_source", self.recovered_source);
+        telemetry::counter("analog.recovered_dt_cut", self.recovered_dt_cut);
     }
 
     /// The counters accrued since `earlier` (a snapshot of the same
@@ -284,6 +319,10 @@ impl SolverStats {
             factorization_reuses: self.factorization_reuses - earlier.factorization_reuses,
             steps_taken: self.steps_taken - earlier.steps_taken,
             steps_rejected: self.steps_rejected - earlier.steps_rejected,
+            recovery_attempts: self.recovery_attempts - earlier.recovery_attempts,
+            recovered_gmin: self.recovered_gmin - earlier.recovered_gmin,
+            recovered_source: self.recovered_source - earlier.recovered_source,
+            recovered_dt_cut: self.recovered_dt_cut - earlier.recovered_dt_cut,
             total_time: self.total_time.saturating_sub(earlier.total_time),
         }
     }
@@ -852,6 +891,57 @@ impl<'c> Solver<'c> {
         }
     }
 
+    /// Fills known node voltages with every source lerped between its
+    /// values at `t0` and `t1`: `(1-alpha)·v(t0) + alpha·v(t1)`. The
+    /// source-stepping recovery rung walks `alpha` from 0 to 1 so a
+    /// step change too violent for one Newton solve becomes a short
+    /// continuation.
+    fn apply_sources_blend(&self, v: &mut [f64], t0: f64, t1: f64, alpha: f64) {
+        v[0] = 0.0;
+        for (i, (node, stim)) in self.circuit.sources().iter().enumerate() {
+            let a = self.source_value(i, stim, t0);
+            let b = self.source_value(i, stim, t1);
+            v[node.index()] = a + alpha * (b - a);
+        }
+    }
+
+    /// Builds the enriched [`SolverError::NonConvergence`]: assembles
+    /// the residual at the abandoned operating point `v` and names the
+    /// node with the largest `|F|` entry. Runs only on the failure
+    /// path, so the extra device-evaluation pass costs nothing in
+    /// converging solves (and is deliberately left out of
+    /// [`SolverStats`] — it is diagnostics, not solver work).
+    fn nonconvergence(
+        &mut self,
+        v: &[f64],
+        prev_dt: Option<(&[f64], f64)>,
+        gmin: f64,
+        iterations: u64,
+        time: f64,
+    ) -> SolverError {
+        self.plan.assemble(v, prev_dt, gmin, &mut self.ws.rhs, None);
+        let mut worst_slot = None;
+        let mut worst_abs = 0.0f64;
+        for (slot, &r) in self.ws.rhs.iter().enumerate() {
+            if r.abs() > worst_abs {
+                worst_abs = r.abs();
+                worst_slot = Some(slot);
+            }
+        }
+        let worst_node = worst_slot.and_then(|slot| {
+            self.plan
+                .index
+                .iter()
+                .position(|&s| s == Some(slot))
+                .map(|node_idx| self.circuit.node_name(Node(node_idx)).to_string())
+        });
+        SolverError::NonConvergence {
+            time,
+            iterations,
+            worst_node,
+        }
+    }
+
     /// Largest source magnitude at `t` (the historical mid-supply
     /// guess is half of it).
     fn max_source_abs(&self, t: f64) -> f64 {
@@ -919,6 +1009,109 @@ impl<'c> Solver<'c> {
         max_dv * scale
     }
 
+    /// The non-convergence recovery ladder for transient steps,
+    /// invoked only after the plain Newton solve of the backward-Euler
+    /// step `prev → t` has failed — so a transient in which every step
+    /// converges first try never enters this function and stays
+    /// bit-identical to the historical arithmetic.
+    ///
+    /// Escalation, cheapest first; each rung restarts from `prev`:
+    ///
+    /// 1. **gmin-stepping** — re-solve the same step down a gmin
+    ///    ladder ending at `config.gmin`,
+    /// 2. **source-stepping** — walk the sources from their `t − dt`
+    ///    values to their `t` values in quarter blends, solving at
+    ///    each as a continuation,
+    /// 3. **dt-cut** — integrate the span as four backward-Euler
+    ///    substeps of `dt/4` (a finer discretization of the same span;
+    ///    its endpoint stands in for the failed full step).
+    ///
+    /// On success `v` holds the recovered step solution and the
+    /// winning rung is counted in [`SolverStats`]; when every rung
+    /// fails, the original enriched error is returned.
+    fn recover_step(
+        &mut self,
+        v: &mut [f64],
+        prev: &[f64],
+        dt: f64,
+        t: f64,
+        config: &TransientConfig,
+        err: SolverError,
+    ) -> Result<(), SolverError> {
+        self.stats.recovery_attempts += 1;
+        // A small user Newton budget is often *why* the step failed;
+        // recovery runs with a generous one.
+        let iters = config.max_newton.max(200);
+
+        // Rung 1: gmin-stepping down to the configured gmin.
+        v.copy_from_slice(prev);
+        self.apply_sources(v, t);
+        let mut ok = true;
+        for g in [1e-6, 1e-8, 1e-10, config.gmin] {
+            let g = g.max(config.gmin);
+            if self
+                .newton_full(v, Some((prev, dt)), g, iters, config.tol, t)
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            self.stats.recovered_gmin += 1;
+            return Ok(());
+        }
+
+        // Rung 2: source-stepping from the previous step's values.
+        v.copy_from_slice(prev);
+        ok = true;
+        for alpha in [0.25, 0.5, 0.75, 1.0] {
+            self.apply_sources_blend(v, t - dt, t, alpha);
+            if self
+                .newton_full(v, Some((prev, dt)), config.gmin, iters, config.tol, t)
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            self.stats.recovered_source += 1;
+            return Ok(());
+        }
+
+        // Rung 3: dt-cut into four backward-Euler substeps.
+        v.copy_from_slice(prev);
+        let sub = 0.25 * dt;
+        let mut sub_prev = prev.to_vec();
+        ok = true;
+        for j in 1..=4u32 {
+            let tj = t - dt + f64::from(j) * sub;
+            self.apply_sources(v, tj);
+            if self
+                .newton_full(
+                    v,
+                    Some((&sub_prev, sub)),
+                    config.gmin,
+                    iters,
+                    config.tol,
+                    tj,
+                )
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+            sub_prev.copy_from_slice(v);
+        }
+        if ok {
+            self.stats.recovered_dt_cut += 1;
+            return Ok(());
+        }
+
+        Err(err)
+    }
+
     /// Full Newton: Jacobian rebuilt and refactorized every iteration,
     /// matching the historical solver's arithmetic bit-for-bit. The
     /// single deviation: pure-linear circuits reuse the cached LU when
@@ -965,7 +1158,7 @@ impl<'c> Solver<'c> {
                 return Ok(());
             }
         }
-        Err(SolverError::NonConvergence { time })
+        Err(self.nonconvergence(v, prev_dt, gmin, max_iter as u64, time))
     }
 
     /// Modified Newton for the adaptive path. The measured cost model
@@ -1026,7 +1219,7 @@ impl<'c> Solver<'c> {
                 return Ok(iter + 1);
             }
         }
-        Err(SolverError::NonConvergence { time })
+        Err(self.nonconvergence(v, prev_dt, gmin, max_iter as u64, time))
     }
 
     /// Robust DC solve at time `t`: mid-supply then zero initial
@@ -1037,7 +1230,11 @@ impl<'c> Solver<'c> {
         // Mid-supply initial guess: the natural basin for self-biased
         // CMOS (the resistive-feedback inverter settles near 0.5·VDD).
         let v_mid = 0.5 * self.max_source_abs(t);
-        let mut best_err = SolverError::NonConvergence { time: t };
+        let mut best_err = SolverError::NonConvergence {
+            time: t,
+            iterations: 0,
+            worst_node: None,
+        };
         for guess in [v_mid, 0.0] {
             let mut v = vec![guess; self.plan.n_nodes];
             self.apply_sources(&mut v, t);
@@ -1084,7 +1281,11 @@ impl<'c> Solver<'c> {
             return Ok(v);
         }
         // Gmin ladder from the seeded point, every rung tracked.
-        let mut best_err = SolverError::NonConvergence { time: 0.0 };
+        let mut best_err = SolverError::NonConvergence {
+            time: 0.0,
+            iterations: 0,
+            worst_node: None,
+        };
         let mut ok = true;
         for gmin in [1e-6, 1e-9, 1e-12] {
             match self.newton_full(&mut v, None, gmin, 400, 1e-9, 0.0) {
@@ -1155,14 +1356,19 @@ impl<'c> Solver<'c> {
         for k in 1..=steps {
             let t = k as f64 * dt;
             self.apply_sources(&mut v, t);
-            self.newton_full(
+            if let Err(e) = self.newton_full(
                 &mut v,
                 Some((&prev, dt)),
                 config.gmin,
                 config.max_newton,
                 config.tol,
                 t,
-            )?;
+            ) {
+                // Escalate through the recovery ladder before giving
+                // up; a fully convergent run never reaches this branch
+                // and stays bit-identical to the reference solver.
+                self.recover_step(&mut v, &prev, dt, t, config, e)?;
+            }
             for (buf, &x) in bufs.iter_mut().zip(&v) {
                 buf.push(x);
             }
@@ -1253,7 +1459,11 @@ impl<'c> Solver<'c> {
             }
             budget = budget.saturating_sub(1);
             if budget == 0 {
-                return Err(SolverError::NonConvergence { time: t });
+                return Err(SolverError::NonConvergence {
+                    time: t,
+                    iterations: 0,
+                    worst_node: None,
+                });
             }
             let h_eff = h.min(t_stop - t);
             // A fast source move shifts the operating point: the
@@ -1276,7 +1486,7 @@ impl<'c> Solver<'c> {
                 // take the backward-Euler step and accept it.
                 v_end.copy_from_slice(&v);
                 self.apply_sources(&mut v_end, t + h_eff);
-                let iters = self.newton_modified(
+                let solved = self.newton_modified(
                     &mut v_end,
                     Some((&v, h_eff)),
                     config.gmin,
@@ -1284,7 +1494,18 @@ impl<'c> Solver<'c> {
                     ntol,
                     t + h_eff,
                     fast_streak,
-                )?;
+                );
+                let iters = match solved {
+                    Ok(i) => i,
+                    Err(e) => {
+                        // At the floor there is no smaller step to
+                        // retry at — escalate through the recovery
+                        // ladder, then resume with a cold LU cache.
+                        self.recover_step(&mut v_end, &v, h_eff, t + h_eff, config, e)?;
+                        self.ws.invalidate();
+                        SLOW_STEP_ITERS
+                    }
+                };
                 fast_streak = iters <= 1;
                 if iters > SLOW_STEP_ITERS {
                     self.ws.invalidate();
@@ -2141,9 +2362,17 @@ mod tests {
         // Sanity: this healthy circuit solves at any t…
         let v = solver.dc_at(3.5e-9).expect("solves");
         assert!((v[out.index()] - 1.0).abs() < 1e-6);
-        // …and the error constructor carries the time through Display.
-        let e = SolverError::NonConvergence { time: 3.5e-9 };
-        assert!(e.to_string().contains("3.500e-9"));
+        // …and the error constructor carries the time through Display,
+        // along with the enriched iteration/node diagnostics.
+        let e = SolverError::NonConvergence {
+            time: 3.5e-9,
+            iterations: 120,
+            worst_node: Some("out".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3.500e-9"));
+        assert!(msg.contains("120 iterations"));
+        assert!(msg.contains("`out`"));
     }
 
     #[test]
@@ -2190,5 +2419,109 @@ mod tests {
         let v = dc_operating_point_with_nodeset(&c, &[(a, VDD), (b, 0.0)]).expect("solves");
         assert!(v[a.index()] > VDD - 0.2, "a latched high");
         assert!(v[b.index()] < 0.2, "b pulled low");
+    }
+
+    /// An inverter driven by a sharp edge with a starved Newton budget:
+    /// the 0.4 V damping cap makes a full-swing step need ≥ 5
+    /// iterations, so `max_newton = 2` cannot converge mid-transition.
+    fn starved_inverter() -> (Circuit, Node, TransientConfig) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.vsource(vdd, Stimulus::Dc(VDD));
+        c.vsource(
+            vin,
+            Stimulus::Pwl(vec![(0.0, 0.0), (1e-9, 0.0), (1.05e-9, VDD), (3e-9, VDD)]),
+        );
+        inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
+        c.capacitor(vout, c.gnd(), 10e-15);
+        let cfg = TransientConfig::until(3e-9)
+            .with_fixed_dt(2e-12)
+            .with_max_newton(2);
+        (c, vout, cfg)
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_starved_fixed_transient() {
+        let (c, vout, cfg) = starved_inverter();
+        // The reference solver (no ladder) gives up on this fixture…
+        assert!(
+            reference::transient(&c, &cfg).is_err(),
+            "fixture must be non-convergent without recovery"
+        );
+        // …while the stamped solver escalates through the ladder and
+        // still produces the inverted pulse.
+        let res = transient(&c, &cfg).expect("recovered");
+        assert!(
+            res.stats().recovery_attempts > 0,
+            "recovery must have triggered: {:?}",
+            res.stats()
+        );
+        let resolved = res.stats().recovered_gmin
+            + res.stats().recovered_source
+            + res.stats().recovered_dt_cut;
+        assert!(resolved > 0, "some rung must have resolved the steps");
+        let w = res.waveform(vout);
+        assert!(w.sample_at(0.9e-9) > VDD - 0.1, "high before edge");
+        assert!(w.sample_at(2.5e-9) < 0.1, "low after edge");
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_starved_adaptive_floor_step() {
+        let (c, vout, _) = starved_inverter();
+        let cfg = TransientConfig::until(3e-9)
+            .with_adaptive_steps(2e-12, 50e-12, 1e-3)
+            .with_max_newton(2);
+        let res = transient(&c, &cfg).expect("recovered");
+        assert!(
+            res.stats().recovery_attempts > 0,
+            "floor-step recovery must have triggered: {:?}",
+            res.stats()
+        );
+        let w = res.waveform(vout);
+        assert!(w.sample_at(0.9e-9) > VDD - 0.1, "high before edge");
+        assert!(w.sample_at(2.5e-9) < 0.1, "low after edge");
+    }
+
+    #[test]
+    fn convergent_transients_never_enter_the_ladder() {
+        let (c, _, _) = starved_inverter();
+        let cfg = TransientConfig::until(3e-9).with_fixed_dt(2e-12);
+        let res = transient(&c, &cfg).expect("runs");
+        assert_eq!(res.stats().recovery_attempts, 0);
+        assert_eq!(res.stats().recovered_gmin, 0);
+        assert_eq!(res.stats().recovered_source, 0);
+        assert_eq!(res.stats().recovered_dt_cut, 0);
+    }
+
+    #[test]
+    fn nonconvergence_error_names_worst_residual_node() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("vin");
+        let vout = c.node("vout");
+        c.vsource(vdd, Stimulus::Dc(VDD));
+        c.vsource(vin, Stimulus::Dc(0.0));
+        inverter(&mut c, vin, vout, vdd, 0.65, 1.0);
+        let mut solver = Solver::new(&c);
+        // One damped iteration from an all-zero guess cannot pull the
+        // output to VDD, so this must fail — with diagnostics.
+        let mut v = vec![0.0; c.node_count()];
+        solver.apply_sources(&mut v, 0.0);
+        let err = solver
+            .newton_full(&mut v, None, 1e-12, 1, 1e-9, 0.0)
+            .expect_err("one iteration cannot converge");
+        match err {
+            SolverError::NonConvergence {
+                iterations,
+                worst_node,
+                ..
+            } => {
+                assert_eq!(iterations, 1);
+                assert_eq!(worst_node.as_deref(), Some("vout"));
+            }
+            other => panic!("expected NonConvergence, got {other}"),
+        }
     }
 }

@@ -223,7 +223,11 @@ impl<'c> Assembler<'c> {
                 return Ok(());
             }
         }
-        Err(SolverError::NonConvergence { time })
+        Err(SolverError::NonConvergence {
+            time,
+            iterations: max_iter as u64,
+            worst_node: None,
+        })
     }
 }
 
@@ -246,7 +250,11 @@ fn dc_at_time(circuit: &Circuit, t: f64) -> Result<Vec<f64>, SolverError> {
             .iter()
             .map(|(_, s)| s.value_at(t).abs())
             .fold(0.0f64, f64::max);
-    let mut best_err = SolverError::NonConvergence { time: t };
+    let mut best_err = SolverError::NonConvergence {
+        time: t,
+        iterations: 0,
+        worst_node: None,
+    };
     for guess in [v_mid, 0.0] {
         let mut v = vec![guess; circuit.node_count()];
         asm.apply_sources(&mut v, t);

@@ -55,7 +55,7 @@ fn time_ms_batch(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
 /// A mid-size transient kernel: a 4-stage tapered inverter chain driven
 /// by an NRZ burst — the same device mix as the TX driver but cheap
 /// enough to rep in a benchmark loop.
-fn chain_circuit() -> (Circuit, Node, f64, f64) {
+fn chain_circuit() -> Result<(Circuit, Node, f64, f64), Box<dyn std::error::Error>> {
     let pvt = Pvt::nominal();
     let vdd_v = pvt.vdd.value();
     let bits = [true, false, true, true, false, false, true, false];
@@ -70,10 +70,10 @@ fn chain_circuit() -> (Circuit, Node, f64, f64) {
         .map(|i| InverterSize::scaled(1.5 * 3f64.powi(i)))
         .collect();
     let outs = add_inverter_chain(&mut c, &pvt, &sizes, vin, vdd);
-    let out = *outs.last().expect("stages");
+    let out = *outs.last().ok_or("inverter chain built no stages")?;
     c.capacitor(out, c.gnd(), 500e-15);
     let t_end = (bits.len() + 1) as f64 * ui;
-    (c, out, t_end, 2.0e-12)
+    Ok((c, out, t_end, 2.0e-12))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -87,17 +87,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ui = Time::from_ps(500.0);
     let mut run = None;
     let opt_ms = time_ms(reps, || {
-        run = Some(link.transmit(&bits, ui).expect("optimized transmit"));
+        run = Some(link.transmit(&bits, ui));
     });
-    let run = run.expect("ran");
+    let run = run.ok_or("timing loop never ran")??;
     let mut run_ref = None;
     let ref_ms = time_ms(reps, || {
-        run_ref = Some(
-            link.transmit_reference(&bits, ui)
-                .expect("reference transmit"),
-        );
+        run_ref = Some(link.transmit_reference(&bits, ui));
     });
-    let run_ref = run_ref.expect("ran");
+    let run_ref = run_ref.ok_or("timing loop never ran")??;
     let (_, errors) = run.recover(&link.sampler, 3);
     let (_, errors_ref) = run_ref.recover(&link.sampler, 3);
     let headline_speedup = ref_ms / opt_ms;
@@ -118,18 +115,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Fixed-step kernel: identical grids, stamped+LU vs dense rebuild.
-    let (c, out, t_end, dt) = chain_circuit();
+    let (c, out, t_end, dt) = chain_circuit()?;
     let cfg = TransientConfig::until(t_end).with_fixed_dt(dt);
     let mut w_new = None;
     let fixed_new_ms = time_ms(reps, || {
-        w_new = Some(transient(&c, &cfg).expect("fixed transient"));
+        w_new = Some(transient(&c, &cfg));
     });
     let mut w_ref = None;
     let fixed_ref_ms = time_ms(reps, || {
-        w_ref = Some(reference::transient(&c, &cfg).expect("reference transient"));
+        w_ref = Some(reference::transient(&c, &cfg));
     });
-    let w_new = w_new.expect("ran");
-    let w_ref = w_ref.expect("ran");
+    let w_new = w_new.ok_or("timing loop never ran")??;
+    let w_ref = w_ref.ok_or("timing loop never ran")??;
     let bit_identical = w_new
         .waveform(out)
         .samples()
@@ -150,9 +147,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let acfg = TransientConfig::until(t_end).with_adaptive_steps(dt, 32.0 * dt, 1.0e-3);
     let mut w_ad = None;
     let adaptive_ms = time_ms(reps, || {
-        w_ad = Some(transient(&c, &acfg).expect("adaptive transient"));
+        w_ad = Some(transient(&c, &acfg));
     });
-    let w_ad = w_ad.expect("ran");
+    let w_ad = w_ad.ok_or("timing loop never ran")??;
     let fixed_steps = w_new.stats().steps_taken;
     let adaptive_steps = w_ad.stats().steps_taken;
     let adaptive_dev = w_ad.waveform(out).max_abs_diff(w_new.waveform(out));
@@ -164,14 +161,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         w_ad.stats().reuse_rate()
     );
 
-    // DC kernel.
+    // DC kernel. Solver failures inside the timing loop are carried out
+    // and propagated as typed errors rather than panicking mid-batch.
     let mut sink = 0.0;
-    let dc_new_ms = time_ms_batch(reps, dc_reps, || {
-        sink += dc_operating_point(&c).expect("dc")[out.index()];
+    let mut dc_err = None;
+    let dc_new_ms = time_ms_batch(reps, dc_reps, || match dc_operating_point(&c) {
+        Ok(v) => sink += v[out.index()],
+        Err(e) => dc_err = Some(e),
     });
-    let dc_ref_ms = time_ms_batch(reps, dc_reps, || {
-        sink += reference::dc_operating_point(&c).expect("dc")[out.index()];
+    let dc_ref_ms = time_ms_batch(reps, dc_reps, || match reference::dc_operating_point(&c) {
+        Ok(v) => sink += v[out.index()],
+        Err(e) => dc_err = Some(e),
     });
+    if let Some(e) = dc_err {
+        return Err(e.into());
+    }
     let dc_speedup = dc_ref_ms / dc_new_ms;
     println!(
         "dc operating point: reference {dc_ref_ms:.2} ms vs stamped {dc_new_ms:.2} ms ({dc_speedup:.1}x)"

@@ -78,6 +78,12 @@ pub struct OversamplingCdr {
     locked: bool,
     phase_updates: u64,
     uis: u64,
+    // Resilience bookkeeping (fault campaigns): pure observers of the
+    // decision stream — they never influence phase moves or recovered
+    // bits, so the fault-free path stays bit-identical.
+    lock_losses: u64,
+    unlock_at_ui: Option<u64>,
+    relock_times: Vec<u64>,
 }
 
 impl OversamplingCdr {
@@ -103,6 +109,9 @@ impl OversamplingCdr {
             locked: false,
             phase_updates: 0,
             uis: 0,
+            lock_losses: 0,
+            unlock_at_ui: None,
+            relock_times: Vec::new(),
             cfg,
         }
     }
@@ -125,6 +134,44 @@ impl OversamplingCdr {
     /// Unit intervals processed.
     pub fn uis_processed(&self) -> u64 {
         self.uis
+    }
+
+    /// Times the decision block, after first lock, found the data eye
+    /// disagreeing with the selected phase (the resilience metric fault
+    /// campaigns quantify: each loss pairs with a re-lock time once the
+    /// CDR re-acquires).
+    pub fn lock_losses(&self) -> u64 {
+        self.lock_losses
+    }
+
+    /// Re-acquisition time of each completed lock-loss episode, in UIs
+    /// from the disagreeing decision window to the next agreeing one.
+    pub fn relock_times_ui(&self) -> &[u64] {
+        &self.relock_times
+    }
+
+    /// When the CDR is mid-episode (lost lock, not yet re-agreed):
+    /// the UI count at which disagreement was detected.
+    pub fn unlocked_since_ui(&self) -> Option<u64> {
+        self.unlock_at_ui
+    }
+
+    /// Processes one unit interval packed into the low `oversampling`
+    /// bits of `samples` (sample 0 in bit 0; higher bits ignored),
+    /// returning the recovered bit. This is the public form of the
+    /// packed fast path — fault runners drive the CDR UI by UI through
+    /// it so they can flip state between UIs.
+    pub fn step_word(&mut self, samples: u64) -> bool {
+        self.process_ui_word(samples)
+    }
+
+    /// Single-event upset: flips bit `bit` of the phase register. The
+    /// result is folded back into range (a real SEU leaves the register
+    /// arbitrary; the decision mux masks it the same way). Pure state
+    /// corruption — lock flags and metrics are left for the decision
+    /// logic to discover.
+    pub fn inject_phase_flip(&mut self, bit: u32) {
+        self.phase = (self.phase ^ (1usize << (bit % usize::BITS))) % self.cfg.oversampling;
     }
 
     /// Processes one unit interval worth of samples, returning the
@@ -199,10 +246,21 @@ impl OversamplingCdr {
         }
         let target = (best + n / 2) % n;
         if target == self.phase {
+            if let Some(since) = self.unlock_at_ui.take() {
+                self.relock_times.push(self.uis - since);
+            }
             self.locked = true;
             self.pending_target = None;
             self.pending_votes = 0;
             return;
+        }
+        // Resilience metric: a post-lock window disagreeing with the
+        // selected phase opens a lock-loss episode; it closes at the
+        // next agreeing window (directly above, or after a hysteresis
+        // move below). Observers only — phase decisions are unchanged.
+        if self.locked && self.unlock_at_ui.is_none() {
+            self.lock_losses += 1;
+            self.unlock_at_ui = Some(self.uis);
         }
         // Jitter correction: require `phase_hysteresis` consecutive
         // windows agreeing on the same move.
@@ -215,6 +273,9 @@ impl OversamplingCdr {
         if self.pending_votes >= self.cfg.phase_hysteresis {
             self.phase = target;
             self.phase_updates += 1;
+            if let Some(since) = self.unlock_at_ui.take() {
+                self.relock_times.push(self.uis - since);
+            }
             self.locked = true;
             self.pending_target = None;
             self.pending_votes = 0;
@@ -656,11 +717,108 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_run_reports_no_lock_losses() {
+        let bits = prbs_bits(4_000);
+        let stream = oversample_bits(&bits, 5, 0.0, 0.0, 7);
+        let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+        let _ = cdr.recover(&stream);
+        assert!(cdr.is_locked());
+        assert_eq!(cdr.lock_losses(), 0);
+        assert!(cdr.relock_times_ui().is_empty());
+        assert_eq!(cdr.unlocked_since_ui(), None);
+    }
+
+    #[test]
+    fn injected_phase_flip_is_detected_and_relocked() {
+        let bits = prbs_bits(4_000);
+        let stream = oversample_bits(&bits, 5, 0.0, 0.0, 1);
+        let mut cdr = OversamplingCdr::new(CdrConfig::paper_default());
+        // Lock on the first half.
+        let half = stream.len() / 2 / 5 * 5;
+        let _ = cdr.recover(&stream[..half]);
+        assert!(cdr.is_locked());
+        let before = cdr.selected_phase();
+        cdr.inject_phase_flip(1);
+        assert_ne!(cdr.selected_phase(), before, "flip must change the phase");
+        let _ = cdr.recover(&stream[half..]);
+        assert_eq!(cdr.lock_losses(), 1, "the upset must be detected");
+        assert_eq!(cdr.relock_times_ui().len(), 1);
+        // Re-lock takes the disagreeing window plus `hysteresis` voting
+        // windows — bound it at a handful of windows.
+        assert!(
+            cdr.relock_times_ui()[0] <= 4 * 32,
+            "re-lock in {} UIs",
+            cdr.relock_times_ui()[0]
+        );
+        assert_eq!(cdr.unlocked_since_ui(), None, "episode must be closed");
+        assert_eq!(cdr.selected_phase(), before, "phase recovers");
+    }
+
+    #[test]
+    fn step_word_matches_process_ui() {
+        let bits = prbs_bits(500);
+        let stream = oversample_bits(&bits, 5, 0.2, 0.03, 3);
+        let mut a = OversamplingCdr::new(CdrConfig::paper_default());
+        let mut b = OversamplingCdr::new(CdrConfig::paper_default());
+        for ui in stream.chunks(5) {
+            let mut word = 0u64;
+            for (i, &s) in ui.iter().enumerate() {
+                word |= (s as u64) << i;
+            }
+            assert_eq!(a.process_ui(ui), b.step_word(word));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn oversample_helper_produces_n_per_bit() {
         let bits = [true, false, true];
         let s = oversample_bits(&bits, 4, 0.0, 0.0, 1);
         assert_eq!(s.len(), 12);
         assert_eq!(&s[..4], &[true; 4]);
         assert_eq!(&s[4..8], &[false; 4]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The resilience contract the fault campaigns rely on: after
+            /// an SEU flips any bit of the phase register at any stream
+            /// alignment, `paper_default` detects the upset and re-locks
+            /// within a bounded number of decision windows.
+            #[test]
+            fn paper_default_relocks_bounded_after_phase_glitch(
+                phase_pm in 0u32..100,
+                bit in 0u32..3,
+            ) {
+                let cfg = CdrConfig::paper_default();
+                let bits = prbs_bits(4_000);
+                let phase_frac = f64::from(phase_pm) / 125.0; // 0.0..0.8 UI
+                let stream = oversample_bits(&bits, cfg.oversampling, phase_frac, 0.0, 1);
+                let half = stream.len() / 2 / cfg.oversampling * cfg.oversampling;
+
+                let mut cdr = OversamplingCdr::new(cfg);
+                let _ = cdr.recover(&stream[..half]);
+                prop_assert!(cdr.is_locked(), "must lock on the clean half");
+                let baseline = cdr.lock_losses();
+                prop_assert_eq!(baseline, 0, "clean jitter-free stream");
+
+                let before = cdr.selected_phase();
+                cdr.inject_phase_flip(bit);
+                prop_assert!(cdr.selected_phase() != before, "flip must move the phase");
+                let _ = cdr.recover(&stream[half..]);
+
+                prop_assert!(cdr.lock_losses() >= 1, "the upset must be detected");
+                prop_assert_eq!(cdr.unlocked_since_ui(), None, "episode must close");
+                let bound = 6 * cfg.window as u64;
+                for &t in cdr.relock_times_ui() {
+                    prop_assert!(t <= bound, "re-lock took {t} UIs (bound {bound})");
+                }
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! the paper's layout area (60 % in Fig. 11).
 
 use crate::bitstream::BitVec;
-use crate::serializer::{Frame, FRAME_BITS, WORD_BITS};
+use crate::serializer::{Frame, FRAME_BITS, LANES, WORD_BITS};
 use openserdes_flow::ir::Design;
 
 /// Cycle-accurate behavioural deserializer FSM.
@@ -104,6 +104,15 @@ impl Deserializer {
     /// Resets the bit counter (frame alignment), e.g. after CDR lock.
     pub fn realign(&mut self) {
         self.index = 0;
+    }
+
+    /// Single-event upset: flips bit `bit` of capture lane `lane`
+    /// (both folded into range). Bits at or past the fill level are
+    /// overwritten before the frame completes, so only strikes below
+    /// [`Self::fill_level`] in the struck lane corrupt data — exactly
+    /// the exposure window of the real 256-bit bank.
+    pub fn inject_seu(&mut self, lane: u32, bit: u32) {
+        self.bank[lane as usize % LANES] ^= 1 << (bit % WORD_BITS as u32);
     }
 }
 
@@ -202,6 +211,25 @@ mod tests {
             assert_eq!(a, b, "FSM state must agree at offset {offset}");
             assert_eq!(b.partial_frame().1, b.fill_level());
         }
+    }
+
+    #[test]
+    fn seu_flips_exactly_one_captured_bit() {
+        let f = test_frame();
+        let bits = frame_to_bits(&f);
+        let mut des = Deserializer::new();
+        // Capture half the frame, strike a bit already filled.
+        let half = FRAME_BITS / 2;
+        let _ = des.push_bits(&bits[..half]);
+        des.inject_seu(1, 7);
+        let frames = des.push_bits(&bits[half..]);
+        assert_eq!(frames.len(), 1);
+        let mut expect = f;
+        expect[1] ^= 1 << 7;
+        assert_eq!(frames[0], expect, "exactly lane 1 bit 7 flips");
+        // Out-of-range indices fold instead of panicking.
+        des.inject_seu(9, 40);
+        assert_eq!(des.fill_level(), 0);
     }
 
     #[test]

@@ -71,6 +71,23 @@ impl From<FlowError> for LinkError {
     }
 }
 
+/// Diagnostics for a sweep item that died mid-run (panicked) and was
+/// isolated by the fault-tolerant fan-out instead of tearing down the
+/// whole sweep (see `openserdes_analog::par::try_map_with_threads`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// Input index of the item that faulted.
+    pub item: usize,
+    /// The panic message, when one was carried.
+    pub message: String,
+}
+
+impl fmt::Display for FaultInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep item {} faulted: {}", self.item, self.message)
+    }
+}
+
 /// The unified error surface of the [`crate::session::Session`] API —
 /// every entry point (link, analog, flow, lint, sweeps) reports through
 /// this one enum, so callers match a single type regardless of which
@@ -89,6 +106,9 @@ pub enum Error {
     Solver(SolverError),
     /// An operation produced or met an invalid netlist.
     Netlist(NetlistError),
+    /// A sweep item panicked and was isolated by the fault-tolerant
+    /// fan-out — the other items' results are unaffected.
+    Fault(FaultInfo),
 }
 
 impl fmt::Display for Error {
@@ -98,6 +118,7 @@ impl fmt::Display for Error {
             Error::Flow(e) => write!(f, "flow: {e}"),
             Error::Solver(e) => write!(f, "solver: {e}"),
             Error::Netlist(e) => write!(f, "netlist: {e}"),
+            Error::Fault(e) => write!(f, "fault: {e}"),
         }
     }
 }
@@ -109,7 +130,14 @@ impl StdError for Error {
             Error::Flow(e) => Some(e),
             Error::Solver(e) => Some(e),
             Error::Netlist(e) => Some(e),
+            Error::Fault(_) => None,
         }
+    }
+}
+
+impl From<FaultInfo> for Error {
+    fn from(e: FaultInfo) -> Self {
+        Error::Fault(e)
     }
 }
 
@@ -150,11 +178,30 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: LinkError = SolverError::NonConvergence { time: 1e-9 }.into();
+        let e: LinkError = SolverError::NonConvergence {
+            time: 1e-9,
+            iterations: 120,
+            worst_node: Some("out".into()),
+        }
+        .into();
         assert!(e.to_string().contains("analog solver"));
         assert!(StdError::source(&e).is_some());
         let e = LinkError::CdrUnlocked { uis: 100 };
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn fault_variant_displays_item_and_message() {
+        let e: Error = FaultInfo {
+            item: 4,
+            message: "index out of bounds".into(),
+        }
+        .into();
+        assert!(matches!(e, Error::Fault(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("item 4"), "got: {msg}");
+        assert!(msg.contains("index out of bounds"), "got: {msg}");
+        assert!(StdError::source(&e).is_none());
     }
 
     #[test]
@@ -166,7 +213,12 @@ mod tests {
 
     #[test]
     fn unified_error_flattens_link_wrappers() {
-        let e: Error = LinkError::Solver(SolverError::NonConvergence { time: 1e-9 }).into();
+        let e: Error = LinkError::Solver(SolverError::NonConvergence {
+            time: 1e-9,
+            iterations: 0,
+            worst_node: None,
+        })
+        .into();
         assert!(matches!(e, Error::Solver(_)));
         let e: Error = LinkError::CdrUnlocked { uis: 3 }.into();
         assert!(matches!(e, Error::Link(LinkError::CdrUnlocked { uis: 3 })));

@@ -51,8 +51,11 @@ pub use bitstream::BitVec;
 pub use budget::{BlockBudget, LinkBudget};
 pub use cdr::{cdr_design, oversample_bits, oversample_bits_packed, CdrConfig, OversamplingCdr};
 pub use deserializer::{deserializer_design, Deserializer};
-pub use error::{Error, LinkError};
-pub use link::{AnalogFrameReport, LinkConfig, LinkReport, LinkStats, SerdesLink};
+pub use error::{Error, FaultInfo, LinkError};
+pub use link::{
+    run_frames_with_faults, AnalogFrameReport, FaultReport, LinkConfig, LinkReport, LinkStats,
+    SerdesLink,
+};
 pub use prbs::{PrbsChecker, PrbsGenerator, PrbsOrder};
 pub use scan::{scan_chain_design, ScanChain, SCAN_BITS};
 pub use serializer::{
@@ -63,5 +66,5 @@ pub use session::Session;
 pub use sweep::parallel::CornerPoint;
 #[allow(deprecated)]
 pub use sweep::{bathtub, max_loss_bisect, sensitivity_sweep};
-pub use sweep::{eye_width_at, BathtubPoint, Sweep, SweepPoint};
+pub use sweep::{eye_width_at, BathtubPoint, Sweep, SweepOutcome, SweepPoint};
 pub use top::serdes_digital_top;

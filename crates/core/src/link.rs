@@ -18,6 +18,7 @@ use crate::cdr::{oversample_bits_packed, CdrConfig, OversamplingCdr};
 use crate::deserializer::Deserializer;
 use crate::error::LinkError;
 use crate::serializer::{frame_to_bits, Frame, Serializer, FRAME_BITS, LANES, WORD_BITS};
+use openserdes_fault::{FaultEvent, FaultKind, FaultSchedule};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Time};
 use openserdes_phy::{AnalogLink, BehavioralLink, ChannelModel, LinkRun};
@@ -353,6 +354,291 @@ pub fn run_frames(
     })
 }
 
+/// Result of a fault-campaign link run: the ordinary [`LinkReport`]
+/// plus the resilience metrics the campaign exists to measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The link-level outcome under the injected schedule.
+    pub link: LinkReport,
+    /// Post-lock decision windows that disagreed with the selected
+    /// phase (see [`OversamplingCdr::lock_losses`]).
+    pub lock_losses: u64,
+    /// Re-acquisition time of each completed lock-loss episode, in UIs.
+    pub relock_times_ui: Vec<u64>,
+    /// Channel-fault events that landed inside the run.
+    pub injected_channel: usize,
+    /// Clock-fault events that landed inside the run.
+    pub injected_clock: usize,
+    /// Digital SEU events that landed inside the run (structural
+    /// stuck-at events are not the link runner's to apply and are
+    /// never counted here).
+    pub injected_digital: usize,
+}
+
+impl FaultReport {
+    /// Worst completed re-lock time, in UIs.
+    pub fn worst_relock_ui(&self) -> Option<u64> {
+        self.relock_times_ui.iter().copied().max()
+    }
+
+    /// Mean completed re-lock time, in UIs.
+    pub fn mean_relock_ui(&self) -> Option<f64> {
+        if self.relock_times_ui.is_empty() {
+            None
+        } else {
+            Some(
+                self.relock_times_ui.iter().sum::<u64>() as f64 / self.relock_times_ui.len() as f64,
+            )
+        }
+    }
+}
+
+/// Resamples the oversampled stream under the schedule's clock faults:
+/// each UI's samples are read `offset` positions away, where `offset`
+/// accumulates every phase glitch at or before that UI and every drift
+/// slip elapsed so far (positive = late). Reads past either end clamp
+/// to the stream boundary. Pure function of `(stream, schedule)`.
+fn apply_clock_faults(stream: &BitVec, n: usize, schedule: &FaultSchedule) -> BitVec {
+    let len = stream.len();
+    let uis = len / n;
+    let mut out = BitVec::with_capacity(len);
+    for k in 0..uis {
+        let mut offset: i64 = 0;
+        for (_, ev) in schedule.clock_events() {
+            if (k as u64) < ev.at_ui {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::PhaseGlitch { offset_samples } => offset += offset_samples as i64,
+                FaultKind::ClockDrift {
+                    duration_ui,
+                    slip_period_ui,
+                    late,
+                } => {
+                    let into = (k as u64 - ev.at_ui).min(duration_ui);
+                    let slips = (into / slip_period_ui.max(1)) as i64;
+                    offset += if late { slips } else { -slips };
+                }
+                _ => {}
+            }
+        }
+        for j in 0..n {
+            let i = ((k * n + j) as i64 + offset).clamp(0, len as i64 - 1) as usize;
+            out.push(stream.get(i));
+        }
+    }
+    out
+}
+
+/// Applies one channel-fault event to the oversampled stream in place.
+/// Random draws come from the event's own seeded stream
+/// ([`FaultSchedule::event_seed`]) so the base PHY noise is untouched
+/// and events inject identically in any order.
+fn apply_channel_fault(stream: &mut BitVec, n: usize, ev: &FaultEvent, seed: u64) {
+    let uis = (stream.len() / n) as u64;
+    let start = ev.at_ui.min(uis) as usize;
+    match ev.kind {
+        FaultKind::BurstNoise {
+            duration_ui,
+            flip_prob,
+        } => {
+            let end = ev.at_ui.saturating_add(duration_ui).min(uis) as usize;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for s in start * n..end * n {
+                if rng.gen::<f64>() < flip_prob {
+                    stream.toggle(s);
+                }
+            }
+        }
+        FaultKind::Dropout { duration_ui, level } => {
+            let end = ev.at_ui.saturating_add(duration_ui).min(uis) as usize;
+            for s in start * n..end * n {
+                stream.set(s, level);
+            }
+        }
+        FaultKind::SupplyDroop {
+            duration_ui,
+            peak_flip_prob,
+        } => {
+            let end = ev.at_ui.saturating_add(duration_ui).min(uis) as usize;
+            let d = duration_ui.max(1) as f64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for s in start * n..end * n {
+                // Triangular profile: 0 at the window edges, peak at
+                // the midpoint — a VDD dip through a CMOS sampler.
+                let into = (s / n) as u64 - ev.at_ui;
+                let frac = (into as f64 + 0.5) / d;
+                let p = peak_flip_prob * (1.0 - (2.0 * frac - 1.0).abs());
+                if rng.gen::<f64>() < p {
+                    stream.toggle(s);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The fast-path link engine under a deterministic fault campaign:
+/// the same serializer → statistical PHY → CDR → deserializer pipeline
+/// as [`run_frames`], with [`FaultSchedule`] events injected at their
+/// UI timestamps — channel faults perturb the oversampled stream,
+/// clock faults resample it, SEUs flip CDR/deserializer state between
+/// UIs. With an empty schedule the result is bit-identical to
+/// [`run_frames`] at the same seed; with any schedule it is a pure
+/// function of `(config, frames, seed, schedule)`.
+///
+/// Structural [`FaultKind::StuckAtNet`] events are outside the link
+/// runner's jurisdiction (apply them to a netlist with
+/// `openserdes_fault::apply_stuck_at`) and are ignored here.
+///
+/// # Errors
+///
+/// Propagates solver failures from the front-end characterization.
+pub fn run_frames_with_faults(
+    config: &LinkConfig,
+    frames: &[Frame],
+    seed: u64,
+    schedule: &FaultSchedule,
+) -> Result<FaultReport, LinkError> {
+    let _span = telemetry::span("link.run_faulted");
+    let t_start = Instant::now();
+    let t_ser_span = telemetry::span("link.serialize");
+    let mut ser = Serializer::new();
+    let mut bits = BitVec::with_capacity(frames.len() * FRAME_BITS);
+    for &f in frames {
+        ser.serialize_into(f, &mut bits);
+    }
+    drop(t_ser_span);
+    let serialize_time = t_start.elapsed();
+
+    // PHY statistics from the analog models — identical to the
+    // fault-free path, including the RNG stream the noise flips draw.
+    let t_phy = Instant::now();
+    let phy_span = telemetry::span("link.phy");
+    let analog = AnalogLink::paper_default(config.pvt, config.channel.clone());
+    let beh = BehavioralLink::from_analog(&analog, config.data_rate)?;
+    let ui = 1.0 / config.data_rate.value();
+    let jitter_frac = config.channel.rj_sigma.value() / ui;
+    let flip_prob = beh.flip_probability_jitter_eroded();
+
+    let n = config.cdr.oversampling;
+    let mut stream = oversample_bits_packed(&bits, n, 0.3, jitter_frac, seed ^ 0x0511);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for s in 0..stream.len() {
+        if rng.gen::<f64>() < flip_prob {
+            stream.toggle(s);
+        }
+    }
+
+    // Fault injection on the sampled stream: clock faults first (they
+    // move *when* everything else is seen), then amplitude faults at
+    // their scheduled UIs.
+    let uis = (stream.len() / n) as u64;
+    let mut injected_clock = 0;
+    let mut injected_channel = 0;
+    if schedule.clock_events().any(|(_, e)| e.at_ui < uis) {
+        stream = apply_clock_faults(&stream, n, schedule);
+    }
+    injected_clock += schedule
+        .clock_events()
+        .filter(|(_, e)| e.at_ui < uis)
+        .count();
+    for (idx, ev) in schedule.channel_events() {
+        if ev.at_ui < uis {
+            apply_channel_fault(&mut stream, n, ev, schedule.event_seed(idx));
+            injected_channel += 1;
+        }
+    }
+    drop(phy_span);
+    let phy_time = t_phy.elapsed();
+
+    // CDR recovery, UI by UI so SEUs can strike between UIs.
+    let t_cdr = Instant::now();
+    let cdr_span = telemetry::span("link.cdr");
+    let mut cdr = OversamplingCdr::new(config.cdr);
+    let mut injected_digital = 0;
+    let phase_seus: Vec<&FaultEvent> = schedule
+        .digital_events()
+        .filter(|(_, e)| matches!(e.kind, FaultKind::SeuCdrPhase { .. }) && e.at_ui < uis)
+        .map(|(_, e)| e)
+        .collect();
+    let mut recovered = BitVec::with_capacity(uis as usize);
+    let mut next_seu = 0usize;
+    for k in 0..uis {
+        while next_seu < phase_seus.len() && phase_seus[next_seu].at_ui == k {
+            if let FaultKind::SeuCdrPhase { bit } = phase_seus[next_seu].kind {
+                cdr.inject_phase_flip(bit);
+                injected_digital += 1;
+            }
+            next_seu += 1;
+        }
+        recovered.push(cdr.step_word(stream.window64(k as usize * n)));
+    }
+    drop(cdr_span);
+    let cdr_time = t_cdr.elapsed();
+
+    // Score against the sent stream, deserializing around any
+    // deserializer SEU strikes.
+    let t_score = Instant::now();
+    let score_span = telemetry::span("link.score");
+    let skip = 2 * config.cdr.window;
+    let (lag, bit_errors, overlap) = SerdesLink::align(&bits, &recovered, skip);
+    let mut des = Deserializer::new();
+    let mut got = Vec::new();
+    let mut pos = lag;
+    for (_, ev) in schedule.digital_events() {
+        if let FaultKind::SeuDeserializer { lane, bit } = ev.kind {
+            if ev.at_ui >= recovered.len() as u64 {
+                continue;
+            }
+            let at = (ev.at_ui as usize).max(pos);
+            got.extend(des.push_packed(&recovered, pos, at - pos));
+            des.inject_seu(lane, bit);
+            injected_digital += 1;
+            pos = at;
+        }
+    }
+    got.extend(des.push_packed(&recovered, pos, recovered.len() - pos));
+    let frames_correct = SerdesLink::score_frames(frames, &got, des.partial_frame(), skip, overlap);
+    drop(score_span);
+    let score_time = t_score.elapsed();
+
+    telemetry::counter("link.fault_events", schedule.len() as u64);
+    telemetry::counter("link.lock_losses", cdr.lock_losses());
+    for &t in cdr.relock_times_ui() {
+        telemetry::record_value("link.relock_ui", t);
+    }
+
+    let stats = LinkStats {
+        tx_bits: bits.len() as u64,
+        phy_samples: stream.len() as u64,
+        recovered_bits: recovered.len() as u64,
+        compared_bits: overlap as u64,
+        serialize_time,
+        phy_time,
+        cdr_time,
+        score_time,
+        total_time: t_start.elapsed(),
+    };
+    Ok(FaultReport {
+        link: LinkReport {
+            frames_sent: frames.len(),
+            frames_correct,
+            bits: overlap as u64,
+            bit_errors,
+            cdr_locked: cdr.is_locked(),
+            cdr_phase_updates: cdr.phase_updates(),
+            alignment_lag: lag,
+            stats,
+        },
+        lock_losses: cdr.lock_losses(),
+        relock_times_ui: cdr.relock_times_ui().to_vec(),
+        injected_channel,
+        injected_clock,
+        injected_digital,
+    })
+}
+
 /// The faithful-path link engine: one frame through the full
 /// transistor-level transient (driver → channel → front end), sliced at
 /// the oversampling rate and recovered by the same CDR. The canonical
@@ -544,6 +830,126 @@ mod tests {
         // A frame that was never captured can never count.
         let correct = SerdesLink::score_frames(&frames, &[], ([0u32; LANES], 0), 64, 700);
         assert_eq!(correct, 0);
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_fault_free_path() {
+        let cfg = LinkConfig::paper_default();
+        let frames = prbs_frames(20);
+        let plain = run_frames(&cfg, &frames, 5).expect("runs");
+        let faulted =
+            run_frames_with_faults(&cfg, &frames, 5, &FaultSchedule::new(99)).expect("runs");
+        assert_eq!(faulted.link, plain, "empty schedule must be a no-op");
+        // The paper channel is jittery, so post-lock disagreeing windows
+        // exist even fault-free — but at most the final episode may
+        // still be open when the stream ends.
+        assert!(faulted.lock_losses - faulted.relock_times_ui.len() as u64 <= 1);
+        assert_eq!(faulted.injected_channel, 0);
+        assert_eq!(faulted.injected_clock, 0);
+        assert_eq!(faulted.injected_digital, 0);
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let cfg = LinkConfig::paper_default();
+        let frames = prbs_frames(20);
+        let schedule = openserdes_fault::campaign(
+            openserdes_fault::CampaignKind::Mixed,
+            13,
+            frames.len() as u64 * FRAME_BITS as u64,
+        );
+        let a = run_frames_with_faults(&cfg, &frames, 5, &schedule).expect("runs");
+        let b = run_frames_with_faults(&cfg, &frames, 5, &schedule).expect("runs");
+        assert_eq!(a, b, "same seed + schedule => identical report");
+        assert!(a.injected_channel + a.injected_clock + a.injected_digital > 0);
+    }
+
+    #[test]
+    fn dropout_burst_disturbs_and_cdr_relocks() {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::emib(3.0); // clean channel isolates the fault
+        let frames = prbs_frames(40);
+        let uis = frames.len() as u64 * FRAME_BITS as u64;
+        let schedule = FaultSchedule::new(7)
+            .with_event(FaultEvent {
+                at_ui: uis / 2,
+                kind: FaultKind::Dropout {
+                    duration_ui: 48,
+                    level: false,
+                },
+            })
+            .with_event(FaultEvent {
+                at_ui: uis / 2 + 400,
+                kind: FaultKind::PhaseGlitch { offset_samples: 2 },
+            });
+        let report = run_frames_with_faults(&cfg, &frames, 5, &schedule).expect("runs");
+        assert!(report.link.cdr_locked, "link must end the run locked");
+        assert!(
+            report.link.bit_errors > 0,
+            "a 48-UI dropout must cost something"
+        );
+        // Whatever lock disturbance happened must have healed.
+        assert!(
+            report.relock_times_ui.len() as u64 >= report.lock_losses.min(1),
+            "episodes must close"
+        );
+    }
+
+    #[test]
+    fn deserializer_seu_corrupts_one_frame() {
+        let mut cfg = LinkConfig::paper_default();
+        cfg.channel = ChannelModel::emib(3.0);
+        let frames = prbs_frames(40);
+        let uis = frames.len() as u64 * FRAME_BITS as u64;
+        // Strike mid-frame (fill ≈ 200) at a bank bit already captured
+        // (lane 2 bit 5 = absolute bit 69 < 200): it will not be
+        // overwritten before the frame completes.
+        let schedule = FaultSchedule::new(3).with_event(FaultEvent {
+            at_ui: uis / 2 + 200,
+            kind: FaultKind::SeuDeserializer { lane: 2, bit: 5 },
+        });
+        let clean = run_frames(&cfg, &frames, 9).expect("runs");
+        let hit = run_frames_with_faults(&cfg, &frames, 9, &schedule).expect("runs");
+        assert_eq!(hit.injected_digital, 1);
+        assert_eq!(
+            hit.link.bit_errors, clean.bit_errors,
+            "a bank SEU happens after alignment scoring"
+        );
+        assert_eq!(
+            hit.link.frames_correct,
+            clean.frames_correct - 1,
+            "exactly one captured frame corrupts"
+        );
+    }
+
+    #[test]
+    fn rtl_equivalent_degrades_more_under_burst_noise() {
+        // Identical burst-noise schedule, channel and seed — the only
+        // difference is the CDR feature set. The paper configuration's
+        // glitch filter plus vote hysteresis must buy measurably fewer
+        // bit errors than the bare RTL decision logic, which is the
+        // degradation the fault campaigns exist to quantify.
+        let frames = prbs_frames(40);
+        let uis = frames.len() as u64 * FRAME_BITS as u64;
+        let schedule =
+            openserdes_fault::campaign(openserdes_fault::CampaignKind::BurstNoise, 21, uis);
+
+        let paper_cfg = LinkConfig::paper_default();
+        let mut rtl_cfg = LinkConfig::paper_default();
+        rtl_cfg.cdr = CdrConfig::rtl_equivalent(paper_cfg.cdr.oversampling);
+
+        let paper = run_frames_with_faults(&paper_cfg, &frames, 5, &schedule).expect("runs");
+        let rtl = run_frames_with_faults(&rtl_cfg, &frames, 5, &schedule).expect("runs");
+        assert_eq!(
+            paper.injected_channel, rtl.injected_channel,
+            "both runs must see the same schedule"
+        );
+        assert!(
+            rtl.link.bit_errors > paper.link.bit_errors,
+            "rtl_equivalent must degrade strictly more: rtl {} vs paper {}",
+            rtl.link.bit_errors,
+            paper.link.bit_errors
+        );
     }
 
     #[test]

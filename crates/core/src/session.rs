@@ -23,10 +23,11 @@
 //! ```
 
 use crate::error::Error;
-use crate::link::{self, AnalogFrameReport, LinkConfig, LinkReport};
+use crate::link::{self, AnalogFrameReport, FaultReport, LinkConfig, LinkReport};
 use crate::serializer::Frame;
 use crate::sweep::parallel::CornerPoint;
-use crate::sweep::{BathtubPoint, Sweep, SweepPoint};
+use crate::sweep::{BathtubPoint, Sweep, SweepOutcome, SweepPoint};
+use openserdes_fault::FaultSchedule;
 use openserdes_flow::ir::Design;
 use openserdes_flow::{Flow, FlowConfig, FlowResult};
 use openserdes_lint::{LintConfig, LintReport};
@@ -224,6 +225,25 @@ impl Session {
             .map_err(Error::from)
     }
 
+    /// Run `frames` through the link while injecting the faults in
+    /// `schedule` (channel bursts/dropouts/droops, clock glitches and
+    /// drift, SEUs), and report the link outcome together with the
+    /// CDR's resilience metrics. An empty schedule reproduces
+    /// [`Session::run_link`] bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link failures as the unified [`Error`].
+    pub fn run_link_with_faults(
+        &mut self,
+        frames: &[Frame],
+        schedule: &FaultSchedule,
+    ) -> Result<FaultReport, Error> {
+        let (link, seed) = (self.link.clone(), self.seed);
+        self.scoped(|| link::run_frames_with_faults(&link, frames, seed, schedule))
+            .map_err(Error::from)
+    }
+
     /// Push a design through the RTL→layout flow (synthesis → place →
     /// CTS → route → STA → power) at the session's corner.
     ///
@@ -291,6 +311,33 @@ impl Session {
         let (sweep, link) = (self.sweep, self.link.clone());
         self.scoped(|| sweep.corner_sweep(&link))
             .map_err(Error::from)
+    }
+
+    /// Fault-isolated [`Session::bathtub`]: a panicking phase lands in
+    /// [`SweepOutcome::failed`] instead of aborting the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the shared characterization.
+    pub fn try_bathtub(&mut self) -> Result<SweepOutcome<BathtubPoint>, Error> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.try_bathtub(&link))
+            .map_err(Error::from)
+    }
+
+    /// Fault-isolated [`Session::rate_sweep`]: each rate point is
+    /// isolated; one poisoned rate reports in
+    /// [`SweepOutcome::failed`] while the others complete.
+    pub fn try_rate_sweep(&mut self, rates: &[Hertz]) -> SweepOutcome<SweepPoint> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.try_rate_sweep(&link, rates))
+    }
+
+    /// Fault-isolated [`Session::corner_sweep`], one isolated item per
+    /// corner.
+    pub fn try_corner_sweep(&mut self) -> SweepOutcome<CornerPoint> {
+        let (sweep, link) = (self.sweep, self.link.clone());
+        self.scoped(|| sweep.try_corner_sweep(&link))
     }
 
     /// Model-route sensitivity sweep across `rates` at the session's
@@ -372,6 +419,36 @@ mod tests {
         assert_eq!(s.link_config().data_rate, Hertz::from_ghz(1.0));
         assert_eq!(s.link_config().pvt, Pvt::worst_case());
         assert_eq!(s.flow_config().pvt, Pvt::worst_case());
+    }
+
+    #[test]
+    fn session_faulted_run_with_empty_schedule_matches_run_link() {
+        let stim = frames(2);
+        let mut s = Session::new().with_seed(7);
+        let plain = s.run_link(&stim).expect("plain");
+        let faulted = s
+            .run_link_with_faults(&stim, &FaultSchedule::new(7))
+            .expect("faulted");
+        assert_eq!(faulted.link, plain);
+        assert_eq!(faulted.injected_channel, 0);
+        assert_eq!(faulted.injected_clock, 0);
+        assert_eq!(faulted.injected_digital, 0);
+    }
+
+    #[test]
+    fn session_try_sweeps_complete_when_healthy() {
+        let mut s = Session::new().with_sweep(
+            Sweep::new()
+                .with_frames(4)
+                .with_tolerance_db(1.0)
+                .with_threads(4),
+        );
+        let corners = s.try_corner_sweep();
+        assert_eq!(corners.len(), 3);
+        assert!(corners.is_complete());
+        let rates = s.try_rate_sweep(&[Hertz::from_ghz(2.0)]);
+        assert!(rates.is_complete());
+        assert_eq!(rates.completed[0].1.data_rate, Hertz::from_ghz(2.0));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::ber::BerTest;
 use crate::bitstream::BitVec;
-use crate::error::LinkError;
+use crate::error::{Error, FaultInfo, LinkError};
 use crate::link::LinkConfig;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::{Hertz, Volt};
@@ -240,6 +240,72 @@ fn bathtub_point(
     }
 }
 
+/// The outcome of a fault-isolated sweep: every input item lands in
+/// exactly one of the two lists, tagged with its input index, both in
+/// input order. A panicking or erroring item is recorded in `failed`
+/// instead of tearing down the whole sweep (or the process), so a long
+/// campaign survives one poisoned operating point with a deterministic
+/// partial result — which items fail depends only on the items, never
+/// on worker scheduling.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<T> {
+    /// Items that completed, as `(input index, result)`.
+    pub completed: Vec<(usize, T)>,
+    /// Items that failed, as `(input index, error)` — a panic surfaces
+    /// as [`Error::Fault`], a returned error as its own variant.
+    pub failed: Vec<(usize, Error)>,
+}
+
+impl<T> SweepOutcome<T> {
+    /// Partitions fault-isolated per-item results (outer `Err` = the
+    /// item panicked, inner `Err` = it returned an error) by index.
+    pub(crate) fn collect<E: Into<Error>>(results: Vec<Result<Result<T, E>, String>>) -> Self {
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(Ok(t)) => completed.push((i, t)),
+                Ok(Err(e)) => failed.push((i, e.into())),
+                Err(message) => failed.push((i, Error::Fault(FaultInfo { item: i, message }))),
+            }
+        }
+        Self { completed, failed }
+    }
+
+    /// Total number of input items.
+    pub fn len(&self) -> usize {
+        self.completed.len() + self.failed.len()
+    }
+
+    /// True when the sweep had no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when every item completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// The completed results in input order, indices stripped.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.completed.iter().map(|(_, t)| t)
+    }
+
+    /// Converts to a plain `Result`: all results when every item
+    /// completed, otherwise the first failure in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-item error when any item failed.
+    pub fn into_result(self) -> Result<Vec<T>, Error> {
+        match self.failed.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(self.completed.into_iter().map(|(_, t)| t).collect()),
+        }
+    }
+}
+
 /// Sweep options on the consuming-builder pattern — the one knob set
 /// shared by every Monte-Carlo sweep entry point (bathtub, loss
 /// bisection, rate and corner sweeps). Construct with [`Sweep::new`],
@@ -391,6 +457,36 @@ impl Sweep {
     /// Propagates solver failures from the characterization.
     pub fn sensitivity(&self, pvt: Pvt, rates: &[Hertz]) -> Result<Vec<SweepPoint>, LinkError> {
         sensitivity_impl(pvt, rates)
+    }
+
+    // ---- fault-isolated runs ----------------------------------------
+
+    /// Fault-isolated [`Sweep::bathtub`]: a panicking phase point lands
+    /// in [`SweepOutcome::failed`] instead of aborting the sweep; the
+    /// surviving phases are unaffected and identical to a clean run's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the *shared* front-end
+    /// characterization — without it no phase is meaningful.
+    pub fn try_bathtub(
+        &self,
+        config: &LinkConfig,
+    ) -> Result<SweepOutcome<BathtubPoint>, LinkError> {
+        parallel::try_bathtub_par_impl(config, self.nbits, self.phases, self.seed, self.threads)
+    }
+
+    /// Fault-isolated [`Sweep::rate_sweep`]: each rate point is
+    /// individually isolated, so one poisoned rate reports in
+    /// [`SweepOutcome::failed`] while the others complete.
+    pub fn try_rate_sweep(&self, config: &LinkConfig, rates: &[Hertz]) -> SweepOutcome<SweepPoint> {
+        parallel::try_rate_sweep_impl(config, rates, self.frames, self.tol_db, self.threads)
+    }
+
+    /// Fault-isolated [`Sweep::corner_sweep`], one isolated item per
+    /// corner in `[nominal, worst_case, best_case]` order.
+    pub fn try_corner_sweep(&self, config: &LinkConfig) -> SweepOutcome<parallel::CornerPoint> {
+        parallel::try_corner_sweep_impl(config, self.frames, self.tol_db, self.threads)
     }
 }
 
@@ -546,6 +642,55 @@ mod tests {
         // A fully clean curve is one whole UI, not an unbounded run.
         let open = mk(&[1e-6, 1e-6, 1e-6]);
         assert_eq!(eye_width_at(&open, 1e-3), 1.0);
+    }
+
+    #[test]
+    fn sweep_outcome_partitions_by_failure_mode() {
+        let results: Vec<Result<Result<u32, LinkError>, String>> = vec![
+            Ok(Ok(10)),
+            Err("worker died".to_string()),
+            Ok(Err(LinkError::CdrUnlocked { uis: 5 })),
+            Ok(Ok(40)),
+        ];
+        let out = SweepOutcome::collect(results);
+        assert_eq!(out.len(), 4);
+        assert!(!out.is_complete());
+        assert_eq!(out.completed, vec![(0, 10), (3, 40)]);
+        assert_eq!(out.failed.len(), 2);
+        match &out.failed[0] {
+            (1, Error::Fault(info)) => {
+                assert_eq!(info.item, 1);
+                assert!(info.message.contains("worker died"));
+            }
+            other => panic!("expected Fault at index 1, got {other:?}"),
+        }
+        assert!(matches!(
+            out.failed[1],
+            (2, Error::Link(LinkError::CdrUnlocked { uis: 5 }))
+        ));
+        assert_eq!(out.values().copied().collect::<Vec<_>>(), vec![10, 40]);
+        assert!(out.into_result().is_err());
+
+        let clean: SweepOutcome<u32> =
+            SweepOutcome::collect(vec![Ok(Ok::<_, LinkError>(7)), Ok(Ok(8))]);
+        assert!(clean.is_complete());
+        assert_eq!(clean.into_result().expect("clean"), vec![7, 8]);
+    }
+
+    #[test]
+    fn try_bathtub_matches_plain_bathtub_when_healthy() {
+        let cfg = LinkConfig::paper_default();
+        let sweep = Sweep::new().with_bits(4_000).with_phases(8).with_seed(9);
+        let plain = sweep.bathtub(&cfg).expect("plain");
+        for threads in [1, 2, 4] {
+            let out = sweep
+                .with_threads(threads)
+                .try_bathtub(&cfg)
+                .expect("isolated");
+            assert!(out.is_complete(), "threads = {threads}");
+            let vals: Vec<_> = out.values().copied().collect();
+            assert_eq!(vals, plain, "threads = {threads}");
+        }
     }
 
     #[test]

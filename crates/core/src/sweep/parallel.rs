@@ -24,11 +24,13 @@
 //! same engine; this module re-exports them and keeps the link-level
 //! sweep wrappers.
 
-use super::SweepPoint;
+use super::{SweepOutcome, SweepPoint};
 use crate::ber::BerTest;
 use crate::error::LinkError;
 use crate::link::LinkConfig;
-pub use openserdes_analog::par::{bisect_speculative, default_threads, map, map_with_threads};
+pub use openserdes_analog::par::{
+    bisect_speculative, default_threads, map, map_with_threads, try_map_with_threads,
+};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::units::Hertz;
 use openserdes_phy::ChannelModel;
@@ -73,6 +75,31 @@ pub(crate) fn bathtub_par_impl(
     Ok(map_with_threads(&ks, threads, |_, &k| {
         super::bathtub_point(&bits, &model, k, phases, seed)
     }))
+}
+
+/// Fault-isolated [`bathtub_par_impl`]: a panicking phase lands in
+/// [`SweepOutcome::failed`] instead of aborting the sweep. The shared
+/// setup (PRBS stream, statistical model) still fails the whole call —
+/// without it no phase is meaningful.
+pub(crate) fn try_bathtub_par_impl(
+    config: &LinkConfig,
+    nbits: usize,
+    phases: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<SweepOutcome<super::BathtubPoint>, LinkError> {
+    let _span = telemetry::span("sweep.bathtub");
+    let (bits, model) = super::bathtub_setup(config, nbits)?;
+    let ks: Vec<usize> = (0..phases).collect();
+    let results = try_map_with_threads(&ks, threads, |_, &k| {
+        super::bathtub_point(&bits, &model, k, phases, seed)
+    });
+    Ok(SweepOutcome::collect(
+        results
+            .into_iter()
+            .map(|r| r.map(Ok::<_, LinkError>))
+            .collect(),
+    ))
 }
 
 /// Parallel [`super::max_loss_bisect`], bit-identical to the sequential
@@ -163,6 +190,33 @@ pub(crate) fn rate_sweep_impl(
     results.into_iter().collect()
 }
 
+/// Fault-isolated [`rate_sweep_impl`]: each rate point runs in its own
+/// `catch_unwind`, so one poisoned rate reports in
+/// [`SweepOutcome::failed`] while the others complete.
+pub(crate) fn try_rate_sweep_impl(
+    base: &LinkConfig,
+    rates: &[Hertz],
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> SweepOutcome<SweepPoint> {
+    use openserdes_phy::{FrontEndConfig, RxFrontEnd};
+    let _span = telemetry::span("sweep.rate_sweep");
+    let results = try_map_with_threads(rates, threads, |_, &rate| {
+        telemetry::counter("sweep.rate_points", 1);
+        let mut cfg = base.clone();
+        cfg.data_rate = rate;
+        let max_loss_db = super::max_loss_impl(&cfg, frames, tol_db)?;
+        let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
+        Ok::<_, LinkError>(SweepPoint {
+            data_rate: rate,
+            sensitivity: fe.sensitivity(rate)?,
+            max_loss_db,
+        })
+    });
+    SweepOutcome::collect(results)
+}
+
 /// One corner sweep entry: the PVT point and its measured loss budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerPoint {
@@ -208,6 +262,27 @@ pub(crate) fn corner_sweep_impl(
         })
     });
     results.into_iter().collect()
+}
+
+/// Fault-isolated [`corner_sweep_impl`], one isolated item per corner.
+pub(crate) fn try_corner_sweep_impl(
+    base: &LinkConfig,
+    frames: usize,
+    tol_db: f64,
+    threads: usize,
+) -> SweepOutcome<CornerPoint> {
+    let _span = telemetry::span("sweep.corner_sweep");
+    let corners = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()];
+    let results = try_map_with_threads(&corners, threads, |_, &pvt| {
+        telemetry::counter("sweep.corner_points", 1);
+        let mut cfg = base.clone();
+        cfg.pvt = pvt;
+        Ok::<_, LinkError>(CornerPoint {
+            pvt,
+            max_loss_db: super::max_loss_impl(&cfg, frames, tol_db)?,
+        })
+    });
+    SweepOutcome::collect(results)
 }
 
 #[cfg(test)]

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate BENCH_fault.json against schemas/BENCH_fault.schema.json.
+
+A dependency-free subset of JSON Schema draft-07 — enough for the
+fault schema (type/required/properties/additionalProperties/items/
+const/minimum/$ref). CI runs this after the fault smoke; exits
+non-zero on the first violation. Also re-checks the two run-level
+invariants the bin asserts: reproducibility across worker counts and
+a full matrix (both CDR configurations over every campaign kind).
+"""
+
+import json
+import sys
+
+SCHEMA_PATH = "schemas/BENCH_fault.schema.json"
+DOC_PATH = "BENCH_fault.json"
+
+
+def main() -> None:
+    schema = json.load(open(SCHEMA_PATH))
+    doc = json.load(open(DOC_PATH))
+
+    def resolve(ref: str):
+        node = schema
+        for part in ref.lstrip("#/").split("/"):
+            node = node[part]
+        return node
+
+    def check(inst, sch, path="$"):
+        if "$ref" in sch:
+            check(inst, resolve(sch["$ref"]), path)
+        if "const" in sch:
+            assert inst == sch["const"], f"{path}: {inst!r} != {sch['const']!r}"
+        t = sch.get("type")
+        if t == "object":
+            assert isinstance(inst, dict), f"{path}: not an object"
+            for r in sch.get("required", []):
+                assert r in inst, f"{path}: missing required key {r!r}"
+            props = sch.get("properties", {})
+            ap = sch.get("additionalProperties", True)
+            for k, v in inst.items():
+                if k in props:
+                    check(v, props[k], f"{path}.{k}")
+                elif isinstance(ap, dict):
+                    check(v, ap, f"{path}.{k}")
+                elif ap is False:
+                    raise AssertionError(f"{path}: unexpected key {k!r}")
+        elif t == "array":
+            assert isinstance(inst, list), f"{path}: not an array"
+            for i, v in enumerate(inst):
+                check(v, sch.get("items", {}), f"{path}[{i}]")
+        elif t == "integer":
+            assert isinstance(inst, int) and not isinstance(inst, bool), f"{path}: not an integer"
+        elif t == "number":
+            assert isinstance(inst, (int, float)) and not isinstance(inst, bool), f"{path}: not a number"
+        elif t == "string":
+            assert isinstance(inst, str), f"{path}: not a string"
+        elif t == "boolean":
+            assert isinstance(inst, bool), f"{path}: not a boolean"
+        if "minimum" in sch:
+            assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
+
+    check(doc, schema)
+
+    # Run-level invariants beyond per-field shape.
+    assert doc["reproducibility"]["identical"] is True
+    assert doc["reproducibility"]["worker_counts"] == [1, 2, 4, 8]
+    cdrs = {c["cdr"] for c in doc["matrix"]}
+    kinds = {c["campaign"] for c in doc["matrix"]}
+    assert cdrs == {"paper_default", "rtl_equivalent"}, f"unexpected cdr set {cdrs}"
+    expected_kinds = {"burst_noise", "dropouts", "supply_droop", "clock_glitches", "seu", "mixed"}
+    assert kinds == expected_kinds, f"unexpected campaign set {kinds}"
+    assert len(doc["matrix"]) == len(cdrs) * len(kinds), "matrix must be the full cross product"
+    assert doc["fault_isolation"]["completed"] == len(doc["matrix"])
+
+    print(
+        f"BENCH_fault.json validates against {SCHEMA_PATH} "
+        f"({len(doc['matrix'])} cells, workers {doc['reproducibility']['worker_counts']})"
+    )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(1)

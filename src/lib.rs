@@ -18,6 +18,7 @@
 //! | [`core`] | `openserdes-core` | the SerDes itself |
 //! | [`lint`] | `openserdes-lint` | DRC/ERC signoff (rule catalog in DESIGN.md §12) |
 //! | [`telemetry`] | `openserdes-telemetry` | spans/counters/histograms over every engine |
+//! | [`fault`] | `openserdes-fault` | lab fault campaigns (noise bursts, dropouts, SEUs) |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 pub use openserdes_analog as analog;
 pub use openserdes_core as core;
 pub use openserdes_digital as digital;
+pub use openserdes_fault as fault;
 pub use openserdes_flow as flow;
 pub use openserdes_lint as lint;
 pub use openserdes_netlist as netlist;
