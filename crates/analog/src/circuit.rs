@@ -202,6 +202,50 @@ impl Circuit {
         self.elements.push(e);
     }
 
+    /// Replaces element `index` in place — the mutation primitive
+    /// behind per-point overrides in the batched multi-point solver
+    /// (see `solver::batched::PointOverride::circuit_for_point`).
+    /// Values are validated like the builder methods; topology changes
+    /// (different nodes or element kind) are allowed here but rejected
+    /// by the batched engine, which shares one stamp plan across
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the replacement carries a
+    /// non-positive resistance/capacitance.
+    pub fn set_element(&mut self, index: usize, e: Element) {
+        assert!(index < self.elements.len(), "element index out of range");
+        match e {
+            Element::Resistor { ohms, .. } => {
+                assert!(
+                    ohms > 0.0 && ohms.is_finite(),
+                    "resistance must be positive"
+                );
+            }
+            Element::Capacitor { farads, .. } => {
+                assert!(
+                    farads > 0.0 && farads.is_finite(),
+                    "capacitance must be positive"
+                );
+            }
+            Element::Mos { .. } => {}
+        }
+        self.elements[index] = e;
+    }
+
+    /// Replaces the stimulus of voltage source `index`, keeping its
+    /// node. The counterpart of [`Circuit::set_element`] for per-point
+    /// source overrides (DC sweep values, per-corner input waveforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_source_stimulus(&mut self, index: usize, stimulus: Stimulus) {
+        assert!(index < self.sources.len(), "source index out of range");
+        self.sources[index].1 = stimulus;
+    }
+
     /// The elements of the circuit.
     pub fn elements(&self) -> &[Element] {
         &self.elements

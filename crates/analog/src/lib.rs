@@ -50,6 +50,9 @@ mod waveform;
 
 pub use circuit::{Circuit, Element, Node, Stimulus};
 pub use eye::EyeDiagram;
+pub use solver::batched::{
+    dc_sweep_batched, BatchedDcResult, BatchedTransientResult, PointOverride,
+};
 pub use solver::{
     dc_operating_point, dc_operating_point_with_nodeset, dc_sweep, dc_sweep_with_threads,
     transient, DcSolution, DcSweepResult, Solver, SolverError, SolverStats, StepMode,

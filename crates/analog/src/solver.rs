@@ -42,6 +42,7 @@ use std::fmt;
 use std::ops::Deref;
 use std::time::{Duration, Instant};
 
+pub mod batched;
 pub mod reference;
 
 /// Solver failures.
@@ -252,6 +253,16 @@ pub struct SolverStats {
     pub recovered_source: u64,
     /// Recoveries resolved by the dt-cut rung.
     pub recovered_dt_cut: u64,
+    /// Points that entered a batched (lockstep multi-point) solve.
+    pub batched_points: u64,
+    /// Points retired early from a lockstep batch (DC or step failure,
+    /// budget exhaustion) and re-solved sequentially through the full
+    /// recovery ladder.
+    pub batch_retirements: u64,
+    /// LU factorizations performed inside the batched lockstep engine
+    /// (a subset of `factorizations`). On a uniform linear batch each
+    /// one is computed once and shared across every active point.
+    pub batched_factorizations: u64,
     /// Wall-clock time spent inside the solver.
     pub total_time: Duration,
 }
@@ -281,6 +292,9 @@ impl SolverStats {
         self.recovered_gmin += other.recovered_gmin;
         self.recovered_source += other.recovered_source;
         self.recovered_dt_cut += other.recovered_dt_cut;
+        self.batched_points += other.batched_points;
+        self.batch_retirements += other.batch_retirements;
+        self.batched_factorizations += other.batched_factorizations;
         self.total_time += other.total_time;
     }
 
@@ -306,6 +320,9 @@ impl SolverStats {
         telemetry::counter("analog.recovered_gmin", self.recovered_gmin);
         telemetry::counter("analog.recovered_source", self.recovered_source);
         telemetry::counter("analog.recovered_dt_cut", self.recovered_dt_cut);
+        telemetry::counter("analog.batched_points", self.batched_points);
+        telemetry::counter("analog.batch_retirements", self.batch_retirements);
+        telemetry::counter("analog.batched_factorizations", self.batched_factorizations);
     }
 
     /// The counters accrued since `earlier` (a snapshot of the same
@@ -323,6 +340,9 @@ impl SolverStats {
             recovered_gmin: self.recovered_gmin - earlier.recovered_gmin,
             recovered_source: self.recovered_source - earlier.recovered_source,
             recovered_dt_cut: self.recovered_dt_cut - earlier.recovered_dt_cut,
+            batched_points: self.batched_points - earlier.batched_points,
+            batch_retirements: self.batch_retirements - earlier.batch_retirements,
+            batched_factorizations: self.batched_factorizations - earlier.batched_factorizations,
             total_time: self.total_time.saturating_sub(earlier.total_time),
         }
     }
@@ -819,7 +839,15 @@ fn lu_solve(a: &[f64], piv: &[usize], n: usize, b: &mut [f64]) {
     for r in (0..n).rev() {
         let mut acc = b[r];
         for c in r + 1..n {
-            acc -= a[r * n + c] * b[c];
+            let f = a[r * n + c];
+            // Skip structural zeros: on banded systems (RC ladders,
+            // inverter chains) most of U is empty, and the batched
+            // plane solve skips the same entries so the per-column
+            // operation sequences stay aligned.
+            if f == 0.0 {
+                continue;
+            }
+            acc -= f * b[c];
         }
         b[r] = acc / a[r * n + r];
     }
@@ -834,6 +862,18 @@ const SLOW_STEP_ITERS: usize = 10;
 /// Device transconductances vary on a ~VDD/10 scale, so smaller ramps
 /// leave the stale Jacobian a good Newton matrix.
 const SOURCE_JUMP_V: f64 = 0.15;
+/// A damped Newton update below this magnitude (volts) leaves the MOS
+/// small-signal parameters within a modest factor of the cached
+/// Jacobian's (`gm` varies on the thermal-voltage scale, ~e^(dv/35mV)
+/// in subthreshold), so the next iteration may ride the stale LU and
+/// still contract strongly. Above it, refactorize — a bad Newton matrix
+/// costs whole extra device-evaluation passes, which is the dominant
+/// expense on these small MNA systems.
+const JAC_STALE_DV: f64 = 0.02;
+/// Consecutive stale-LU iterations allowed before a mandatory
+/// refactorization, bounding how far modified Newton can drift from the
+/// quadratic path.
+const JAC_STALE_RUN: usize = 2;
 
 /// A reusable solver bound to one circuit: compiled stamp plan,
 /// workspace and accumulated [`SolverStats`]. The free functions
@@ -1165,12 +1205,21 @@ impl<'c> Solver<'c> {
     /// on these small MNA systems is blunt: device evaluation dominates
     /// every iteration whether or not the Jacobian is refreshed, and
     /// the LU factorization itself is nearly free — so a stale Jacobian
-    /// only pays when it converges in a *single* iteration (a flat span
-    /// where the warm start is already the answer). `stale_start`
-    /// carries that prediction in from the step controller: when the
-    /// previous solve converged immediately, iteration 0 rides the
-    /// cached LU and skips the factorization; the moment convergence
-    /// slows, every iteration refactorizes (full Newton, quadratic).
+    /// only pays when it does not cost extra iterations. Two situations
+    /// qualify:
+    ///
+    /// * **Across steps** — `stale_start` carries the controller's
+    ///   prediction in: when the previous solve converged immediately
+    ///   (a flat span where the warm start is already the answer),
+    ///   iteration 0 rides the cached LU and skips the factorization.
+    /// * **Across iterations** — once an iteration's damped update
+    ///   drops below [`JAC_STALE_DV`], the operating point has moved
+    ///   little enough that the just-factorized LU is still an
+    ///   excellent Newton matrix; the next iterations (at most
+    ///   [`JAC_STALE_RUN`] in a row) reuse it. A stale iteration that
+    ///   fails to contract the update forces a fresh factorization
+    ///   immediately, so convergence never stalls on a frozen Jacobian.
+    ///
     /// The stale-Jacobian iterates differ from full Newton's, which is
     /// fine under the LTE contract but would break `Fixed` mode's
     /// bit-identity guarantee — hence adaptive-only.
@@ -1189,13 +1238,21 @@ impl<'c> Solver<'c> {
     ) -> Result<usize, SolverError> {
         let dt_key = prev_dt.map_or(0.0, |(_, dt)| dt).to_bits();
         let gmin_key = gmin.to_bits();
+        let mut last_dv = f64::INFINITY;
+        let mut stale_run = 0usize;
         for iter in 0..max_iter {
             self.stats.newton_iterations += 1;
-            let hit = if iter == 0 && stale_start {
+            let want_stale = if iter == 0 {
+                stale_start
+            } else {
+                last_dv < JAC_STALE_DV && stale_run < JAC_STALE_RUN
+            };
+            let hit = if want_stale {
                 self.ws.matching(dt_key, gmin_key)
             } else {
                 None
             };
+            let stale = hit.is_some();
             let bank = match hit {
                 Some(i) => {
                     self.plan.assemble(v, prev_dt, gmin, &mut self.ws.rhs, None);
@@ -1215,8 +1272,18 @@ impl<'c> Solver<'c> {
             }
             let b = &self.ws.banks[bank];
             lu_solve(&b.a, &b.piv, self.ws.n, &mut self.ws.rhs);
-            if self.apply_update(v) < tol {
+            let upd = self.apply_update(v);
+            if upd < tol {
                 return Ok(iter + 1);
+            }
+            if stale {
+                stale_run += 1;
+                // Not contracting on the frozen Jacobian: force a
+                // fresh factorization next iteration.
+                last_dv = if upd >= last_dv { f64::INFINITY } else { upd };
+            } else {
+                stale_run = 0;
+                last_dv = upd;
             }
         }
         Err(self.nonconvergence(v, prev_dt, gmin, max_iter as u64, time))
@@ -1828,22 +1895,28 @@ pub fn dc_sweep(
     })
 }
 
-/// Points per independent continuation chunk in
-/// [`dc_sweep_with_threads`]. Fixed (not derived from the worker
-/// count) so the chunk boundaries — and therefore every result — are
-/// identical for any thread count.
-const DC_SWEEP_CHUNK: usize = 8;
+/// Points per lockstep batch in [`dc_sweep_with_threads`] (and the
+/// chunking grain of [`batched::dc_sweep_batched`]). Fixed (not derived
+/// from the worker count) so the batch boundaries — and therefore every
+/// result — are identical for any thread count. Each point of a batch
+/// is solved by the full robust [`Solver::dc_at`] flow independently of
+/// its batchmates, so results are additionally **batch-boundary
+/// independent**.
+const DC_SWEEP_BATCH: usize = 32;
 
-/// Parallel [`dc_sweep`]: the value list is split into fixed-size
-/// chunks, each solved by an independent continuation on its own
-/// workspace, fanned across `threads` workers. Results come back in
-/// input order and are **worker-count-independent**: chunk boundaries
-/// depend only on the input length, and each chunk's arithmetic is a
-/// self-contained continuation starting from a fresh robust solve.
+/// Parallel [`dc_sweep`], now a thin shim over the batched multi-point
+/// engine: the value list is split into `DC_SWEEP_BATCH`-point
+/// chunks, each solved as one lockstep batch
+/// ([`batched::dc_sweep_batched`] semantics), fanned across `threads`
+/// workers. Results come back in input order and are bit-identical for
+/// any thread count *and* any batch boundary placement: every point
+/// runs the robust per-point DC flow on its own state plane, so its
+/// arithmetic never depends on its batchmates.
 ///
-/// (Chunked continuation differs from the sequential sweep's single
-/// unbroken continuation chain at chunk boundaries, so compare this
-/// function with itself across thread counts, not with [`dc_sweep`].)
+/// (The sequential [`dc_sweep`] uses an unbroken continuation chain
+/// instead, which converges to the same curve but not bit-identically;
+/// compare this function against [`batched::dc_sweep_batched`] or
+/// itself across thread counts.)
 ///
 /// # Errors
 ///
@@ -1866,12 +1939,9 @@ pub fn dc_sweep_with_threads(
     );
     let _span = telemetry::span("analog.dc_sweep");
     let started = Instant::now();
-    let chunks: Vec<&[f64]> = values.chunks(DC_SWEEP_CHUNK).collect();
+    let chunks: Vec<&[f64]> = values.chunks(DC_SWEEP_BATCH).collect();
     let results = crate::par::map_with_threads(&chunks, threads, |_, chunk| {
-        let mut solver = Solver::new(circuit);
-        let points = dc_sweep_on(&mut solver, source_index, chunk)?;
-        solver.stats.record_telemetry();
-        Ok::<_, SolverError>((points, solver.stats))
+        batched::dc_sweep_chunk(circuit, source_index, chunk)
     });
     let mut points = Vec::with_capacity(values.len());
     let mut stats = SolverStats::default();

@@ -302,7 +302,9 @@ impl Session {
             .map_err(Error::from)
     }
 
-    /// Maximum channel loss at the tt/ss/ff corners.
+    /// Maximum channel loss and front-end sensitivity at the tt/ss/ff
+    /// corners. The corner bias points are solved in one batched
+    /// lockstep DC solve before the loss bisections fan out.
     ///
     /// # Errors
     ///

@@ -425,6 +425,10 @@ impl Sweep {
 
     /// Maximum channel loss at each data rate (Fig. 9's measured curve).
     ///
+    /// The front-end characterization behind each point's sensitivity
+    /// is rate-independent, so it is solved **once** and shared across
+    /// all rate points rather than re-solved per item.
+    ///
     /// # Errors
     ///
     /// Propagates the first link failure in rate order.
@@ -436,8 +440,12 @@ impl Sweep {
         parallel::rate_sweep_impl(config, rates, self.frames, self.tol_db, self.threads)
     }
 
-    /// Maximum channel loss at the three classic PVT corners, in
-    /// `[nominal, worst_case, best_case]` order.
+    /// Maximum channel loss and front-end sensitivity at the three
+    /// classic PVT corners, in `[nominal, worst_case, best_case]`
+    /// order. The per-corner bias points are solved as one lockstep
+    /// batch in the analog engine's batched multi-point DC solver (the
+    /// corner circuits share a topology, so they share a stamp plan)
+    /// before the loss bisections fan out.
     ///
     /// # Errors
     ///

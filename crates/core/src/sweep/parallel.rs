@@ -175,15 +175,19 @@ pub(crate) fn rate_sweep_impl(
 ) -> Result<Vec<SweepPoint>, LinkError> {
     use openserdes_phy::{FrontEndConfig, RxFrontEnd};
     let _span = telemetry::span("sweep.rate_sweep");
+    // The small-signal characterization depends only on the PVT point,
+    // not the data rate: solve the front-end bias once and evaluate
+    // every rate from it instead of re-solving inside each work item.
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
+    let ss = fe.small_signal()?;
     let results = map_with_threads(rates, threads, |_, &rate| {
         telemetry::counter("sweep.rate_points", 1);
         let mut cfg = base.clone();
         cfg.data_rate = rate;
         let max_loss_db = super::max_loss_impl(&cfg, frames, tol_db)?;
-        let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
         Ok(SweepPoint {
             data_rate: rate,
-            sensitivity: fe.sensitivity(rate)?,
+            sensitivity: fe.sensitivity_with(&ss, rate),
             max_loss_db,
         })
     });
@@ -202,28 +206,69 @@ pub(crate) fn try_rate_sweep_impl(
 ) -> SweepOutcome<SweepPoint> {
     use openserdes_phy::{FrontEndConfig, RxFrontEnd};
     let _span = telemetry::span("sweep.rate_sweep");
+    // Characterize once as in `rate_sweep_impl` — but in the
+    // fault-isolated variant a failed characterization must not kill
+    // the sweep, so fall back to per-point solves (each of which fails
+    // in isolation) instead of propagating.
+    let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
+    let ss = fe.small_signal().ok();
     let results = try_map_with_threads(rates, threads, |_, &rate| {
         telemetry::counter("sweep.rate_points", 1);
         let mut cfg = base.clone();
         cfg.data_rate = rate;
         let max_loss_db = super::max_loss_impl(&cfg, frames, tol_db)?;
-        let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), base.pvt);
+        let sensitivity = match &ss {
+            Some(ss) => fe.sensitivity_with(ss, rate),
+            None => fe.sensitivity(rate)?,
+        };
         Ok::<_, LinkError>(SweepPoint {
             data_rate: rate,
-            sensitivity: fe.sensitivity(rate)?,
+            sensitivity,
             max_loss_db,
         })
     });
     SweepOutcome::collect(results)
 }
 
-/// One corner sweep entry: the PVT point and its measured loss budget.
+/// One corner sweep entry: the PVT point, its measured loss budget and
+/// its front-end sensitivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerPoint {
     /// The process/voltage/temperature point.
     pub pvt: Pvt,
     /// Maximum error-free channel attenuation at that corner.
     pub max_loss_db: f64,
+    /// Behavioural front-end sensitivity at the base data rate. The
+    /// corner bias points behind this come from **one** batched DC
+    /// solve (`RxFrontEnd::self_bias_batched`): the corner circuits
+    /// differ only in device parameters, so they share a stamp plan and
+    /// iterate in lockstep.
+    pub sensitivity: openserdes_pdk::units::Volt,
+}
+
+/// The batched corner pre-pass: every corner's front-end bias in one
+/// lockstep DC solve, then the solver-free sensitivity evaluation per
+/// corner. Returns `None` per corner on solver failure so the
+/// fault-isolated sweep can retry inside the isolated work item.
+fn corner_sensitivities(
+    base: &LinkConfig,
+    corners: &[Pvt],
+) -> Vec<Option<openserdes_pdk::units::Volt>> {
+    use openserdes_phy::{FrontEndConfig, RxFrontEnd};
+    let fes: Vec<RxFrontEnd> = corners
+        .iter()
+        .map(|&pvt| RxFrontEnd::new(FrontEndConfig::paper_default(), pvt))
+        .collect();
+    match RxFrontEnd::self_bias_batched(&fes) {
+        Ok(biases) => fes
+            .iter()
+            .zip(biases)
+            .map(|(fe, bias)| {
+                Some(fe.sensitivity_with(&fe.small_signal_with_bias(bias), base.data_rate))
+            })
+            .collect(),
+        Err(_) => vec![None; corners.len()],
+    }
 }
 
 /// Maximum channel loss at the three classic PVT corners (tt/ss/ff),
@@ -250,36 +295,60 @@ pub(crate) fn corner_sweep_impl(
     tol_db: f64,
     threads: usize,
 ) -> Result<Vec<CornerPoint>, LinkError> {
+    use openserdes_phy::{FrontEndConfig, RxFrontEnd};
     let _span = telemetry::span("sweep.corner_sweep");
     let corners = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()];
-    let results = map_with_threads(&corners, threads, |_, &pvt| {
+    let sens = corner_sensitivities(base, &corners);
+    let items: Vec<(Pvt, Option<openserdes_pdk::units::Volt>)> =
+        corners.into_iter().zip(sens).collect();
+    let results = map_with_threads(&items, threads, |_, &(pvt, sens)| {
         telemetry::counter("sweep.corner_points", 1);
         let mut cfg = base.clone();
         cfg.pvt = pvt;
+        let sensitivity = match sens {
+            Some(v) => v,
+            None => {
+                RxFrontEnd::new(FrontEndConfig::paper_default(), pvt).sensitivity(base.data_rate)?
+            }
+        };
         Ok(CornerPoint {
             pvt,
             max_loss_db: super::max_loss_impl(&cfg, frames, tol_db)?,
+            sensitivity,
         })
     });
     results.into_iter().collect()
 }
 
 /// Fault-isolated [`corner_sweep_impl`], one isolated item per corner.
+/// The batched bias pre-pass is shared; if it fails, each corner
+/// re-solves its own sensitivity inside its isolated work item.
 pub(crate) fn try_corner_sweep_impl(
     base: &LinkConfig,
     frames: usize,
     tol_db: f64,
     threads: usize,
 ) -> SweepOutcome<CornerPoint> {
+    use openserdes_phy::{FrontEndConfig, RxFrontEnd};
     let _span = telemetry::span("sweep.corner_sweep");
     let corners = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()];
-    let results = try_map_with_threads(&corners, threads, |_, &pvt| {
+    let sens = corner_sensitivities(base, &corners);
+    let items: Vec<(Pvt, Option<openserdes_pdk::units::Volt>)> =
+        corners.into_iter().zip(sens).collect();
+    let results = try_map_with_threads(&items, threads, |_, &(pvt, sens)| {
         telemetry::counter("sweep.corner_points", 1);
         let mut cfg = base.clone();
         cfg.pvt = pvt;
+        let sensitivity = match sens {
+            Some(v) => v,
+            None => {
+                RxFrontEnd::new(FrontEndConfig::paper_default(), pvt).sensitivity(base.data_rate)?
+            }
+        };
         Ok::<_, LinkError>(CornerPoint {
             pvt,
             max_loss_db: super::max_loss_impl(&cfg, frames, tol_db)?,
+            sensitivity,
         })
     });
     SweepOutcome::collect(results)
@@ -367,6 +436,19 @@ mod tests {
             pts[1].max_loss_db,
             pts[0].max_loss_db
         );
+        // The batched bias pre-pass must agree with a per-corner
+        // sequential characterization.
+        use openserdes_phy::{FrontEndConfig, RxFrontEnd};
+        for p in &pts {
+            let fe = RxFrontEnd::new(FrontEndConfig::paper_default(), p.pvt);
+            let want = fe.sensitivity(base.data_rate).expect("solves").value();
+            let got = p.sensitivity.value();
+            assert!(
+                (got - want).abs() <= 1e-9 * want.max(1e-6),
+                "corner {:?}: batched sensitivity {got} vs sequential {want}",
+                p.pvt
+            );
+        }
     }
 
     #[test]

@@ -21,10 +21,10 @@ use openserdes_analog::primitives::{
     add_inverter, add_resistive_feedback_inverter, FeedbackKind, InverterSize,
 };
 use openserdes_analog::solver::{
-    dc_operating_point, dc_sweep, dc_sweep_with_threads, reference, transient, SolverError,
+    dc_operating_point, dc_sweep, dc_sweep_with_threads, reference, transient, Solver, SolverError,
     SolverStats, TransientConfig, TransientResult,
 };
-use openserdes_analog::{Circuit, Node, Stimulus, Waveform};
+use openserdes_analog::{Circuit, Node, PointOverride, Stimulus, Waveform};
 use openserdes_lint::{LintConfig, LintReport};
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::mos::{MosDevice, MosParams};
@@ -245,6 +245,14 @@ impl RxFrontEnd {
         Ok(Self::collect(input, (vin, vmid, vout), &res))
     }
 
+    /// Builds the quiescent bias circuit (source grounded); returns the
+    /// amplifier input node.
+    fn bias_setup(&self, c: &mut Circuit) -> Node {
+        let (src, vin, _, _) = self.build(c);
+        c.vsource(src, Stimulus::Dc(0.0));
+        vin
+    }
+
     /// The DC self-bias point of the amplifier input.
     ///
     /// # Errors
@@ -252,10 +260,51 @@ impl RxFrontEnd {
     /// Propagates solver failures.
     pub fn self_bias(&self) -> Result<Volt, SolverError> {
         let mut c = Circuit::new();
-        let (src, vin, _, _) = self.build(&mut c);
-        c.vsource(src, Stimulus::Dc(0.0));
+        let vin = self.bias_setup(&mut c);
         let v = dc_operating_point(&c)?;
         Ok(Volt::new(v[vin.index()]))
+    }
+
+    /// Self-bias points of several front-end variants solved as **one
+    /// lockstep batch**: each variant's bias circuit is diffed against
+    /// the first one's ([`PointOverride::diff`]), so PVT corners —
+    /// which change device parameters and parasitic values but not
+    /// topology — share a single stamp plan and Newton iteration loop
+    /// in the batched DC engine. A variant that differs structurally
+    /// (e.g. a different feedback kind) falls back to its own
+    /// sequential [`RxFrontEnd::self_bias`] solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver failure in input order.
+    pub fn self_bias_batched(fes: &[RxFrontEnd]) -> Result<Vec<Volt>, SolverError> {
+        let Some(first) = fes.first() else {
+            return Ok(Vec::new());
+        };
+        let mut base = Circuit::new();
+        let vin = first.bias_setup(&mut base);
+        let mut out: Vec<Option<Volt>> = vec![None; fes.len()];
+        let mut indices = Vec::with_capacity(fes.len());
+        let mut points = Vec::with_capacity(fes.len());
+        for (i, fe) in fes.iter().enumerate() {
+            let mut c = Circuit::new();
+            fe.bias_setup(&mut c);
+            match PointOverride::diff(&base, &c) {
+                Some(ov) => {
+                    indices.push(i);
+                    points.push(ov);
+                }
+                None => out[i] = Some(fe.self_bias()?),
+            }
+        }
+        let res = Solver::new(&base).dc_batched(&points);
+        for (i, r) in indices.into_iter().zip(res.into_results()) {
+            out[i] = Some(Volt::new(r?[vin.index()]));
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every point solved or retired"))
+            .collect())
     }
 
     /// Builds the bare gain-stage inverter VTC circuit; returns
@@ -297,11 +346,14 @@ impl RxFrontEnd {
             .collect())
     }
 
-    /// [`RxFrontEnd::vtc`] fanned across `threads` workers. The result is
-    /// worker-count-independent (the sweep is chunked at a fixed width
-    /// regardless of thread count), though continuation chunking means
-    /// individual points may differ from the sequential sweep by solver
-    /// convergence noise.
+    /// [`RxFrontEnd::vtc`] fanned across `threads` workers. Each
+    /// fixed-width chunk is solved by the batched multi-point DC engine
+    /// (all points of a chunk iterate in lockstep on one stamp plan),
+    /// so the result is worker-count-independent **and** bit-identical
+    /// to `openserdes_analog::dc_sweep_batched` on the same grid.
+    /// Individual points may still differ from the sequential
+    /// [`RxFrontEnd::vtc`], which warm-starts each point from its
+    /// neighbour (continuation).
     ///
     /// # Errors
     ///
@@ -325,7 +377,15 @@ impl RxFrontEnd {
     ///
     /// Propagates solver failures.
     pub fn small_signal(&self) -> Result<SmallSignal, SolverError> {
-        let bias = self.self_bias()?.value();
+        Ok(self.small_signal_with_bias(self.self_bias()?))
+    }
+
+    /// Small-signal characterization at a *known* bias point — the
+    /// solver-free half of [`RxFrontEnd::small_signal`], for when the
+    /// bias came out of a batched corner solve
+    /// ([`RxFrontEnd::self_bias_batched`]).
+    pub fn small_signal_with_bias(&self, bias: Volt) -> SmallSignal {
+        let bias = bias.value();
         let vdd = self.pvt.vdd.value();
         let k = self.config.gain_stage_scale;
         let nmos = MosDevice::new(MosParams::sky130_nmos(&self.pvt), 0.65 * k, 0.15);
@@ -350,13 +410,13 @@ impl RxFrontEnd {
             + nmos.drain_cap().value()
             + pmos.drain_cap().value();
         let rout = 1.0 / gout;
-        Ok(SmallSignal {
+        SmallSignal {
             bias: Volt::new(bias),
             gain: gm * rout,
             rout,
             cout: Farad::new(cout),
             pole: Hertz::new(1.0 / (2.0 * std::f64::consts::PI * rout * cout)),
-        })
+        }
     }
 
     /// Behavioural sensitivity: the minimum peak-to-peak input swing
@@ -371,13 +431,17 @@ impl RxFrontEnd {
     ///
     /// Propagates solver failures from the characterization.
     pub fn sensitivity(&self, data_rate: Hertz) -> Result<Volt, SolverError> {
-        let ss = self.small_signal()?;
+        Ok(self.sensitivity_with(&self.small_signal()?, data_rate))
+    }
+
+    /// [`RxFrontEnd::sensitivity`] evaluated against an existing
+    /// characterization — infallible, so sweeps characterize once
+    /// (one DC solve) and evaluate every data rate from it.
+    pub fn sensitivity_with(&self, ss: &SmallSignal, data_rate: Hertz) -> Volt {
         let a_eff = ss.gain_at_rate(data_rate).max(1e-3);
         let vdd = self.pvt.vdd.value();
         let restorer_need = 0.5 * vdd / a_eff + self.config.offset_margin.value();
-        Ok(Volt::new(
-            2.0 * restorer_need / a_eff * self.config.snr_margin,
-        ))
+        Volt::new(2.0 * restorer_need / a_eff * self.config.snr_margin)
     }
 
     /// Maximum tolerable channel loss in dB at `data_rate` for a
@@ -665,6 +729,45 @@ mod tests {
         // at least as good as the behavioural model's number.
         let model = f.sensitivity(rate).expect("characterizes");
         assert!(s1.value() <= model.value());
+    }
+
+    #[test]
+    fn batched_self_bias_matches_sequential_per_corner() {
+        // The three classic corners differ only in device parameters
+        // and parasitic values, so they batch onto one stamp plan; the
+        // retirement contract makes each point equal its own
+        // sequential solve.
+        let fes: Vec<RxFrontEnd> = [Pvt::nominal(), Pvt::worst_case(), Pvt::best_case()]
+            .into_iter()
+            .map(|pvt| RxFrontEnd::new(FrontEndConfig::paper_default(), pvt))
+            .collect();
+        let batched = RxFrontEnd::self_bias_batched(&fes).expect("batch solves");
+        assert_eq!(batched.len(), fes.len());
+        for (fe, got) in fes.iter().zip(&batched) {
+            let want = fe.self_bias().expect("solves");
+            assert!(
+                (got.value() - want.value()).abs() < 1e-9,
+                "corner {:?}: batched {} vs sequential {}",
+                fe.pvt.corner,
+                got.value(),
+                want.value()
+            );
+        }
+        assert!(RxFrontEnd::self_bias_batched(&[])
+            .expect("empty")
+            .is_empty());
+    }
+
+    #[test]
+    fn sensitivity_with_matches_sensitivity() {
+        let f = fe();
+        let ss = f.small_signal().expect("characterizes");
+        for ghz in [0.5, 1.0, 2.0, 4.0] {
+            let rate = Hertz::from_ghz(ghz);
+            let a = f.sensitivity(rate).expect("solves").value();
+            let b = f.sensitivity_with(&ss, rate).value();
+            assert_eq!(a.to_bits(), b.to_bits(), "{ghz} GHz");
+        }
     }
 
     #[test]

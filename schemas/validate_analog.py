@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate BENCH_analog.json against schemas/BENCH_analog.schema.json.
+
+A dependency-free subset of JSON Schema draft-07 — enough for the
+analog schema (type/required/properties/additionalProperties/items/
+const/minimum/$ref). CI runs this after the analog smoke; exits
+non-zero on the first violation. Also re-checks the run-level
+invariants the bin asserts: both bit-identity proofs, a batch of at
+least 16 points, and — on full (non-smoke) runs only, where the bin
+enforces them — the >=5x headline and >=3x batched-kernel floors.
+"""
+
+import json
+import sys
+
+SCHEMA_PATH = "schemas/BENCH_analog.schema.json"
+DOC_PATH = "BENCH_analog.json"
+
+
+def main() -> None:
+    schema = json.load(open(SCHEMA_PATH))
+    doc = json.load(open(DOC_PATH))
+
+    def resolve(ref: str):
+        node = schema
+        for part in ref.lstrip("#/").split("/"):
+            node = node[part]
+        return node
+
+    def check(inst, sch, path="$"):
+        if "$ref" in sch:
+            check(inst, resolve(sch["$ref"]), path)
+        if "const" in sch:
+            assert inst == sch["const"], f"{path}: {inst!r} != {sch['const']!r}"
+        t = sch.get("type")
+        if t == "object":
+            assert isinstance(inst, dict), f"{path}: not an object"
+            for r in sch.get("required", []):
+                assert r in inst, f"{path}: missing required key {r!r}"
+            props = sch.get("properties", {})
+            ap = sch.get("additionalProperties", True)
+            for k, v in inst.items():
+                if k in props:
+                    check(v, props[k], f"{path}.{k}")
+                elif isinstance(ap, dict):
+                    check(v, ap, f"{path}.{k}")
+                elif ap is False:
+                    raise AssertionError(f"{path}: unexpected key {k!r}")
+        elif t == "array":
+            assert isinstance(inst, list), f"{path}: not an array"
+            for i, v in enumerate(inst):
+                check(v, sch.get("items", {}), f"{path}[{i}]")
+        elif t == "integer":
+            assert isinstance(inst, int) and not isinstance(inst, bool), f"{path}: not an integer"
+        elif t == "number":
+            assert isinstance(inst, (int, float)) and not isinstance(inst, bool), f"{path}: not a number"
+        elif t == "string":
+            assert isinstance(inst, str), f"{path}: not a string"
+        elif t == "boolean":
+            assert isinstance(inst, bool), f"{path}: not a boolean"
+        if "minimum" in sch:
+            assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
+
+    check(doc, schema)
+
+    # Run-level invariants beyond per-field shape.
+    batched = doc["kernels"]["batched_vs_loop"]
+    assert batched["bit_identical"] is True
+    assert batched["points"] >= 16, "the batched kernel must run a real corner fan"
+    assert doc["kernels"]["fixed_step_stamped_vs_dense"]["bit_identical"] is True
+    if not doc["smoke"]:
+        # Full runs assert these floors in-process; re-check the
+        # recorded numbers so a stale or hand-edited report fails too.
+        headline = doc["headline"]["speedup"]
+        assert headline >= 5.0, f"headline speedup {headline} below the 5x floor"
+        assert batched["speedup"] >= 3.0, (
+            f"batched kernel speedup {batched['speedup']} below the 3x floor"
+        )
+
+    print(
+        f"BENCH_analog.json validates against {SCHEMA_PATH} "
+        f"(headline {doc['headline']['speedup']}x, "
+        f"batched {batched['speedup']}x over {batched['points']} points)"
+    )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(1)

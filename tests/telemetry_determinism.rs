@@ -36,6 +36,17 @@ fn sweep_telemetry_is_worker_count_invariant() {
     assert_eq!(rec1.counter("sweep.corner_points"), 3);
     assert!(rec1.counter("sweep.bisect_probes") > 0);
     assert!(rec1.span("sweep.bathtub").is_some());
+    // The corner sweep's bias pre-pass runs through the batched
+    // multi-point engine: one lockstep point per corner, none retired.
+    assert_eq!(rec1.counter("analog.batched_points"), 3);
+    assert_eq!(rec1.counter("analog.batch_retirements"), 0);
+    assert!(rec1.counter("analog.batched_factorizations") > 0);
+    assert!(
+        rec1.span("sweep.corner_sweep")
+            .and_then(|s| s.child("analog.batched_dc"))
+            .is_some(),
+        "the batched DC span must nest under the corner sweep"
+    );
     assert!(
         rec1.histogram("sweep.phase_errors")
             .is_some_and(|h| h.count() == 8),
