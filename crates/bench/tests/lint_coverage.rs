@@ -8,11 +8,13 @@ use std::collections::BTreeSet;
 
 use openserdes_analog::{Circuit, Element, Stimulus};
 use openserdes_flow::ir::Design;
+use openserdes_flow::{Sta, StaConfig};
 use openserdes_lint::{LintConfig, LintReport, Rule};
 use openserdes_netlist::Netlist;
 use openserdes_pdk::corner::Pvt;
 use openserdes_pdk::library::Library;
 use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+use openserdes_pdk::units::{Hertz, Time};
 
 fn rules_of(report: &LintReport) -> BTreeSet<Rule> {
     report.findings().iter().map(|f| f.rule).collect()
@@ -197,6 +199,119 @@ fn fixtures() -> Vec<(Rule, LintReport)> {
     c.resistor(n, c.gnd(), 1e3);
     c.vsource(n, Stimulus::Dc(f64::NAN));
     out.push(an_case(Rule::BadStimulus, &c));
+
+    // The TM family comes out of the STA engine: each fixture runs a
+    // netlist through `Sta` and bridges the report into the lint
+    // pipeline with `StaReport::to_lint`.
+    let tm_case = |rule: Rule, nl: &Netlist, sta_cfg: StaConfig| {
+        let report = Sta::new()
+            .with_config(sta_cfg)
+            .run(nl, &lib, None)
+            .expect("sta fixture runs");
+        (rule, report.to_lint(&cfg))
+    };
+    /// flop -> N inverters -> flop pipeline.
+    fn pipeline(n: usize) -> Netlist {
+        let mut nl = Netlist::new("pipe");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q0 = nl.dff(d, clk, DriveStrength::X1);
+        let mut s = q0;
+        for _ in 0..n {
+            s = nl.gate(LogicFn::Inv, DriveStrength::X1, &[s]);
+        }
+        let q1 = nl.dff(s, clk, DriveStrength::X1);
+        nl.mark_output("q", q1);
+        nl
+    }
+
+    // TM001: 30 inverters cannot close at 5 GHz.
+    out.push(tm_case(
+        Rule::SetupViolation,
+        &pipeline(30),
+        StaConfig::at_clock(Hertz::from_ghz(5.0)),
+    ));
+
+    // TM002: back-to-back flops with a 300 ps early clock uncertainty.
+    let mut sta_cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+    sta_cfg.hold_uncertainty = Time::from_ps(300.0);
+    out.push(tm_case(Rule::HoldViolation, &pipeline(0), sta_cfg));
+
+    // TM003: a ripple-style flop clocked by another flop's Q — a
+    // generated clock with no declared period.
+    let mut nl = Netlist::new("tm003");
+    let clk = nl.add_input("clk");
+    let d = nl.add_input("d");
+    let q0 = nl.dff(d, clk, DriveStrength::X1);
+    let q1 = nl.dff(d, q0, DriveStrength::X1);
+    nl.mark_output("q", q1);
+    out.push(tm_case(
+        Rule::UnconstrainedEndpoint,
+        &nl,
+        StaConfig::at_clock(Hertz::from_ghz(1.0)),
+    ));
+
+    // TM004 + TM005: one X1 inverter into 200 flop D pins blows both
+    // the transition limit and the driver's max-load characterization.
+    let mut nl = Netlist::new("tm004");
+    let clk = nl.add_input("clk");
+    let d = nl.add_input("d");
+    let q = nl.dff(d, clk, DriveStrength::X1);
+    let weak = nl.gate(LogicFn::Inv, DriveStrength::X1, &[q]);
+    for i in 0..200 {
+        let qq = nl.dff(weak, clk, DriveStrength::X1);
+        nl.mark_output(format!("o{i}"), qq);
+    }
+    let mut sta_cfg = StaConfig::at_clock(Hertz::from_mhz(100.0));
+    sta_cfg.max_transition = Some(Time::from_ps(100.0));
+    out.push(tm_case(Rule::MaxTransitionViolation, &nl, sta_cfg));
+    out.push(tm_case(
+        Rule::MaxCapViolation,
+        &nl,
+        StaConfig::at_clock(Hertz::from_mhz(100.0)),
+    ));
+
+    // TM006: one flop on the raw clock, one behind eight buffers,
+    // against a 10 ps skew budget.
+    let mut nl = Netlist::new("tm006");
+    let clk = nl.add_input("clk");
+    let d = nl.add_input("d");
+    let mut late_clk = clk;
+    for _ in 0..8 {
+        late_clk = nl.gate(LogicFn::Buf, DriveStrength::X1, &[late_clk]);
+    }
+    let q0 = nl.dff(d, clk, DriveStrength::X1);
+    let q1 = nl.dff(q0, late_clk, DriveStrength::X1);
+    nl.mark_output("q", q1);
+    let mut sta_cfg = StaConfig::at_clock(Hertz::from_mhz(500.0));
+    sta_cfg.max_skew = Some(Time::from_ps(10.0));
+    out.push(tm_case(Rule::ExcessiveClockSkew, &nl, sta_cfg));
+
+    // TM007: an NL006-style crossing — clka launches, clkb captures.
+    let mut nl = Netlist::new("tm007");
+    let clka = nl.add_input("clka");
+    let clkb = nl.add_input("clkb");
+    let d = nl.add_input("d");
+    let qa = nl.dff(d, clka, DriveStrength::X1);
+    let s = nl.gate(LogicFn::Inv, DriveStrength::X1, &[qa]);
+    let qb = nl.dff(s, clkb, DriveStrength::X1);
+    nl.mark_output("q", qb);
+    out.push(tm_case(
+        Rule::UntimedCrossDomainPath,
+        &nl,
+        StaConfig::at_clock(Hertz::from_ghz(1.0)),
+    ));
+
+    // TM008: a multicycle exception naming a combinational cell.
+    let nl = pipeline(2);
+    let comb = nl
+        .instances()
+        .find(|(_, i)| !i.is_sequential())
+        .map(|(id, _)| id)
+        .expect("inverter");
+    let mut sta_cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+    sta_cfg.multicycle = vec![(comb, 2)];
+    out.push(tm_case(Rule::InvalidTimingException, &nl, sta_cfg));
 
     out
 }

@@ -29,7 +29,7 @@ use crate::sweep::parallel::CornerPoint;
 use crate::sweep::{BathtubPoint, Sweep, SweepOutcome, SweepPoint};
 use openserdes_fault::FaultSchedule;
 use openserdes_flow::ir::Design;
-use openserdes_flow::{Flow, FlowConfig, FlowResult};
+use openserdes_flow::{Flow, FlowConfig, FlowResult, Sta, StaConfig, StaReport};
 use openserdes_lint::{LintConfig, LintReport};
 use openserdes_netlist::Netlist;
 use openserdes_pdk::corner::Pvt;
@@ -53,6 +53,7 @@ use openserdes_telemetry as telemetry;
 pub struct Session {
     link: LinkConfig,
     flow: FlowConfig,
+    sta: StaConfig,
     lint: LintConfig,
     sweep: Sweep,
     seed: u64,
@@ -73,6 +74,7 @@ impl Session {
         Self {
             link: LinkConfig::paper_default(),
             flow: FlowConfig::default(),
+            sta: StaConfig::default(),
             lint: LintConfig::default(),
             sweep: Sweep::new(),
             seed: 42,
@@ -116,6 +118,15 @@ impl Session {
     #[must_use]
     pub fn with_flow_config(mut self, flow: FlowConfig) -> Self {
         self.flow = flow;
+        self
+    }
+
+    /// Replace the standalone timing-signoff configuration used by
+    /// [`Session::sta`] (clock, slews, uncertainties, derates,
+    /// secondary clocks, exceptions).
+    #[must_use]
+    pub fn with_sta_config(mut self, sta: StaConfig) -> Self {
+        self.sta = sta;
         self
     }
 
@@ -169,6 +180,11 @@ impl Session {
     /// The flow configuration the session runs at.
     pub fn flow_config(&self) -> &FlowConfig {
         &self.flow
+    }
+
+    /// The standalone timing-signoff configuration.
+    pub fn sta_config(&self) -> &StaConfig {
+        &self.sta
     }
 
     /// The lint policy.
@@ -253,6 +269,30 @@ impl Session {
     pub fn run_flow(&mut self, design: &Design) -> Result<FlowResult, Error> {
         let flow = Flow::new().with_config(self.flow.clone());
         self.scoped(|| flow.run(design)).map_err(Error::from)
+    }
+
+    /// Run standalone static timing signoff over a mapped netlist at
+    /// the session's corner and STA configuration (see
+    /// [`Session::with_sta_config`]). Pass a route for post-layout wire
+    /// RC, or `None` for the pre-layout wireload estimate. The returned
+    /// [`StaReport`] carries per-net slack, top-K path reports, clock
+    /// domains and the `TM0xx` findings bridge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures as the unified [`Error`].
+    pub fn sta(
+        &mut self,
+        netlist: &Netlist,
+        route: Option<&openserdes_flow::route::RouteResult>,
+    ) -> Result<StaReport, Error> {
+        let sta = Sta::new().with_config(self.sta.clone());
+        let pvt = self.flow.pvt;
+        self.scoped(|| {
+            let library = openserdes_pdk::library::Library::sky130(pvt);
+            sta.run(netlist, &library, route)
+        })
+        .map_err(Error::from)
     }
 
     /// Run the `IR0xx` lint rules over a design under the session's
@@ -451,6 +491,31 @@ mod tests {
         let rates = s.try_rate_sweep(&[Hertz::from_ghz(2.0)]);
         assert!(rates.is_complete());
         assert_eq!(rates.completed[0].1.data_rate, Hertz::from_ghz(2.0));
+    }
+
+    #[test]
+    fn session_sta_matches_direct_run() {
+        use openserdes_flow::Sta;
+        use openserdes_pdk::library::Library;
+        use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
+        let mut nl = Netlist::new("pipe");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q0 = nl.dff(d, clk, DriveStrength::X1);
+        let s1 = nl.gate(LogicFn::Inv, DriveStrength::X1, &[q0]);
+        let q1 = nl.dff(s1, clk, DriveStrength::X1);
+        nl.mark_output("q", q1);
+        let direct = Sta::new()
+            .run(&nl, &Library::sky130(Pvt::nominal()), None)
+            .expect("direct");
+        let mut s = Session::new().with_telemetry(true);
+        let via = s.sta(&nl, None).expect("session sta");
+        assert_eq!(via, direct);
+        let run = s.telemetry().span("sta.run").expect("sta.run span");
+        assert!(run.child("sta.forward").is_some());
+        assert!(run.child("sta.backward").is_some());
+        assert!(run.child("sta.hold").is_some());
+        assert!(run.child("sta.paths").is_some());
     }
 
     #[test]

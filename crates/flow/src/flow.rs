@@ -14,7 +14,7 @@ use crate::ir::Design;
 use crate::place::{anneal, place_greedy, AnnealStats, Placement};
 use crate::power::{analyze_power, PowerConfig, PowerReport};
 use crate::route::{global_route, RouteResult};
-use crate::sta::{analyze, StaConfig, StaReport};
+use crate::sta::{Sta, StaConfig, StaReport};
 use crate::synth::{synthesize, SynthResult};
 use openserdes_lint::LintConfig;
 use openserdes_netlist::NetlistStats;
@@ -42,8 +42,9 @@ pub struct FlowConfig {
     pub anneal_iterations: usize,
     /// Default data-net toggle rate for power analysis.
     pub activity: f64,
-    /// Per-rule overrides for the lint gate (rules `IR0xx` before
-    /// synthesis, `NL0xx` after). Error-level findings abort the flow.
+    /// Per-rule overrides for the lint gates (rules `IR0xx` before
+    /// synthesis, `NL0xx` after, `TM0xx` at timing signoff).
+    /// Error-level findings abort the flow.
     pub lint: LintConfig,
 }
 
@@ -137,7 +138,6 @@ pub fn optimize_timing(
     library: &Library,
     config: &StaConfig,
 ) -> usize {
-    use crate::sta::analyze;
     let bump = |d: DriveStrength| match d {
         DriveStrength::X1 => Some(DriveStrength::X2),
         DriveStrength::X2 => Some(DriveStrength::X4),
@@ -148,7 +148,8 @@ pub fn optimize_timing(
     let drives = |nl: &openserdes_netlist::Netlist| -> Vec<DriveStrength> {
         nl.instances().map(|(_, i)| i.drive).collect()
     };
-    let Ok(initial) = analyze(netlist, library, None, config.clone()) else {
+    let sta = Sta::new().with_config(config.clone());
+    let Ok(initial) = sta.run(netlist, library, None) else {
         return 0;
     };
     if initial.clean() {
@@ -168,7 +169,7 @@ pub fn optimize_timing(
         if !changed {
             break;
         }
-        let Ok(next) = analyze(netlist, library, None, config.clone()) else {
+        let Ok(next) = sta.run(netlist, library, None) else {
             break;
         };
         if next.wns > best_wns {
@@ -434,7 +435,9 @@ fn run_flow_impl(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flo
 
     // Stage 6: STA (OpenSTA stand-in), honouring multicycle exceptions.
     let sta_span = telemetry::span("flow.sta");
-    let timing = analyze(&synth.netlist, &library, Some(&route), sta_cfg)?;
+    let timing = Sta::new()
+        .with_config(sta_cfg)
+        .run(&synth.netlist, &library, Some(&route))?;
     telemetry::counter("flow.timing_violations", timing.violations as u64);
     drop(sta_span);
     log.push(format!(
@@ -444,6 +447,20 @@ fn run_flow_impl(design: &Design, config: &FlowConfig) -> Result<FlowResult, Flo
         timing.violations,
         timing.fmax.ghz()
     ));
+
+    // Lint gate, timing half: the STA's TM findings pass through the
+    // same severity machinery as the IR and netlist gates.
+    let tm_lint = timing.to_lint(&config.lint);
+    telemetry::counter("flow.lint_findings", tm_lint.findings().len() as u64);
+    log.push(format!(
+        "[lint] timing: {} error(s), {} warning(s), {} info(s)",
+        tm_lint.count(openserdes_lint::Severity::Error),
+        tm_lint.count(openserdes_lint::Severity::Warn),
+        tm_lint.count(openserdes_lint::Severity::Info)
+    ));
+    if tm_lint.has_errors() {
+        return Err(FlowError::Lint(tm_lint));
+    }
 
     // Stage 7: power signoff.
     let power_span = telemetry::span("flow.power");
@@ -500,7 +517,55 @@ mod tests {
         assert!(r.area().value() > 0.0);
         assert!(r.total_power().mw() > 0.0);
         assert!(r.timing.fmax.ghz() > 0.1);
-        assert_eq!(r.log.len(), 11);
+        assert_eq!(r.log.len(), 12);
+    }
+
+    /// A single X1 AND gate whose output enables every bit of a wide
+    /// register: a seeded under-driven high-fanout net.
+    fn wide_enable(bits: usize) -> Design {
+        let mut d = Design::new("wide_enable");
+        let a = d.input("a");
+        let b = d.input("b");
+        let gate = d.and(a, b);
+        let q = d.reg_bus(bits);
+        let inv: Vec<_> = q.iter().map(|&s| d.not(s)).collect();
+        let next = d.mux_bus(&q, &inv, gate);
+        d.connect_reg_bus(&q, &next);
+        d.output_bus("q", &q);
+        d
+    }
+
+    #[test]
+    fn timing_gate_blocks_seeded_drive_bug() {
+        use openserdes_lint::{LintLevel, Rule};
+        let d = wide_enable(150);
+        // Deny-warnings style signoff: promote the max-cap audit to
+        // Error (and silence the netlist-gate NL007 twin so the block
+        // is attributable to the timing gate).
+        let mut cfg = FlowConfig::at_clock(Hertz::from_mhz(100.0));
+        cfg.lint = cfg
+            .lint
+            .allow(Rule::DriveOverload)
+            .set_level(Rule::MaxCapViolation, LintLevel::Error);
+        match Flow::new().with_config(cfg).run(&d) {
+            Err(FlowError::Lint(report)) => {
+                assert_eq!(report.domain(), "timing");
+                assert!(report.has_errors());
+                assert!(report
+                    .findings()
+                    .iter()
+                    .any(|f| f.rule == Rule::MaxCapViolation));
+            }
+            other => panic!("expected timing-gate rejection, got {other:?}"),
+        }
+        // At default (Warn) severity the same design flows to signoff.
+        let mut relaxed = FlowConfig::at_clock(Hertz::from_mhz(100.0));
+        relaxed.lint = relaxed.lint.allow(Rule::DriveOverload);
+        let r = Flow::new()
+            .with_config(relaxed)
+            .run(&d)
+            .expect("warn-level TM findings do not gate");
+        assert!(r.log.iter().any(|l| l.contains("[lint] timing:")));
     }
 
     #[test]

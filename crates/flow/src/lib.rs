@@ -14,7 +14,9 @@
 //! * [`synth`] — folding, structural hashing and technology mapping,
 //! * [`floorplan`] / [`place`] / [`route`] — row-based floorplan, greedy +
 //!   simulated-annealing placement, global-routing estimate,
-//! * [`sta`] — NLDM static timing analysis with wire delays,
+//! * [`sta`] — NLDM static timing signoff: forward/backward graph
+//!   passes (per-net slack), early/late split with derates, per-clock
+//!   domains, top-K path reports and the `TM0xx` timing lint bridge,
 //! * [`power`] — activity-based switching/internal/clock/leakage power,
 //! * [`flow`] — the staged driver ([`Flow`]) mirroring Fig. 12.
 //!
@@ -55,5 +57,7 @@ pub use export::{to_def, to_verilog};
 pub use flow::run_flow;
 pub use flow::{optimize_timing, CtsReport, Flow, FlowConfig, FlowResult};
 pub use power::{analyze_power, PowerConfig, PowerReport};
-pub use sta::{analyze, StaConfig, StaReport};
+#[allow(deprecated)]
+pub use sta::analyze;
+pub use sta::{ClockDomain, Endpoint, PathReport, PathStage, Sta, StaConfig, StaReport};
 pub use synth::{synthesize, SynthResult};

@@ -1,40 +1,98 @@
 //! Static timing analysis over a mapped (and optionally routed) netlist.
 //!
-//! Plays the role OpenSTA plays in the paper's flow: propagate arrival
-//! times and slews from launch points (primary inputs, flop Q pins)
-//! through the combinational cloud using the library NLDM tables plus
-//! wire Elmore delays, then check every capture point (flop D pins,
-//! primary outputs) against the clock period. Reports worst negative
-//! slack, total negative slack, the critical path and the maximum
-//! achievable clock frequency.
+//! Plays the role OpenSTA plays in the paper's flow. The engine runs
+//! four graph passes over the levelized netlist:
+//!
+//! 1. **Forward (late)** — worst-case arrival times and slews propagate
+//!    from launch points (flop Q pins, primary inputs) through the
+//!    combinational cloud using the library NLDM tables, wire Elmore
+//!    delays and the late derate.
+//! 2. **Backward (required)** — required times propagate from capture
+//!    points (flop D pins, primary outputs) back toward launch points,
+//!    giving a slack figure on *every net*, not just endpoints.
+//! 3. **Early (hold)** — minimum arrivals using the genuinely fast
+//!    [`min_arc`](openserdes_pdk::stdcell::StdCell::min_arc) tables and
+//!    the early derate, checked against each flop's hold window.
+//! 4. **Path enumeration** — the top-K worst endpoints are expanded
+//!    into [`PathReport`]s with per-stage delay/slew/load breakdowns,
+//!    printable like an OpenSTA `report_checks`.
+//!
+//! Every flop is checked against its own clock domain (traced back
+//! through the clock network to its root), cross-domain paths are
+//! untimed by default, and all rule-level problems are surfaced as
+//! `TM0xx` findings ready to feed the `openserdes-lint` pipeline via
+//! [`StaReport::to_lint`].
 
 use crate::route::RouteResult;
+use openserdes_lint::{EntityKind, Finding, LintConfig, LintReport, Rule};
 use openserdes_netlist::{CellId, NetId, Netlist, NetlistError};
 use openserdes_pdk::library::Library;
 use openserdes_pdk::units::{Farad, Hertz, Time};
 use openserdes_pdk::wire::WireloadModel;
+use openserdes_telemetry as telemetry;
+use std::fmt;
 
 /// STA configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StaConfig {
-    /// Target clock frequency.
+    /// Target clock frequency for the main (default) clock domain.
     pub clock: Hertz,
     /// Transition time assumed at primary inputs.
     pub input_slew: Time,
+    /// Transition time of the clock network at its root. Launch and
+    /// capture clock-pin slews derive from this through the clock tree.
+    pub clock_slew: Time,
+    /// External setup requirement charged to primary-output endpoints
+    /// (zero keeps the legacy "ports need the full period" behavior).
+    pub output_delay: Time,
+    /// Setup (late) clock uncertainty subtracted from every setup check.
+    pub setup_uncertainty: Time,
+    /// Hold (early) clock uncertainty added to every hold check.
+    pub hold_uncertainty: Time,
+    /// Late (max-delay) derate applied to data-path delays. 1.0 = none.
+    pub derate_late: f64,
+    /// Early (min-delay) derate applied to hold-path delays. 1.0 = none.
+    pub derate_early: f64,
+    /// Max transition allowed on any driven net (TM004) when set.
+    pub max_transition: Option<Time>,
+    /// Max clock insertion-delay spread within a domain (TM006) when set.
+    pub max_skew: Option<Time>,
+    /// Named secondary clocks: `(root net name, frequency)`. A clock
+    /// root matching an entry is timed at that frequency; unmatched
+    /// generated (non-port) clock roots are unconstrained (TM003).
+    pub clocks: Vec<(String, Hertz)>,
     /// Multicycle exceptions: paths ending at these flops get
     /// `factor` clock periods (e.g. a decision consumed every N cycles).
     pub multicycle: Vec<(CellId, u32)>,
+    /// How many worst paths to expand into [`PathReport`]s.
+    pub top_paths: usize,
 }
 
 impl StaConfig {
-    /// A configuration at the given clock frequency with a 40 ps input
-    /// slew and no timing exceptions.
+    /// A configuration at the given clock frequency with 40 ps input
+    /// and clock slews, no uncertainty, unit derates and no exceptions.
     pub fn at_clock(clock: Hertz) -> Self {
         Self {
             clock,
             input_slew: Time::from_ps(40.0),
+            clock_slew: Time::from_ps(40.0),
+            output_delay: Time::new(0.0),
+            setup_uncertainty: Time::new(0.0),
+            hold_uncertainty: Time::new(0.0),
+            derate_late: 1.0,
+            derate_early: 1.0,
+            max_transition: None,
+            max_skew: None,
+            clocks: Vec::new(),
             multicycle: Vec::new(),
+            top_paths: 5,
         }
+    }
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        Self::at_clock(Hertz::from_ghz(1.0))
     }
 }
 
@@ -47,67 +105,340 @@ pub struct Endpoint {
     pub arrival: Time,
     /// Setup requirement subtracted from the period (zero for ports).
     pub setup: Time,
-    /// Slack at the configured clock.
+    /// Slack at the configured clock (infinite when untimed).
     pub slack: Time,
+    /// Required time at the endpoint (infinite when untimed).
+    pub required: Time,
+    /// Name of the clock domain the endpoint is checked against.
+    pub domain: String,
+    /// `true` when the endpoint is untimed (unconstrained clock or a
+    /// purely cross-domain data cone); untimed endpoints do not count
+    /// toward WNS/TNS/fmax.
+    pub untimed: bool,
+}
+
+/// One cell along an enumerated timing path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStage {
+    /// The cell instance.
+    pub cell: CellId,
+    /// Instance name.
+    pub instance: String,
+    /// Gate description, e.g. `Inv/X2`.
+    pub gate: String,
+    /// Stage delay (cell + wire, late-derated).
+    pub delay: Time,
+    /// Cumulative arrival at the stage output.
+    pub arrival: Time,
+    /// Slew at the stage output.
+    pub slew: Time,
+    /// Capacitive load on the stage output net.
+    pub load: Farad,
+}
+
+/// A launch-to-capture path expanded with per-stage breakdowns.
+///
+/// `Display` prints an OpenSTA `report_checks`-style block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// Capture endpoint (flop instance or `port:` name).
+    pub endpoint: String,
+    /// Launch point (flop instance or `primary input`).
+    pub startpoint: String,
+    /// Clock domain the endpoint is checked against.
+    pub domain: String,
+    /// Data arrival time at the endpoint.
+    pub arrival: Time,
+    /// Required time at the endpoint.
+    pub required: Time,
+    /// Path slack.
+    pub slack: Time,
+    /// Stages from launch to the last cell before the capture point.
+    pub stages: Vec<PathStage>,
+}
+
+impl fmt::Display for PathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Startpoint: {} (clock {})", self.startpoint, self.domain)?;
+        writeln!(f, "Endpoint:   {}", self.endpoint)?;
+        writeln!(
+            f,
+            "  {:<28} {:>9} {:>10} {:>8} {:>8}",
+            "instance", "delay/ps", "arrive/ps", "slew/ps", "load/fF"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<28} {:>9.1} {:>10.1} {:>8.1} {:>8.1}",
+                format!("{} ({})", s.instance, s.gate),
+                s.delay.ps(),
+                s.arrival.ps(),
+                s.slew.ps(),
+                s.load.value() * 1e15,
+            )?;
+        }
+        writeln!(f, "  data arrival  {:>9.1} ps", self.arrival.ps())?;
+        writeln!(f, "  data required {:>9.1} ps", self.required.ps())?;
+        write!(
+            f,
+            "  slack         {:>9.1} ps ({})",
+            self.slack.ps(),
+            if self.slack.value() < 0.0 {
+                "VIOLATED"
+            } else {
+                "MET"
+            }
+        )
+    }
+}
+
+/// A clock domain discovered by tracing each flop's clock pin back
+/// through the clock network to its root net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDomain {
+    /// Domain name (the root net's name).
+    pub name: String,
+    /// Root net of the clock tree.
+    pub root: NetId,
+    /// Clock period, `None` when unconstrained (generated clock with
+    /// no matching [`StaConfig::clocks`] entry).
+    pub period: Option<Time>,
+    /// Flops clocked by this domain, in cell order.
+    pub flops: Vec<CellId>,
+    /// Smallest clock insertion delay across the domain's flops.
+    pub insertion_min: Time,
+    /// Largest clock insertion delay across the domain's flops.
+    pub insertion_max: Time,
+}
+
+impl ClockDomain {
+    /// Insertion-delay spread (skew) across the domain.
+    pub fn skew(&self) -> Time {
+        Time::new(self.insertion_max.value() - self.insertion_min.value())
+    }
 }
 
 /// The full analysis result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StaReport {
-    /// The clock the design was checked against.
+    /// The main clock the design was checked against.
     pub clock: Hertz,
-    /// Worst (most negative) slack.
+    /// Worst (most negative) setup slack over timed endpoints.
     pub wns: Time,
-    /// Total negative slack.
+    /// Total negative setup slack.
     pub tns: Time,
-    /// Number of violated endpoints.
+    /// Number of violated (timed) endpoints.
     pub violations: usize,
     /// Maximum clock frequency the worst path supports.
     pub fmax: Hertz,
     /// Cells along the critical path, launch to capture.
     pub critical_path: Vec<CellId>,
-    /// All endpoint checks, worst first.
+    /// All endpoint checks, worst first (untimed endpoints last).
     pub endpoints: Vec<Endpoint>,
     /// Worst hold slack across flop endpoints (positive = clean).
     pub hold_wns: Time,
     /// Number of hold violations.
     pub hold_violations: usize,
+    /// Top-K worst paths with per-stage breakdowns, worst first.
+    pub paths: Vec<PathReport>,
+    /// Clock domains discovered in the design, in root-net order.
+    pub domains: Vec<ClockDomain>,
+    design: String,
+    findings: Vec<Finding>,
     arrivals: Vec<Time>,
+    requireds: Vec<Time>,
 }
 
 impl StaReport {
-    /// Arrival time on a net (max over paths).
+    /// Arrival time on a net (max over paths, late-derated).
     pub fn arrival(&self, net: NetId) -> Time {
         self.arrivals[net.index()]
     }
 
-    /// `true` when every endpoint meets timing.
+    /// Required time on a net from the backward pass (infinite when no
+    /// timed endpoint is reachable from the net).
+    pub fn required(&self, net: NetId) -> Time {
+        self.requireds[net.index()]
+    }
+
+    /// Per-net setup slack: `required - arrival`.
+    pub fn slack(&self, net: NetId) -> Time {
+        Time::new(self.requireds[net.index()].value() - self.arrivals[net.index()].value())
+    }
+
+    /// `true` when every timed endpoint meets setup.
     pub fn clean(&self) -> bool {
         self.violations == 0
+    }
+
+    /// The raw TM findings produced by the analysis, in rule order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Bridges the analysis into the lint pipeline: every TM finding is
+    /// filed into a `LintReport` (domain `timing`) honoring the given
+    /// severity overrides, ready for `--deny`-style gating.
+    pub fn to_lint(&self, cfg: &LintConfig) -> LintReport {
+        let mut report = LintReport::new(self.design.clone(), "timing");
+        for f in &self.findings {
+            report.add(cfg, f.clone());
+        }
+        report
+    }
+}
+
+/// Static timing analysis runner (consuming-builder idiom).
+///
+/// ```
+/// # use openserdes_flow::sta::{Sta, StaConfig};
+/// # use openserdes_pdk::units::Hertz;
+/// let sta = Sta::new().with_config(StaConfig::at_clock(Hertz::from_ghz(2.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sta {
+    config: StaConfig,
+}
+
+impl Sta {
+    /// A runner with the default configuration (1 GHz main clock).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: StaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the main clock, keeping other settings.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Hertz) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StaConfig {
+        &self.config
+    }
+
+    /// Runs the analysis.
+    ///
+    /// When `route` is provided, per-net wire RC from the global route
+    /// is used; otherwise the pre-layout wireload model estimates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the netlist fails validation.
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        library: &Library,
+        route: Option<&RouteResult>,
+    ) -> Result<StaReport, NetlistError> {
+        run_impl(netlist, library, route, &self.config)
     }
 }
 
 /// Runs static timing analysis.
 ///
-/// When `route` is provided, per-net wire RC from the global route is
-/// used; otherwise the pre-layout wireload model estimates it.
-///
 /// # Errors
 ///
 /// Returns a [`NetlistError`] if the netlist fails validation.
+#[deprecated(note = "use `Sta::new().with_config(..).run(..)` or `Session::sta` instead")]
 pub fn analyze(
     netlist: &Netlist,
     library: &Library,
     route: Option<&RouteResult>,
     config: StaConfig,
 ) -> Result<StaReport, NetlistError> {
+    run_impl(netlist, library, route, &config)
+}
+
+/// Walks a flop's clock net back through single-input combinational
+/// drivers to the clock root, returning the root net and the buffer
+/// chain in root-to-flop order.
+fn trace_clock(
+    netlist: &Netlist,
+    drivers: &[Option<CellId>],
+    mut net: NetId,
+) -> (NetId, Vec<CellId>) {
+    let mut chain = Vec::new();
+    loop {
+        match drivers[net.index()] {
+            Some(c) => {
+                let inst = netlist.instance(c);
+                if inst.is_sequential() || inst.inputs.len() != 1 {
+                    chain.reverse();
+                    return (net, chain);
+                }
+                chain.push(c);
+                net = inst.inputs[0];
+            }
+            None => {
+                chain.reverse();
+                return (net, chain);
+            }
+        }
+    }
+}
+
+/// Explores the fan-in cone of a capture net back to its launching
+/// flops: returns `(source flops with a through-multi-input-logic flag,
+/// reached-a-primary-input)`.
+fn fanin_sources(
+    netlist: &Netlist,
+    drivers: &[Option<CellId>],
+    start: NetId,
+) -> (Vec<(CellId, bool)>, bool) {
+    let mut visited = vec![false; netlist.net_count()];
+    let mut stack = vec![(start, false)];
+    let mut sources = Vec::new();
+    let mut reached_input = false;
+    while let Some((net, through_logic)) = stack.pop() {
+        if visited[net.index()] {
+            continue;
+        }
+        visited[net.index()] = true;
+        match drivers[net.index()] {
+            Some(c) => {
+                let inst = netlist.instance(c);
+                if inst.is_sequential() {
+                    sources.push((c, through_logic));
+                } else {
+                    let through = through_logic || inst.inputs.len() > 1;
+                    for &i in &inst.inputs {
+                        stack.push((i, through));
+                    }
+                }
+            }
+            None => reached_input = true,
+        }
+    }
+    sources.sort_by_key(|(c, _)| *c);
+    (sources, reached_input)
+}
+
+fn run_impl(
+    netlist: &Netlist,
+    library: &Library,
+    route: Option<&RouteResult>,
+    config: &StaConfig,
+) -> Result<StaReport, NetlistError> {
+    let _run_span = telemetry::span("sta.run");
     netlist.check()?;
     let order = netlist.topo_order()?;
     let fanout = netlist.fanout_table();
+    let drivers = netlist.driver_table();
     let wireload = WireloadModel::small_block();
+    let period = 1.0 / config.clock.value();
 
     // Per-net capacitive load (pins + wire) and wire Elmore delay.
     let n_nets = netlist.net_count();
+    let n_cells = netlist.cell_count();
     let mut load = vec![0.0f64; n_nets];
     let mut wire_delay = vec![0.0f64; n_nets];
     for net in netlist.net_ids() {
@@ -138,25 +469,216 @@ pub fn analyze(
         wire_delay[net.index()] = wire_r * (0.5 * wire_c + pin_c);
     }
 
-    // Launch arrivals.
-    let mut arrival = vec![0.0f64; n_nets]; // seconds
-    let mut slew = vec![config.input_slew.value(); n_nets];
-    let mut pred: Vec<Option<CellId>> = vec![None; n_nets];
+    // Clock network: per-flop insertion delay, clock-pin slew and
+    // domain membership by tracing back to each clock root.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut ins = vec![0.0f64; n_cells];
+    let mut clk_pin_slew = vec![config.clock_slew.value(); n_cells];
+    let mut domain_of = vec![usize::MAX; n_cells];
+    let mut domains: Vec<ClockDomain> = Vec::new();
+    let mut domain_period: Vec<Option<f64>> = Vec::new();
     for (id, inst) in netlist.instances() {
-        if inst.is_sequential() {
-            let cell = library
-                .cell(inst.function, inst.drive)
+        if !inst.is_sequential() {
+            continue;
+        }
+        let clk_net = inst.clock.expect("sequential cell has a clock pin");
+        let (root, chain) = trace_clock(netlist, &drivers, clk_net);
+        let mut t = 0.0f64;
+        let mut s = config.clock_slew.value();
+        for &buf in &chain {
+            let binst = netlist.instance(buf);
+            let bcell = library
+                .cell(binst.function, binst.drive)
                 .expect("library cell");
-            let seq = cell.seq.expect("flop has seq data");
-            let arc = cell.arc(Time::from_ps(40.0), Farad::new(load[inst.output.index()]));
-            let out = inst.output.index();
-            arrival[out] = seq.clk_to_q.value() + wire_delay[out];
-            slew[out] = arc.out_slew.value();
-            pred[out] = Some(id);
+            let out = binst.output.index();
+            let arc = bcell.arc(Time::new(s), Farad::new(load[out]));
+            t += arc.delay.value() + wire_delay[out];
+            s = arc.out_slew.value();
+        }
+        ins[id.index()] = t;
+        clk_pin_slew[id.index()] = s;
+        let di = match domains.iter().position(|d| d.root == root) {
+            Some(i) => i,
+            None => {
+                let name = netlist.net_name(root).to_string();
+                let named = config
+                    .clocks
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, f)| 1.0 / f.value());
+                let p = if netlist.is_primary_input(root) {
+                    Some(named.unwrap_or(period))
+                } else {
+                    named
+                };
+                domains.push(ClockDomain {
+                    name,
+                    root,
+                    period: p.map(Time::new),
+                    flops: Vec::new(),
+                    insertion_min: Time::new(f64::INFINITY),
+                    insertion_max: Time::new(0.0),
+                });
+                domain_period.push(p);
+                domains.len() - 1
+            }
+        };
+        domain_of[id.index()] = di;
+        let d = &mut domains[di];
+        d.flops.push(id);
+        if t < d.insertion_min.value() {
+            d.insertion_min = Time::new(t);
+        }
+        if t > d.insertion_max.value() {
+            d.insertion_max = Time::new(t);
         }
     }
 
-    // Propagate through the combinational cloud in topological order.
+    // TM008: validate multicycle exceptions; only valid ones apply.
+    let mut multicycle: Vec<(CellId, u32)> = Vec::new();
+    for &(cid, factor) in &config.multicycle {
+        if cid.index() >= n_cells {
+            findings.push(Finding::new(
+                Rule::InvalidTimingException,
+                format!(
+                    "multicycle exception names unknown cell #{}; the exception constrains nothing",
+                    cid.index()
+                ),
+            ));
+        } else {
+            let inst = netlist.instance(cid);
+            if !inst.is_sequential() {
+                findings.push(
+                    Finding::new(
+                        Rule::InvalidTimingException,
+                        format!(
+                            "multicycle exception targets combinational cell '{}'; only flops have capture edges",
+                            inst.name
+                        ),
+                    )
+                    .at_cell(inst.name.clone(), cid.index()),
+                );
+            } else if factor == 0 {
+                findings.push(
+                    Finding::new(
+                        Rule::InvalidTimingException,
+                        format!("multicycle factor 0 on flop '{}' is meaningless", inst.name),
+                    )
+                    .at_cell(inst.name.clone(), cid.index()),
+                );
+            } else {
+                multicycle.push((cid, factor));
+            }
+        }
+    }
+
+    // TM003: flops in an unconstrained (generated, unnamed) domain.
+    for d in &domains {
+        if d.period.is_some() {
+            continue;
+        }
+        for &f in &d.flops {
+            let inst = netlist.instance(f);
+            findings.push(
+                Finding::new(
+                    Rule::UnconstrainedEndpoint,
+                    format!(
+                        "flop '{}' is clocked by generated clock '{}' with no defined period; endpoint is untimed",
+                        inst.name, d.name
+                    ),
+                )
+                .at_cell(inst.name.clone(), f.index())
+                .with_related(EntityKind::Net, d.name.clone(), d.root.index()),
+            );
+        }
+    }
+
+    // TM006: insertion-delay spread within a domain.
+    if let Some(max_skew) = config.max_skew {
+        for d in &domains {
+            if d.flops.len() >= 2 && d.skew().value() > max_skew.value() {
+                findings.push(
+                    Finding::new(
+                        Rule::ExcessiveClockSkew,
+                        format!(
+                            "clock '{}' skew {:.1} ps across {} flops exceeds the {:.1} ps budget",
+                            d.name,
+                            d.skew().ps(),
+                            d.flops.len(),
+                            max_skew.ps()
+                        ),
+                    )
+                    .at_net(d.name.clone(), d.root.index()),
+                );
+            }
+        }
+    }
+
+    // TM007 + untimed-endpoint detection: cross-domain data cones.
+    let mut untimed_flop = vec![false; n_cells];
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let di = domain_of[id.index()];
+        if domain_period[di].is_none() {
+            untimed_flop[id.index()] = true;
+        }
+        let (sources, reached_input) = fanin_sources(netlist, &drivers, inst.inputs[0]);
+        let mut same_domain = reached_input;
+        let mut crossed = false;
+        for &(src, through_logic) in &sources {
+            if domain_of[src.index()] == di {
+                same_domain = true;
+                continue;
+            }
+            crossed = true;
+            let src_inst = netlist.instance(src);
+            let src_root = &domains[domain_of[src.index()]].name;
+            let dst_root = &domains[di].name;
+            let detail = if through_logic {
+                "; data passes through multi-input logic on the way (see the NL006 synchronizer audit)"
+            } else {
+                ""
+            };
+            findings.push(
+                Finding::new(
+                    Rule::UntimedCrossDomainPath,
+                    format!(
+                        "path from flop '{}' (clock '{}') to flop '{}' (clock '{}') crosses clock domains and is untimed by default{}",
+                        src_inst.name, src_root, inst.name, dst_root, detail
+                    ),
+                )
+                .at_cell(inst.name.clone(), id.index())
+                .with_related(EntityKind::Cell, src_inst.name.clone(), src.index()),
+            );
+        }
+        if crossed && !same_domain {
+            untimed_flop[id.index()] = true;
+        }
+    }
+
+    // Forward (late) pass: launch arrivals then the combinational cloud.
+    let forward_span = telemetry::span("sta.forward");
+    let mut arrival = vec![0.0f64; n_nets]; // seconds
+    let mut slew = vec![config.input_slew.value(); n_nets];
+    let mut pred: Vec<Option<CellId>> = vec![None; n_nets];
+    let mut stage_delay = vec![0.0f64; n_cells];
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let out = inst.output.index();
+        let arc = cell.arc(Time::new(clk_pin_slew[id.index()]), Farad::new(load[out]));
+        let stage = config.derate_late * (arc.delay.value() + wire_delay[out]);
+        stage_delay[id.index()] = stage;
+        arrival[out] = config.derate_late * ins[id.index()] + stage;
+        slew[out] = arc.out_slew.value();
+        pred[out] = Some(id);
+    }
     for &id in &order {
         let inst = netlist.instance(id);
         let cell = library
@@ -170,77 +692,111 @@ pub fn analyze(
             }
             worst_slew = worst_slew.max(slew[i.index()]);
         }
-        let arc = cell.arc(Time::new(worst_slew), Farad::new(load[inst.output.index()]));
         let out = inst.output.index();
-        let t = worst_in + arc.delay.value() + wire_delay[out];
+        let arc = cell.arc(Time::new(worst_slew), Farad::new(load[out]));
+        let stage = config.derate_late * (arc.delay.value() + wire_delay[out]);
+        stage_delay[id.index()] = stage;
+        let t = worst_in + stage;
         if t > arrival[out] {
             arrival[out] = t;
             slew[out] = arc.out_slew.value();
             pred[out] = Some(id);
         }
     }
+    drop(forward_span);
 
-    // Min-delay (hold) propagation: the *shortest* path to each net.
-    // Primary inputs are left unconstrained (no input-delay assertions),
-    // so only flop-launched races are checked — the standard default.
-    let mut min_arrival = vec![f64::INFINITY; n_nets];
-    for (_, inst) in netlist.instances() {
-        if inst.is_sequential() {
-            let cell = library
-                .cell(inst.function, inst.drive)
-                .expect("library cell");
-            min_arrival[inst.output.index()] = cell.seq.expect("flop").clk_to_q.value();
+    // TM004: max transition on driven nets.
+    if let Some(mt) = config.max_transition {
+        for net in netlist.net_ids() {
+            if drivers[net.index()].is_some() && slew[net.index()] > mt.value() {
+                findings.push(
+                    Finding::new(
+                        Rule::MaxTransitionViolation,
+                        format!(
+                            "net '{}' transition {:.1} ps exceeds the {:.1} ps limit",
+                            netlist.net_name(net),
+                            slew[net.index()] * 1e12,
+                            mt.ps()
+                        ),
+                    )
+                    .at_net(netlist.net_name(net).to_string(), net.index()),
+                );
+            }
         }
     }
-    for &id in &order {
-        let inst = netlist.instance(id);
+
+    // TM005: load beyond the driver's characterized max capacitance.
+    for (id, inst) in netlist.instances() {
         let cell = library
             .cell(inst.function, inst.drive)
             .expect("library cell");
-        let fastest_in = inst
-            .inputs
-            .iter()
-            .map(|i| min_arrival[i.index()])
-            .fold(f64::INFINITY, f64::min);
-        let arc = cell.arc(
-            Time::new(config.input_slew.value()),
-            Farad::new(load[inst.output.index()]),
-        );
-        let t = fastest_in + arc.delay.value();
-        let out = inst.output.index();
-        if t < min_arrival[out] {
-            min_arrival[out] = t;
+        let out = inst.output;
+        if load[out.index()] > cell.max_load.value() {
+            findings.push(
+                Finding::new(
+                    Rule::MaxCapViolation,
+                    format!(
+                        "net '{}' load {:.1} fF exceeds the {:.1} fF max load of driver '{}' ({:?}/{:?})",
+                        netlist.net_name(out),
+                        load[out.index()] * 1e15,
+                        cell.max_load.value() * 1e15,
+                        inst.name,
+                        inst.function,
+                        inst.drive
+                    ),
+                )
+                .at_cell(inst.name.clone(), id.index())
+                .with_related(EntityKind::Net, netlist.net_name(out).to_string(), out.index()),
+            );
         }
     }
 
-    // Hold checks: data must not race through before the same edge's
-    // hold window closes at the capturing flop.
-    let mut hold_wns = f64::INFINITY;
-    let mut hold_violations = 0usize;
-    for (_, inst) in netlist.instances() {
-        if !inst.is_sequential() {
+    // Backward (required) pass: seed capture points, sweep reverse-topo.
+    let backward_span = telemetry::span("sta.backward");
+    let mut required = vec![f64::INFINITY; n_nets];
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() || untimed_flop[id.index()] {
             continue;
         }
         let cell = library
             .cell(inst.function, inst.drive)
             .expect("library cell");
-        let hold = cell.seq.expect("flop").hold.value();
-        let early = min_arrival[inst.inputs[0].index()];
-        if early.is_finite() {
-            let slack = early - hold;
-            hold_wns = hold_wns.min(slack);
-            if slack < 0.0 {
-                hold_violations += 1;
+        let setup = cell.seq.expect("flop has seq data").setup.value();
+        let p = domain_period[domain_of[id.index()]].expect("timed flop has a period");
+        let factor = multicycle
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map(|(_, f)| *f as f64)
+            .unwrap_or(1.0);
+        let req = factor * p + config.derate_early * ins[id.index()]
+            - setup
+            - config.setup_uncertainty.value();
+        let d = inst.inputs[0].index();
+        required[d] = required[d].min(req);
+    }
+    for (_, net) in netlist.primary_outputs() {
+        let req = period - config.output_delay.value();
+        required[net.index()] = required[net.index()].min(req);
+    }
+    for &id in order.iter().rev() {
+        let inst = netlist.instance(id);
+        let out = inst.output.index();
+        if required[out].is_finite() {
+            let r = required[out] - stage_delay[id.index()];
+            for &i in &inst.inputs {
+                required[i.index()] = required[i.index()].min(r);
             }
         }
     }
-    if !hold_wns.is_finite() {
-        hold_wns = 0.0;
-    }
+    drop(backward_span);
 
     // Endpoint checks.
-    let period = 1.0 / config.clock.value();
-    let mut endpoints = Vec::new();
+    struct EpMeta {
+        ep: Endpoint,
+        cell: Option<CellId>,
+        net: NetId,
+    }
+    let mut eps: Vec<EpMeta> = Vec::new();
     let mut worst_datapath = 0.0f64;
     let mut worst_net: Option<NetId> = None;
     for (id, inst) in netlist.instances() {
@@ -251,75 +807,280 @@ pub fn analyze(
             .cell(inst.function, inst.drive)
             .expect("library cell");
         let setup = cell.seq.expect("flop").setup.value();
-        let factor = config
-            .multicycle
-            .iter()
-            .find(|(c, _)| *c == id)
-            .map(|(_, f)| *f as f64)
-            .unwrap_or(1.0);
+        let di = domain_of[id.index()];
         let d_net = inst.inputs[0];
         let arr = arrival[d_net.index()];
-        endpoints.push(Endpoint {
-            name: inst.name.clone(),
-            arrival: Time::new(arr),
-            setup: Time::new(setup),
-            slack: Time::new(factor * period - setup - arr),
+        let untimed = untimed_flop[id.index()];
+        let (req, slack_v) = if untimed {
+            (f64::INFINITY, f64::INFINITY)
+        } else {
+            let p = domain_period[di].expect("timed flop has a period");
+            let factor = multicycle
+                .iter()
+                .find(|(c, _)| *c == id)
+                .map(|(_, f)| *f as f64)
+                .unwrap_or(1.0);
+            let req = factor * p + config.derate_early * ins[id.index()]
+                - setup
+                - config.setup_uncertainty.value();
+            // Normalize multicycle endpoints to per-period datapath demand.
+            let demand = (arr + setup + config.setup_uncertainty.value()
+                - config.derate_early * ins[id.index()])
+                / factor;
+            if demand > worst_datapath {
+                worst_datapath = demand;
+                worst_net = Some(d_net);
+            }
+            (req, req - arr)
+        };
+        eps.push(EpMeta {
+            ep: Endpoint {
+                name: inst.name.clone(),
+                arrival: Time::new(arr),
+                setup: Time::new(setup),
+                slack: Time::new(slack_v),
+                required: Time::new(req),
+                domain: domains[di].name.clone(),
+                untimed,
+            },
+            cell: Some(id),
+            net: d_net,
         });
-        // Normalize multicycle endpoints to per-period datapath demand.
-        if (arr + setup) / factor > worst_datapath {
-            worst_datapath = (arr + setup) / factor;
-            worst_net = Some(d_net);
-        }
     }
     for (name, net) in netlist.primary_outputs() {
         let arr = arrival[net.index()];
-        endpoints.push(Endpoint {
-            name: format!("port:{name}"),
-            arrival: Time::new(arr),
-            setup: Time::new(0.0),
-            slack: Time::new(period - arr),
-        });
-        if arr > worst_datapath {
-            worst_datapath = arr;
+        let req = period - config.output_delay.value();
+        let demand = arr + config.output_delay.value();
+        if demand > worst_datapath {
+            worst_datapath = demand;
             worst_net = Some(*net);
         }
+        eps.push(EpMeta {
+            ep: Endpoint {
+                name: format!("port:{name}"),
+                arrival: Time::new(arr),
+                setup: Time::new(0.0),
+                slack: Time::new(req - arr),
+                required: Time::new(req),
+                domain: String::from("core"),
+                untimed: false,
+            },
+            cell: None,
+            net: *net,
+        });
     }
-    endpoints.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"));
+    eps.sort_by(|a, b| {
+        (a.ep.untimed, a.ep.slack.value())
+            .partial_cmp(&(b.ep.untimed, b.ep.slack.value()))
+            .expect("comparable slack")
+    });
 
-    let wns = endpoints
-        .first()
-        .map(|e| e.slack)
+    // TM001: violated timed setup endpoints, worst first.
+    for m in &eps {
+        if m.ep.untimed || m.ep.slack.value() >= 0.0 {
+            continue;
+        }
+        let msg = format!(
+            "setup violated at endpoint '{}': slack {:.1} ps against clock '{}'",
+            m.ep.name,
+            m.ep.slack.ps(),
+            m.ep.domain
+        );
+        findings.push(match m.cell {
+            Some(c) => {
+                Finding::new(Rule::SetupViolation, msg).at_cell(m.ep.name.clone(), c.index())
+            }
+            None => Finding::new(Rule::SetupViolation, msg)
+                .at_net(netlist.net_name(m.net).to_string(), m.net.index()),
+        });
+    }
+
+    let wns = eps
+        .iter()
+        .find(|m| !m.ep.untimed)
+        .map(|m| m.ep.slack)
         .unwrap_or(Time::new(period));
-    let tns: f64 = endpoints.iter().map(|e| e.slack.value().min(0.0)).sum();
-    let violations = endpoints.iter().filter(|e| e.slack.value() < 0.0).count();
+    let tns: f64 = eps
+        .iter()
+        .filter(|m| !m.ep.untimed)
+        .map(|m| m.ep.slack.value().min(0.0))
+        .sum();
+    let violations = eps
+        .iter()
+        .filter(|m| !m.ep.untimed && m.ep.slack.value() < 0.0)
+        .count();
     let fmax = if worst_datapath > 0.0 {
         Hertz::new(1.0 / worst_datapath)
     } else {
         Hertz::from_ghz(1000.0)
     };
 
-    // Critical path: backtrack predecessor cells from the worst endpoint.
-    let mut critical_path = Vec::new();
-    let mut cursor = worst_net;
-    while let Some(net) = cursor {
-        match pred[net.index()] {
-            Some(cell) => {
-                critical_path.push(cell);
-                let inst = netlist.instance(cell);
-                if inst.is_sequential() {
-                    break; // reached the launching flop
-                }
-                // Follow the worst input.
-                cursor = inst.inputs.iter().copied().max_by(|a, b| {
-                    arrival[a.index()]
-                        .partial_cmp(&arrival[b.index()])
-                        .expect("finite arrivals")
-                });
+    // Early (hold) pass with genuinely fast min-delay arcs.
+    let hold_span = telemetry::span("sta.hold");
+    let mut min_arrival = vec![f64::INFINITY; n_nets];
+    let mut min_slew = vec![config.input_slew.value(); n_nets];
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let out = inst.output.index();
+        let arc = cell.min_arc(Time::new(clk_pin_slew[id.index()]), Farad::new(load[out]));
+        min_arrival[out] = config.derate_early * (ins[id.index()] + arc.delay.value());
+        min_slew[out] = arc.out_slew.value();
+    }
+    for &id in &order {
+        let inst = netlist.instance(id);
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let out = inst.output.index();
+        let mut best_t = f64::INFINITY;
+        let mut best_slew = config.input_slew.value();
+        for &i in &inst.inputs {
+            let ai = min_arrival[i.index()];
+            if !ai.is_finite() {
+                continue;
             }
-            None => break, // reached a primary input
+            let arc = cell.min_arc(Time::new(min_slew[i.index()]), Farad::new(load[out]));
+            let t = ai + config.derate_early * arc.delay.value();
+            if t < best_t {
+                best_t = t;
+                best_slew = arc.out_slew.value();
+            }
+        }
+        if best_t < min_arrival[out] {
+            min_arrival[out] = best_t;
+            min_slew[out] = best_slew;
         }
     }
-    critical_path.reverse();
+
+    // Hold checks: data must not race through before the same edge's
+    // hold window closes at the capturing flop.
+    let mut hold_wns = f64::INFINITY;
+    let mut hold_violations = 0usize;
+    for (id, inst) in netlist.instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let cell = library
+            .cell(inst.function, inst.drive)
+            .expect("library cell");
+        let hold = cell.seq.expect("flop").hold.value();
+        let early = min_arrival[inst.inputs[0].index()];
+        if early.is_finite() {
+            let slack = early
+                - config.derate_late * ins[id.index()]
+                - hold
+                - config.hold_uncertainty.value();
+            hold_wns = hold_wns.min(slack);
+            if slack < 0.0 {
+                hold_violations += 1;
+                findings.push(
+                    Finding::new(
+                        Rule::HoldViolation,
+                        format!(
+                            "hold violated at flop '{}': slack {:.1} ps; data races through before the capture window closes",
+                            inst.name,
+                            slack * 1e12
+                        ),
+                    )
+                    .at_cell(inst.name.clone(), id.index()),
+                );
+            }
+        }
+    }
+    if !hold_wns.is_finite() {
+        hold_wns = 0.0;
+    }
+    drop(hold_span);
+
+    // Path enumeration: expand the top-K worst timed endpoints.
+    let paths_span = telemetry::span("sta.paths");
+    let mut paths = Vec::new();
+    for m in eps.iter().filter(|m| !m.ep.untimed).take(config.top_paths) {
+        let mut cells = Vec::new();
+        let mut cursor = Some(m.net);
+        while let Some(net) = cursor {
+            match pred[net.index()] {
+                Some(cell) => {
+                    cells.push(cell);
+                    let inst = netlist.instance(cell);
+                    if inst.is_sequential() {
+                        break; // reached the launching flop
+                    }
+                    cursor = inst.inputs.iter().copied().max_by(|a, b| {
+                        arrival[a.index()]
+                            .partial_cmp(&arrival[b.index()])
+                            .expect("finite arrivals")
+                    });
+                }
+                None => break, // reached a primary input
+            }
+        }
+        cells.reverse();
+        let startpoint = match cells.first() {
+            Some(&c) if netlist.instance(c).is_sequential() => netlist.instance(c).name.clone(),
+            _ => String::from("primary input"),
+        };
+        let stages = cells
+            .iter()
+            .map(|&c| {
+                let inst = netlist.instance(c);
+                let out = inst.output.index();
+                PathStage {
+                    cell: c,
+                    instance: inst.name.clone(),
+                    gate: format!("{:?}/{:?}", inst.function, inst.drive),
+                    delay: Time::new(stage_delay[c.index()]),
+                    arrival: Time::new(arrival[out]),
+                    slew: Time::new(slew[out]),
+                    load: Farad::new(load[out]),
+                }
+            })
+            .collect();
+        paths.push(PathReport {
+            endpoint: m.ep.name.clone(),
+            startpoint,
+            domain: m.ep.domain.clone(),
+            arrival: m.ep.arrival,
+            required: m.ep.required,
+            slack: m.ep.slack,
+            stages,
+        });
+    }
+    drop(paths_span);
+
+    // Critical path: the worst enumerated path; fall back to the
+    // worst-datapath net when every endpoint is untimed.
+    let critical_path = match paths.first() {
+        Some(p) => p.stages.iter().map(|s| s.cell).collect(),
+        None => {
+            let mut cp = Vec::new();
+            let mut cursor = worst_net;
+            while let Some(net) = cursor {
+                match pred[net.index()] {
+                    Some(cell) => {
+                        cp.push(cell);
+                        let inst = netlist.instance(cell);
+                        if inst.is_sequential() {
+                            break;
+                        }
+                        cursor = inst.inputs.iter().copied().max_by(|a, b| {
+                            arrival[a.index()]
+                                .partial_cmp(&arrival[b.index()])
+                                .expect("finite arrivals")
+                        });
+                    }
+                    None => break,
+                }
+            }
+            cp.reverse();
+            cp
+        }
+    };
 
     Ok(StaReport {
         clock: config.clock,
@@ -328,21 +1089,31 @@ pub fn analyze(
         violations,
         fmax,
         critical_path,
-        endpoints,
+        endpoints: eps.iter().map(|m| m.ep.clone()).collect(),
         hold_wns: Time::new(hold_wns),
         hold_violations,
+        paths,
+        domains,
+        design: netlist.name().to_string(),
+        findings,
         arrivals: arrival.into_iter().map(Time::new).collect(),
+        requireds: required.into_iter().map(Time::new).collect(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openserdes_lint::LintLevel;
     use openserdes_pdk::corner::{ProcessCorner, Pvt};
     use openserdes_pdk::stdcell::{DriveStrength, LogicFn};
 
     fn lib() -> Library {
         Library::sky130(Pvt::nominal())
+    }
+
+    fn run(nl: &Netlist, l: &Library, cfg: StaConfig) -> StaReport {
+        Sta::new().with_config(cfg).run(nl, l, None).expect("ok")
     }
 
     /// flop -> N inverters -> flop pipeline.
@@ -364,8 +1135,8 @@ mod tests {
     fn longer_paths_have_less_slack() {
         let l = lib();
         let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
-        let short = analyze(&pipeline(2), &l, None, cfg.clone()).expect("ok");
-        let long = analyze(&pipeline(20), &l, None, cfg).expect("ok");
+        let short = run(&pipeline(2), &l, cfg.clone());
+        let long = run(&pipeline(20), &l, cfg);
         assert!(long.wns < short.wns);
         assert!(long.fmax.value() < short.fmax.value());
     }
@@ -374,9 +1145,9 @@ mod tests {
     fn violations_appear_at_high_clock() {
         let l = lib();
         let nl = pipeline(30);
-        let slow = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_mhz(100.0))).expect("ok");
+        let slow = run(&nl, &l, StaConfig::at_clock(Hertz::from_mhz(100.0)));
         assert!(slow.clean(), "100 MHz must close on 30 inverters");
-        let fast = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(5.0))).expect("ok");
+        let fast = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(5.0)));
         assert!(!fast.clean(), "5 GHz must fail on 30 inverters");
         assert!(fast.tns.value() < 0.0);
     }
@@ -385,23 +1156,19 @@ mod tests {
     fn fmax_consistent_with_slack() {
         let l = lib();
         let nl = pipeline(10);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
         // Exactly at fmax the design should be (just) clean.
-        let at_fmax = analyze(
+        let at_fmax = run(
             &nl,
             &l,
-            None,
             StaConfig::at_clock(Hertz::new(r.fmax.value() * 0.999)),
-        )
-        .expect("ok");
+        );
         assert!(at_fmax.clean(), "wns at 0.999·fmax = {}", at_fmax.wns);
-        let above = analyze(
+        let above = run(
             &nl,
             &l,
-            None,
             StaConfig::at_clock(Hertz::new(r.fmax.value() * 1.05)),
-        )
-        .expect("ok");
+        );
         assert!(!above.clean());
     }
 
@@ -409,7 +1176,7 @@ mod tests {
     fn critical_path_traverses_the_chain() {
         let l = lib();
         let nl = pipeline(8);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
         // Path = launch flop + 8 inverters.
         assert_eq!(r.critical_path.len(), 9);
         let first = nl.instance(r.critical_path[0]);
@@ -420,9 +1187,9 @@ mod tests {
     fn slow_corner_lowers_fmax() {
         let nl = pipeline(10);
         let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
-        let tt = analyze(&nl, &lib(), None, cfg.clone()).expect("ok");
+        let tt = run(&nl, &lib(), cfg.clone());
         let ss_lib = Library::sky130(Pvt::new(ProcessCorner::SlowSlow, 1.62, 125.0));
-        let ss = analyze(&nl, &ss_lib, None, cfg).expect("ok");
+        let ss = run(&nl, &ss_lib, cfg);
         assert!(ss.fmax.value() < tt.fmax.value());
     }
 
@@ -430,7 +1197,7 @@ mod tests {
     fn endpoint_list_sorted_by_slack() {
         let l = lib();
         let nl = pipeline(12);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0))).expect("ok");
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(2.0)));
         for w in r.endpoints.windows(2) {
             assert!(w[0].slack <= w[1].slack);
         }
@@ -439,16 +1206,10 @@ mod tests {
 
     #[test]
     fn hold_clean_with_library_flops() {
-        // clk→Q (150 ps) far exceeds hold (20 ps): back-to-back flops
-        // are hold-clean by construction in this library.
+        // Even the early clk→Q far exceeds hold (20 ps): back-to-back
+        // flops are hold-clean by construction in this library.
         let l = lib();
-        let r = analyze(
-            &pipeline(0),
-            &l,
-            None,
-            StaConfig::at_clock(Hertz::from_ghz(1.0)),
-        )
-        .expect("ok");
+        let r = run(&pipeline(0), &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
         assert_eq!(r.hold_violations, 0);
         assert!(
             r.hold_wns.ps() > 50.0,
@@ -461,8 +1222,8 @@ mod tests {
     fn hold_slack_grows_with_path_depth() {
         let l = lib();
         let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
-        let short = analyze(&pipeline(0), &l, None, cfg.clone()).expect("ok");
-        let long = analyze(&pipeline(10), &l, None, cfg).expect("ok");
+        let short = run(&pipeline(0), &l, cfg.clone());
+        let long = run(&pipeline(10), &l, cfg);
         assert!(long.hold_wns >= short.hold_wns);
     }
 
@@ -476,11 +1237,11 @@ mod tests {
             .map(|(id, _)| id)
             .nth(1)
             .expect("capture flop");
-        let tight = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(2.0))).expect("ok");
+        let tight = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(2.0)));
         assert!(!tight.clean(), "30 inverters fail at 2 GHz single-cycle");
         let mut cfg = StaConfig::at_clock(Hertz::from_ghz(2.0));
         cfg.multicycle = vec![(flop, 8)];
-        let relaxed = analyze(&nl, &l, None, cfg).expect("ok");
+        let relaxed = run(&nl, &l, cfg);
         assert!(
             relaxed.clean(),
             "an 8-cycle exception must absorb the path: wns = {}",
@@ -497,9 +1258,327 @@ mod tests {
         let b = nl.add_input("b");
         let y = nl.gate(LogicFn::Xor2, DriveStrength::X1, &[a, b]);
         nl.mark_output("y", y);
-        let r = analyze(&nl, &l, None, StaConfig::at_clock(Hertz::from_ghz(1.0))).expect("ok");
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
         assert_eq!(r.endpoints.len(), 1);
         assert!(r.endpoints[0].name.starts_with("port:"));
         assert!(r.clean());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_analyze_matches_sta() {
+        let l = lib();
+        let nl = pipeline(6);
+        let cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        let old = analyze(&nl, &l, None, cfg.clone()).expect("ok");
+        let new = run(&nl, &l, cfg);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn launch_arrival_responds_to_clock_slew() {
+        let l = lib();
+        let nl = pipeline(2);
+        let q0 = nl
+            .instances()
+            .find(|(_, i)| i.is_sequential())
+            .map(|(_, i)| i.output)
+            .expect("launch flop");
+        let mut slow = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        slow.clock_slew = Time::from_ps(400.0);
+        let base = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        let degraded = run(&nl, &l, slow);
+        assert!(
+            degraded.arrival(q0) > base.arrival(q0),
+            "a slower clock edge must delay the launch: {} vs {} ps",
+            degraded.arrival(q0).ps(),
+            base.arrival(q0).ps()
+        );
+    }
+
+    #[test]
+    fn output_delay_tightens_port_slack_exactly() {
+        let l = lib();
+        let mut nl = Netlist::new("comb");
+        let a = nl.add_input("a");
+        let y = nl.gate(LogicFn::Buf, DriveStrength::X1, &[a]);
+        nl.mark_output("y", y);
+        let base = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        let od = Time::from_ps(137.0);
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.output_delay = od;
+        let tight = run(&nl, &l, cfg);
+        let delta = base.endpoints[0].slack.ps() - tight.endpoints[0].slack.ps();
+        assert!(
+            (delta - od.ps()).abs() < 1e-6,
+            "slack must tighten by exactly the output delay, got {delta} ps"
+        );
+    }
+
+    #[test]
+    fn invalid_multicycle_surfaces_tm008() {
+        let l = lib();
+        let small = pipeline(2);
+        let comb = small
+            .instances()
+            .find(|(_, i)| !i.is_sequential())
+            .map(|(id, _)| id)
+            .expect("inverter");
+        // A CellId minted on a larger netlist does not exist here.
+        let big = pipeline(40);
+        let foreign = big.cell_ids().last().expect("cells");
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.multicycle = vec![(comb, 2), (foreign, 2)];
+        let r = run(&small, &l, cfg);
+        let tm008: Vec<_> = r
+            .findings()
+            .iter()
+            .filter(|f| f.rule == Rule::InvalidTimingException)
+            .collect();
+        assert_eq!(tm008.len(), 2, "both bad exceptions must be flagged");
+        assert!(
+            r.to_lint(&LintConfig::new()).has_errors(),
+            "TM008 defaults to Error"
+        );
+    }
+
+    #[test]
+    fn backward_slack_matches_forward_on_every_net() {
+        let l = lib();
+        let nl = pipeline(8);
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(2.0)));
+        // On a single chain every net's backward slack equals the
+        // endpoint slack the forward pass computed.
+        assert!(!r.critical_path.is_empty());
+        for &c in &r.critical_path {
+            let out = nl.instance(c).output;
+            assert!(
+                (r.slack(out).ps() - r.wns.ps()).abs() < 1e-3,
+                "net {} slack {} ps vs wns {} ps",
+                nl.net_name(out),
+                r.slack(out).ps(),
+                r.wns.ps()
+            );
+        }
+    }
+
+    #[test]
+    fn hold_loosens_as_early_derate_rises() {
+        let l = lib();
+        let nl = pipeline(0);
+        let mut prev = f64::NEG_INFINITY;
+        for derate in [0.7, 0.85, 1.0] {
+            let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+            cfg.derate_early = derate;
+            let r = run(&nl, &l, cfg);
+            assert!(
+                r.hold_wns.ps() >= prev,
+                "hold slack must be non-decreasing toward derate 1.0"
+            );
+            prev = r.hold_wns.ps();
+        }
+    }
+
+    #[test]
+    fn setup_uncertainty_tightens_slack_exactly() {
+        let l = lib();
+        let nl = pipeline(5);
+        let base = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.setup_uncertainty = Time::from_ps(100.0);
+        let tight = run(&nl, &l, cfg);
+        let delta = base.endpoints[0].slack.ps() - tight.endpoints[0].slack.ps();
+        assert!((delta - 100.0).abs() < 1e-6, "got {delta} ps");
+    }
+
+    /// Two independent domains: flops on `clka` and `clkb`, no crossing.
+    fn two_domain_netlist() -> Netlist {
+        let mut nl = Netlist::new("dual");
+        let clka = nl.add_input("clka");
+        let clkb = nl.add_input("clkb");
+        let da = nl.add_input("da");
+        let db = nl.add_input("db");
+        let qa = nl.dff(da, clka, DriveStrength::X1);
+        let qb = nl.dff(db, clkb, DriveStrength::X1);
+        nl.mark_output("qa", qa);
+        nl.mark_output("qb", qb);
+        nl
+    }
+
+    #[test]
+    fn per_domain_periods_apply() {
+        let l = lib();
+        let nl = two_domain_netlist();
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.clocks = vec![(String::from("clkb"), Hertz::from_mhz(250.0))];
+        let r = run(&nl, &l, cfg);
+        assert_eq!(r.domains.len(), 2);
+        let a = r.domains.iter().find(|d| d.name == "clka").expect("clka");
+        let b = r.domains.iter().find(|d| d.name == "clkb").expect("clkb");
+        assert!((a.period.expect("timed").ps() - 1000.0).abs() < 1e-6);
+        assert!((b.period.expect("timed").ps() - 4000.0).abs() < 1e-6);
+        // The slow-clock endpoint has 3 ns more required time.
+        let ea = r
+            .endpoints
+            .iter()
+            .find(|e| e.domain == "clka")
+            .expect("ep a");
+        let eb = r
+            .endpoints
+            .iter()
+            .find(|e| e.domain == "clkb")
+            .expect("ep b");
+        assert!(eb.slack.ps() > ea.slack.ps() + 2000.0);
+    }
+
+    #[test]
+    fn cross_domain_paths_are_untimed_and_flagged() {
+        let l = lib();
+        let mut nl = Netlist::new("cdc");
+        let clka = nl.add_input("clka");
+        let clkb = nl.add_input("clkb");
+        let d = nl.add_input("d");
+        let qa = nl.dff(d, clka, DriveStrength::X1);
+        let s = nl.gate(LogicFn::Inv, DriveStrength::X1, &[qa]);
+        let qb = nl.dff(s, clkb, DriveStrength::X1);
+        nl.mark_output("q", qb);
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        let capture = r
+            .endpoints
+            .iter()
+            .find(|e| e.domain == "clkb")
+            .expect("capture endpoint");
+        assert!(
+            capture.untimed,
+            "cross-domain endpoint is untimed by default"
+        );
+        assert!(r
+            .findings()
+            .iter()
+            .any(|f| f.rule == Rule::UntimedCrossDomainPath));
+        // Untimed endpoints sort last and never count as violations.
+        assert!(r.endpoints.last().expect("eps").untimed);
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn unconstrained_generated_clock_is_tm003() {
+        let l = lib();
+        let mut nl = Netlist::new("ripple");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q0 = nl.dff(d, clk, DriveStrength::X1);
+        // Ripple counter style: second flop clocked by the first's Q.
+        let q1 = nl.dff(d, q0, DriveStrength::X1);
+        nl.mark_output("q", q1);
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        assert!(r
+            .findings()
+            .iter()
+            .any(|f| f.rule == Rule::UnconstrainedEndpoint));
+        let generated = r.domains.iter().find(|dom| !nl.is_primary_input(dom.root));
+        assert!(generated.expect("generated domain").period.is_none());
+    }
+
+    #[test]
+    fn max_transition_and_max_cap_rules_fire() {
+        let l = lib();
+        let mut nl = Netlist::new("fanout");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q = nl.dff(d, clk, DriveStrength::X1);
+        let big = nl.gate(LogicFn::Inv, DriveStrength::X1, &[q]);
+        for _ in 0..200 {
+            let qq = nl.dff(big, clk, DriveStrength::X1);
+            nl.mark_output("o", qq);
+        }
+        let mut cfg = StaConfig::at_clock(Hertz::from_mhz(100.0));
+        cfg.max_transition = Some(Time::from_ps(100.0));
+        let r = run(&nl, &l, cfg);
+        assert!(
+            r.findings()
+                .iter()
+                .any(|f| f.rule == Rule::MaxTransitionViolation),
+            "an X1 inverter into 200 flops must blow the transition limit"
+        );
+        assert!(
+            r.findings().iter().any(|f| f.rule == Rule::MaxCapViolation),
+            "the load far exceeds the X1 max_load characterization"
+        );
+    }
+
+    #[test]
+    fn excessive_skew_is_flagged() {
+        let l = lib();
+        let mut nl = Netlist::new("skewed");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        // One flop on the raw clock, one behind a long buffer chain.
+        let mut late_clk = clk;
+        for _ in 0..8 {
+            late_clk = nl.gate(LogicFn::Buf, DriveStrength::X1, &[late_clk]);
+        }
+        let q0 = nl.dff(d, clk, DriveStrength::X1);
+        let q1 = nl.dff(q0, late_clk, DriveStrength::X1);
+        nl.mark_output("q", q1);
+        let mut cfg = StaConfig::at_clock(Hertz::from_mhz(500.0));
+        cfg.max_skew = Some(Time::from_ps(10.0));
+        let r = run(&nl, &l, cfg);
+        assert_eq!(r.domains.len(), 1, "buffered clock traces to the same root");
+        assert!(r.domains[0].skew().ps() > 10.0);
+        assert!(r
+            .findings()
+            .iter()
+            .any(|f| f.rule == Rule::ExcessiveClockSkew));
+    }
+
+    #[test]
+    fn path_report_prints_per_stage_breakdown() {
+        let l = lib();
+        let nl = pipeline(8);
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(1.0)));
+        assert!(!r.paths.is_empty());
+        let p = &r.paths[0];
+        assert_eq!(p.stages.len(), 9, "launch flop + 8 inverters");
+        let text = p.to_string();
+        assert!(text.contains("Startpoint"));
+        assert!(text.contains("Endpoint"));
+        assert!(text.contains("MET"));
+        // Arrivals are cumulative along the path.
+        for w in p.stages.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn setup_violations_surface_as_tm001_warnings() {
+        let l = lib();
+        let nl = pipeline(30);
+        let r = run(&nl, &l, StaConfig::at_clock(Hertz::from_ghz(5.0)));
+        assert!(!r.clean());
+        let lint = r.to_lint(&LintConfig::new());
+        assert!(lint.has_warnings(), "TM001 defaults to Warn");
+        assert!(!lint.has_errors());
+        let strict =
+            r.to_lint(&LintConfig::new().set_level(Rule::SetupViolation, LintLevel::Error));
+        assert!(
+            strict.has_errors(),
+            "severity overrides apply to TM findings"
+        );
+    }
+
+    #[test]
+    fn hold_violation_surfaces_as_tm002() {
+        let l = lib();
+        let nl = pipeline(0);
+        let mut cfg = StaConfig::at_clock(Hertz::from_ghz(1.0));
+        cfg.hold_uncertainty = Time::from_ps(300.0);
+        let r = run(&nl, &l, cfg);
+        assert!(r.hold_violations > 0);
+        assert!(r.findings().iter().any(|f| f.rule == Rule::HoldViolation));
+        assert!(
+            r.to_lint(&LintConfig::new()).has_errors(),
+            "TM002 defaults to Error"
+        );
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! * `NL0xx` — gate-level netlist ERC (`openserdes_netlist::lint`),
 //! * `IR0xx` — RTL IR checks (`openserdes_flow::lint`),
-//! * `AN0xx` — analog circuit DRC (`openserdes_analog::drc`).
+//! * `AN0xx` — analog circuit DRC (`openserdes_analog::drc`),
+//! * `TM0xx` — static-timing signoff findings (`openserdes_flow::sta`).
 //!
 //! IDs are stable across releases: rules may be retired but never
 //! renumbered, so suppression lists in user configs keep meaning the
@@ -122,12 +123,46 @@ pub enum Rule {
     /// `AN006` — a stimulus carries non-finite values or a
     /// piecewise-linear time axis that runs backwards.
     BadStimulus,
+
+    // ---- TM0xx: static-timing signoff ----------------------------------
+    /// `TM001` — a setup (max-delay) check failed: data arrives after the
+    /// capture edge minus setup and uncertainty. The design cannot run at
+    /// the requested clock; slowing the clock clears it, hence Warn.
+    SetupViolation,
+    /// `TM002` — a hold (min-delay) check failed: data races through and
+    /// corrupts the *same* edge's capture. Hold failures are
+    /// frequency-independent and kill silicon at every clock, hence Error.
+    HoldViolation,
+    /// `TM003` — an endpoint is clocked by a generated/derived clock with
+    /// no period constraint: the check silently never runs. OpenSTA's
+    /// "unconstrained endpoint" warning.
+    UnconstrainedEndpoint,
+    /// `TM004` — a net's transition time exceeds the configured
+    /// max-transition limit. Slow edges burn short-circuit power and make
+    /// every downstream NLDM lookup untrustworthy.
+    MaxTransitionViolation,
+    /// `TM005` — a net's capacitive load (pins + wire) exceeds the
+    /// driving cell's library `max_load`. The delay model is
+    /// extrapolating far off its table; the real edge is worse.
+    MaxCapViolation,
+    /// `TM006` — the clock insertion-delay spread inside one domain
+    /// exceeds the configured skew limit: the CTS estimate cannot deliver
+    /// a balanced tree for this netlist.
+    ExcessiveClockSkew,
+    /// `TM007` — a path crosses clock domains and is therefore untimed by
+    /// default (no common capture edge exists). Informational: the NL006
+    /// synchronizer audit decides whether the crossing is *safe*.
+    UntimedCrossDomainPath,
+    /// `TM008` — a timing exception references a cell that does not exist
+    /// or is not sequential: the exception silently constrains nothing,
+    /// which is always a stale or mistyped constraint.
+    InvalidTimingException,
 }
 
 impl Rule {
     /// Every rule in the catalog, in ID order. Tests iterate this to
     /// assert one triggering fixture exists per rule.
-    pub const ALL: [Rule; 20] = [
+    pub const ALL: [Rule; 28] = [
         Rule::MultiplyDrivenNet,
         Rule::UndrivenNet,
         Rule::CombinationalLoop,
@@ -148,6 +183,14 @@ impl Rule {
         Rule::UnusedNode,
         Rule::SourceConflict,
         Rule::BadStimulus,
+        Rule::SetupViolation,
+        Rule::HoldViolation,
+        Rule::UnconstrainedEndpoint,
+        Rule::MaxTransitionViolation,
+        Rule::MaxCapViolation,
+        Rule::ExcessiveClockSkew,
+        Rule::UntimedCrossDomainPath,
+        Rule::InvalidTimingException,
     ];
 
     /// The stable rule ID (`NL001` …).
@@ -173,6 +216,14 @@ impl Rule {
             Rule::UnusedNode => "AN004",
             Rule::SourceConflict => "AN005",
             Rule::BadStimulus => "AN006",
+            Rule::SetupViolation => "TM001",
+            Rule::HoldViolation => "TM002",
+            Rule::UnconstrainedEndpoint => "TM003",
+            Rule::MaxTransitionViolation => "TM004",
+            Rule::MaxCapViolation => "TM005",
+            Rule::ExcessiveClockSkew => "TM006",
+            Rule::UntimedCrossDomainPath => "TM007",
+            Rule::InvalidTimingException => "TM008",
         }
     }
 
@@ -199,6 +250,14 @@ impl Rule {
             Rule::UnusedNode => "unused-node",
             Rule::SourceConflict => "source-conflict",
             Rule::BadStimulus => "bad-stimulus",
+            Rule::SetupViolation => "setup-violation",
+            Rule::HoldViolation => "hold-violation",
+            Rule::UnconstrainedEndpoint => "unconstrained-endpoint",
+            Rule::MaxTransitionViolation => "max-transition-violation",
+            Rule::MaxCapViolation => "max-capacitance-violation",
+            Rule::ExcessiveClockSkew => "excessive-clock-skew",
+            Rule::UntimedCrossDomainPath => "untimed-cross-domain-path",
+            Rule::InvalidTimingException => "invalid-timing-exception",
         }
     }
 
@@ -214,7 +273,9 @@ impl Rule {
             | Rule::NoDcPath
             | Rule::NonPositiveElement
             | Rule::SourceConflict
-            | Rule::BadStimulus => Severity::Error,
+            | Rule::BadStimulus
+            | Rule::HoldViolation
+            | Rule::InvalidTimingException => Severity::Error,
             Rule::DanglingOutput
             | Rule::DeadLogic
             | Rule::UnsyncClockCrossing
@@ -224,17 +285,23 @@ impl Rule {
             | Rule::RaggedBus
             | Rule::DuplicateMulticycle
             | Rule::DegenerateElement
-            | Rule::UnusedNode => Severity::Warn,
-            Rule::UnusedInput => Severity::Info,
+            | Rule::UnusedNode
+            | Rule::SetupViolation
+            | Rule::UnconstrainedEndpoint
+            | Rule::MaxTransitionViolation
+            | Rule::MaxCapViolation
+            | Rule::ExcessiveClockSkew => Severity::Warn,
+            Rule::UnusedInput | Rule::UntimedCrossDomainPath => Severity::Info,
         }
     }
 
-    /// The analysis domain this rule belongs to (`netlist`, `ir` or
-    /// `analog`), derived from the ID prefix.
+    /// The analysis domain this rule belongs to (`netlist`, `ir`,
+    /// `analog` or `timing`), derived from the ID prefix.
     pub fn domain(self) -> &'static str {
         match &self.code()[..2] {
             "NL" => "netlist",
             "IR" => "ir",
+            "TM" => "timing",
             _ => "analog",
         }
     }
@@ -268,6 +335,8 @@ mod tests {
         assert_eq!(Rule::MultiplyDrivenNet.domain(), "netlist");
         assert_eq!(Rule::DeadNode.domain(), "ir");
         assert_eq!(Rule::NoDcPath.domain(), "analog");
+        assert_eq!(Rule::SetupViolation.domain(), "timing");
+        assert_eq!(Rule::InvalidTimingException.domain(), "timing");
     }
 
     #[test]

@@ -231,6 +231,23 @@ impl Library {
                         (d, s)
                     },
                 );
+                // Early (min-delay) arcs: the fastest transition through
+                // the cell — the stronger pull branch alone, a reduced
+                // intrinsic (the fast internal path, ~80 % of nominal)
+                // and a shallower slew dependence. Every table entry is
+                // strictly below the late table, so hold races use a
+                // genuinely fast arc rather than the nominal one.
+                let r_fast = rn.min(rp);
+                let timing_min = Nldm::characterize(
+                    vec![5.0, 20.0, 60.0, 150.0, 400.0],
+                    vec![1.0, 5.0, 20.0, 80.0, 320.0],
+                    |slew_ps, load_ff| {
+                        let c_total = (load_ff + c_par_ff) * 1.0e-15;
+                        let d = 0.8 * intrinsic + 0.55 * r_fast * c_total * 1.0e12 + slew_ps / 8.0;
+                        let s = 1.1 * r_fast * c_total * 1.0e12 + slew_ps / 12.0 + 1.5;
+                        (d, s)
+                    },
+                );
 
                 let input_cap_ff = r.input_w
                     * k.clamp(1.0, 4.0)
@@ -261,6 +278,7 @@ impl Library {
                     },
                     max_load: Farad::from_ff(30.0 * k),
                     timing,
+                    timing_min,
                     seq,
                     leakage_w,
                     internal_energy_j,
@@ -456,6 +474,32 @@ mod tests {
         // Huge loads saturate at the strongest cell.
         let max = l.pick_drive(LogicFn::Inv, Farad::from_pf(10.0));
         assert_eq!(max.drive, DriveStrength::X16);
+    }
+
+    #[test]
+    fn min_arc_strictly_faster_than_late_arc() {
+        // The early/late split is only sound if the min table is below
+        // the late table everywhere the STA will look it up.
+        let l = lib();
+        for c in l.iter() {
+            for slew_ps in [5.0, 40.0, 150.0, 400.0, 800.0] {
+                for load_ff in [1.0, 20.0, 320.0, 600.0] {
+                    let slew = Time::from_ps(slew_ps);
+                    let load = Farad::from_ff(load_ff);
+                    let late = c.arc(slew, load);
+                    let early = c.min_arc(slew, load);
+                    assert!(
+                        early.delay < late.delay,
+                        "{}: early {} >= late {} at {slew_ps} ps / {load_ff} fF",
+                        c.name,
+                        early.delay.ps(),
+                        late.delay.ps()
+                    );
+                    assert!(early.out_slew <= late.out_slew, "{}", c.name);
+                    assert!(early.delay.ps() > 0.0, "{}", c.name);
+                }
+            }
+        }
     }
 
     #[test]

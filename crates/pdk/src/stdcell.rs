@@ -344,8 +344,12 @@ pub struct StdCell {
     /// Maximum output load the cell may legally drive.
     pub max_load: Farad,
     /// Timing table for the data-input → output arc (clock → Q for
-    /// sequential cells).
+    /// sequential cells). Worst-case (late) arcs: setup analysis.
     pub timing: Nldm,
+    /// Best-case (early) arc table for the same pin pair: the genuinely
+    /// fast transition through the cell (fastest pull branch, reduced
+    /// intrinsic). Hold analysis must use these, never `timing`.
+    pub timing_min: Nldm,
     /// Sequential constraints, present only for flip-flops.
     pub seq: Option<SeqTiming>,
     /// Static leakage power in watts.
@@ -357,9 +361,16 @@ pub struct StdCell {
 }
 
 impl StdCell {
-    /// Delay and output slew driving `load` with the given input slew.
+    /// Delay and output slew driving `load` with the given input slew
+    /// (worst-case/late arc, used for setup analysis).
     pub fn arc(&self, in_slew: Time, load: Farad) -> TimingArc {
         self.timing.lookup(in_slew, load)
+    }
+
+    /// Best-case (early) delay and output slew for the same transition —
+    /// the min-delay arc hold analysis races against.
+    pub fn min_arc(&self, in_slew: Time, load: Farad) -> TimingArc {
+        self.timing_min.lookup(in_slew, load)
     }
 
     /// `true` if `load` exceeds the cell's legal maximum.

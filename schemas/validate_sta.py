@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate BENCH_sta.json against schemas/BENCH_sta.schema.json.
+
+A dependency-free subset of JSON Schema draft-07 — enough for the
+STA schema (type/required/properties/additionalProperties/items/
+const/minimum/$ref). CI runs this after the sta smoke; exits
+non-zero on the first violation. Also re-checks the run-level
+invariants: all five example designs are present, every design is
+timed at exactly the tt/ss/ff corners, per-design fmax is ordered
+ss <= tt <= ff, and TNS is consistent with the violation count.
+"""
+
+import json
+import sys
+
+SCHEMA_PATH = "schemas/BENCH_sta.schema.json"
+DOC_PATH = "BENCH_sta.json"
+
+
+def main() -> None:
+    schema = json.load(open(SCHEMA_PATH))
+    doc = json.load(open(DOC_PATH))
+
+    def resolve(ref: str):
+        node = schema
+        for part in ref.lstrip("#/").split("/"):
+            node = node[part]
+        return node
+
+    def check(inst, sch, path="$"):
+        if "$ref" in sch:
+            check(inst, resolve(sch["$ref"]), path)
+        if "const" in sch:
+            assert inst == sch["const"], f"{path}: {inst!r} != {sch['const']!r}"
+        t = sch.get("type")
+        if t == "object":
+            assert isinstance(inst, dict), f"{path}: not an object"
+            for r in sch.get("required", []):
+                assert r in inst, f"{path}: missing required key {r!r}"
+            props = sch.get("properties", {})
+            ap = sch.get("additionalProperties", True)
+            for k, v in inst.items():
+                if k in props:
+                    check(v, props[k], f"{path}.{k}")
+                elif isinstance(ap, dict):
+                    check(v, ap, f"{path}.{k}")
+                elif ap is False:
+                    raise AssertionError(f"{path}: unexpected key {k!r}")
+        elif t == "array":
+            assert isinstance(inst, list), f"{path}: not an array"
+            for i, v in enumerate(inst):
+                check(v, sch.get("items", {}), f"{path}[{i}]")
+        elif t == "integer":
+            assert isinstance(inst, int) and not isinstance(inst, bool), f"{path}: not an integer"
+        elif t == "number":
+            assert isinstance(inst, (int, float)) and not isinstance(inst, bool), f"{path}: not a number"
+        elif t == "string":
+            assert isinstance(inst, str), f"{path}: not a string"
+        elif t == "boolean":
+            assert isinstance(inst, bool), f"{path}: not a boolean"
+        if "minimum" in sch:
+            assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
+
+    check(doc, schema)
+
+    # Run-level invariants beyond per-field shape.
+    names = [d["name"] for d in doc["designs"]]
+    expected = {"serializer", "deserializer", "cdr", "cdr_scan", "serdes_top"}
+    assert set(names) == expected, f"unexpected design set {sorted(names)}"
+    assert len(names) == len(expected), "each design appears exactly once"
+    for d in doc["designs"]:
+        corners = {c["corner"]: c for c in d["corners"]}
+        assert set(corners) == {"tt", "ss", "ff"}, f"{d['name']}: corners {sorted(corners)}"
+        ss, tt, ff = corners["ss"], corners["tt"], corners["ff"]
+        assert ss["fmax_ghz"] <= tt["fmax_ghz"] <= ff["fmax_ghz"], (
+            f"{d['name']}: fmax must be ordered ss <= tt <= ff, got "
+            f"{ss['fmax_ghz']} / {tt['fmax_ghz']} / {ff['fmax_ghz']}"
+        )
+        for label, c in corners.items():
+            if c["violations"] == 0:
+                assert c["tns_ps"] == 0.0, f"{d['name']}/{label}: clean corner with nonzero TNS"
+                assert c["wns_ps"] >= 0.0, f"{d['name']}/{label}: clean corner with negative WNS"
+            else:
+                assert c["tns_ps"] < 0.0, f"{d['name']}/{label}: violations but TNS >= 0"
+                assert c["wns_ps"] < 0.0, f"{d['name']}/{label}: violations but WNS >= 0"
+            assert c["tns_ps"] >= c["wns_ps"] * c["violations"] - 1e-6, (
+                f"{d['name']}/{label}: TNS cannot be worse than violations x WNS"
+            )
+
+    print(
+        f"BENCH_sta.json validates against {SCHEMA_PATH} "
+        f"({len(names)} designs x 3 corners at {doc['clock_ghz']} GHz)"
+    )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(1)
