@@ -109,6 +109,9 @@ pub enum Error {
     /// A sweep item panicked and was isolated by the fault-tolerant
     /// fan-out — the other items' results are unaffected.
     Fault(FaultInfo),
+    /// A serialized job ([`crate::job::Request`] / wire frame) was
+    /// malformed: bad JSON, an unknown kind, or an out-of-range field.
+    Parse(String),
 }
 
 impl fmt::Display for Error {
@@ -119,6 +122,7 @@ impl fmt::Display for Error {
             Error::Solver(e) => write!(f, "solver: {e}"),
             Error::Netlist(e) => write!(f, "netlist: {e}"),
             Error::Fault(e) => write!(f, "fault: {e}"),
+            Error::Parse(msg) => write!(f, "parse: {msg}"),
         }
     }
 }
@@ -130,7 +134,7 @@ impl StdError for Error {
             Error::Flow(e) => Some(e),
             Error::Solver(e) => Some(e),
             Error::Netlist(e) => Some(e),
-            Error::Fault(_) => None,
+            Error::Fault(_) | Error::Parse(_) => None,
         }
     }
 }

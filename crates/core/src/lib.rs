@@ -36,6 +36,8 @@ pub mod budget;
 pub mod cdr;
 pub mod cost;
 pub mod error;
+pub mod job;
+pub mod json;
 pub mod link;
 pub mod prbs;
 pub mod scan;
@@ -52,6 +54,10 @@ pub use budget::{BlockBudget, LinkBudget};
 pub use cdr::{cdr_design, oversample_bits, oversample_bits_packed, CdrConfig, OversamplingCdr};
 pub use deserializer::{deserializer_design, Deserializer};
 pub use error::{Error, FaultInfo, LinkError};
+pub use job::{
+    DesignSpec, FlowSummary, JobKey, LintSummary, Request, Response, ShedInfo, StaSummary,
+    SweepSpec,
+};
 pub use link::{
     run_frames_with_faults, AnalogFrameReport, FaultReport, LinkConfig, LinkReport, LinkStats,
     SerdesLink,

@@ -23,6 +23,7 @@
 //! ```
 
 use crate::error::Error;
+use crate::job::{FlowSummary, LintSummary, Request, Response, StaSummary};
 use crate::link::{self, AnalogFrameReport, FaultReport, LinkConfig, LinkReport};
 use crate::serializer::Frame;
 use crate::sweep::parallel::CornerPoint;
@@ -157,6 +158,9 @@ impl Session {
 
     /// Set the worker-thread count for sweeps. Results are identical
     /// for any value; only wall time changes.
+    ///
+    /// Contract: `0` is clamped to `1` (see [`Sweep::with_threads`]),
+    /// so wire-supplied configs can never poison the worker pool.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.sweep = self.sweep.with_threads(threads);
@@ -394,6 +398,110 @@ impl Session {
             .map_err(Error::from)
     }
 
+    // ---- serializable job API ---------------------------------------
+
+    /// Run one serializable job. This is the same engine surface as the
+    /// typed `run_*`/sweep methods behind one wire-shaped vocabulary:
+    /// the [`Request`] carries its full operating point, and the only
+    /// session state that participates is the run seed (half of the
+    /// job's content address, see [`crate::job::JobKey`]), the sweep
+    /// worker count (never changes results) and the telemetry policy.
+    /// Identical `(Request, seed)` pairs therefore produce
+    /// byte-identical canonical [`Response`] payloads on any host at
+    /// any worker count — the property the `openserdes-serve` cache
+    /// and coalescer are built on.
+    ///
+    /// The typed methods remain the ergonomic in-process path; `submit`
+    /// is for callers that hold jobs as data (servers, queues, replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures as the unified [`Error`]; never
+    /// returns [`Error::Parse`] (parsing happens before a `Request`
+    /// exists).
+    pub fn submit(&mut self, request: &Request) -> Result<Response, Error> {
+        let seed = self.seed;
+        let req_sweep =
+            |spec: &crate::job::SweepSpec, base: Sweep| spec.apply(base).with_seed(seed);
+        match request {
+            Request::RunLink { config, frames } => {
+                let config = config.clone();
+                self.scoped(|| link::run_frames(&config, frames, seed))
+                    .map(Response::Link)
+                    .map_err(Error::from)
+            }
+            Request::RunLinkWithFaults {
+                config,
+                frames,
+                schedule,
+            } => {
+                let config = config.clone();
+                self.scoped(|| link::run_frames_with_faults(&config, frames, seed, schedule))
+                    .map(Response::Faulted)
+                    .map_err(Error::from)
+            }
+            Request::RunFlow { design, pvt } => {
+                let flow = Flow::new().with_config(FlowConfig {
+                    pvt: *pvt,
+                    ..FlowConfig::default()
+                });
+                let built = design.build();
+                self.scoped(|| flow.run(&built))
+                    .map(|result| Response::Flow(FlowSummary::from_result(design, &result)))
+                    .map_err(Error::from)
+            }
+            Request::Bathtub { config, sweep } => {
+                let (sweep, config) = (req_sweep(sweep, self.sweep), config.clone());
+                self.scoped(|| sweep.bathtub(&config))
+                    .map(Response::Bathtub)
+                    .map_err(Error::from)
+            }
+            Request::MaxLoss { config, sweep } => {
+                let (sweep, config) = (req_sweep(sweep, self.sweep), config.clone());
+                self.scoped(|| sweep.max_loss(&config))
+                    .map(|max_loss_db| Response::MaxLoss { max_loss_db })
+                    .map_err(Error::from)
+            }
+            Request::RateSweep {
+                config,
+                sweep,
+                rates,
+            } => {
+                let (sweep, config) = (req_sweep(sweep, self.sweep), config.clone());
+                self.scoped(|| sweep.rate_sweep(&config, rates))
+                    .map(Response::Rates)
+                    .map_err(Error::from)
+            }
+            Request::CornerSweep { config, sweep } => {
+                let (sweep, config) = (req_sweep(sweep, self.sweep), config.clone());
+                self.scoped(|| sweep.corner_sweep(&config))
+                    .map(Response::Corners)
+                    .map_err(Error::from)
+            }
+            Request::Sta { design, pvt, clock } => {
+                let built = design.build();
+                let (pvt, clock) = (*pvt, *clock);
+                self.scoped(|| {
+                    let library = openserdes_pdk::library::Library::sky130(pvt);
+                    let synth = openserdes_flow::synthesize(&built, &library)?;
+                    let mut cfg = StaConfig::at_clock(clock);
+                    cfg.multicycle = synth.multicycle.clone();
+                    let report = Sta::new()
+                        .with_config(cfg)
+                        .run(&synth.netlist, &library, None)?;
+                    Ok(Response::Sta(StaSummary::from_report(design, &report)))
+                })
+                .map_err(|e: openserdes_netlist::NetlistError| e.into())
+            }
+            Request::Lint { design } => {
+                let built = design.build();
+                let lint = LintConfig::default();
+                let report = self.scoped(|| built.lint(&lint));
+                Ok(Response::Lint(LintSummary::from_report(&report)))
+            }
+        }
+    }
+
     /// Run `f` under the session's telemetry policy: when capture is on,
     /// enable recording for the duration, collect what `f` records, and
     /// merge it into the session's accumulated record.
@@ -516,6 +624,65 @@ mod tests {
         assert!(run.child("sta.backward").is_some());
         assert!(run.child("sta.hold").is_some());
         assert!(run.child("sta.paths").is_some());
+    }
+
+    #[test]
+    fn submit_matches_typed_methods() {
+        use crate::job::{DesignSpec, Request, Response, SweepSpec};
+        let stim = frames(2);
+        let mut s = Session::new().with_seed(11);
+        let direct = s.run_link(&stim).expect("typed");
+        let via = s
+            .submit(&Request::RunLink {
+                config: s.link_config().clone(),
+                frames: stim.clone(),
+            })
+            .expect("submitted");
+        assert_eq!(via, Response::Link(direct));
+
+        let mut s = Session::new()
+            .with_seed(11)
+            .with_sweep(Sweep::new().with_frames(4).with_tolerance_db(2.0));
+        let direct = s.max_loss().expect("typed");
+        let via = s
+            .submit(&Request::MaxLoss {
+                config: s.link_config().clone(),
+                sweep: SweepSpec::from(s.sweep_options()),
+            })
+            .expect("submitted");
+        assert_eq!(
+            via,
+            Response::MaxLoss {
+                max_loss_db: direct
+            }
+        );
+
+        let mut s = Session::new();
+        let design = DesignSpec::Serializer;
+        let direct = s.lint(&design.build());
+        let via = s.submit(&Request::Lint { design }).expect("submitted");
+        match via {
+            Response::Lint(summary) => {
+                assert_eq!(summary.findings.len(), direct.findings().len());
+            }
+            other => panic!("expected lint summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        let s = Session::new().with_threads(0);
+        assert_eq!(s.sweep_options().threads(), 1);
+        assert_eq!(Sweep::new().with_threads(0).threads(), 1);
+        // A clamped session still runs sweeps.
+        let mut s = s.with_sweep(
+            Sweep::new()
+                .with_frames(2)
+                .with_tolerance_db(4.0)
+                .with_threads(0),
+        );
+        assert_eq!(s.sweep_options().threads(), 1);
+        s.max_loss().expect("single-worker sweep runs");
     }
 
     #[test]

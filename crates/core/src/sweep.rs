@@ -392,15 +392,38 @@ impl Sweep {
 
     /// Worker threads. Results are bit-identical for any value; only
     /// wall time changes.
+    ///
+    /// Contract: `0` is clamped to `1` — a sweep always has at least
+    /// one worker, so wire-supplied configs can never poison the pool.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 
-    /// The configured worker count.
+    /// The configured worker count (always ≥ 1).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// PRBS bits measured per bathtub phase.
+    pub fn bits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Sampling phases across the unit interval.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Frames per error-free probe in the loss bisections.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Bisection tolerance in dB.
+    pub fn tolerance_db(&self) -> f64 {
+        self.tol_db
     }
 
     /// BER bathtub at the operating point, one [`BathtubPoint`] per

@@ -1,0 +1,132 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`JobKey`]s — the canonical bytes of `(Request, seed)` plus
+//! a digest over them. Everything downstream of a request is
+//! deterministic, so a hit is *exact*: the cached bytes are the bytes
+//! the engine would produce again. The digest is not cryptographic;
+//! entries also store the canonical text and a digest hit with
+//! different canonical bytes is treated as a miss (a collision costs a
+//! recompute, never a wrong answer).
+
+use openserdes_core::JobKey;
+use std::collections::{HashMap, VecDeque};
+
+struct Entry {
+    canonical: String,
+    response_json: String,
+}
+
+/// FIFO-evicting exact result cache, keyed by job content address.
+pub(crate) struct ResultCache {
+    capacity: usize,
+    map: HashMap<String, Entry>,
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses (0 disables it).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// The cached canonical response for `key`, if present.
+    pub(crate) fn get(&self, key: &JobKey) -> Option<&str> {
+        self.map
+            .get(&key.digest)
+            .filter(|e| e.canonical == key.canonical)
+            .map(|e| e.response_json.as_str())
+    }
+
+    /// Stores a response, evicting the oldest entry at capacity.
+    pub(crate) fn insert(&mut self, key: &JobKey, response_json: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(existing) = self.map.get(&key.digest) {
+            if existing.canonical != key.canonical {
+                // Digest collision: keep the resident entry; the new
+                // job simply stays uncached.
+                return;
+            }
+        } else {
+            while self.map.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(oldest) => {
+                        self.map.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(key.digest.clone());
+        }
+        self.map.insert(
+            key.digest.clone(),
+            Entry {
+                canonical: key.canonical.clone(),
+                response_json,
+            },
+        );
+    }
+
+    /// Resident entry count.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: &str) -> JobKey {
+        JobKey {
+            canonical: format!("{{\"request\":\"{tag}\",\"seed\":1}}"),
+            digest: format!("{tag:0>32}"),
+        }
+    }
+
+    #[test]
+    fn stores_and_finds_by_content() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(&key("a"), "ra".into());
+        assert_eq!(cache.get(&key("a")), Some("ra"));
+        assert_eq!(cache.get(&key("b")), None);
+    }
+
+    #[test]
+    fn evicts_fifo_at_capacity() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(&key("a"), "ra".into());
+        cache.insert(&key("b"), "rb".into());
+        cache.insert(&key("c"), "rc".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("a")), None, "oldest evicted");
+        assert_eq!(cache.get(&key("b")), Some("rb"));
+        assert_eq!(cache.get(&key("c")), Some("rc"));
+    }
+
+    #[test]
+    fn digest_collision_is_a_miss_not_a_wrong_answer() {
+        let mut cache = ResultCache::new(4);
+        let a = key("x");
+        let mut b = key("y");
+        b.digest = a.digest.clone(); // forced collision
+        cache.insert(&a, "ra".into());
+        assert_eq!(cache.get(&b), None, "collision reads as miss");
+        cache.insert(&b, "rb".into());
+        assert_eq!(cache.get(&a), Some("ra"), "resident entry survives");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(&key("a"), "ra".into());
+        assert_eq!(cache.get(&key("a")), None);
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A small blocking client for the `openserdes-serve/1` protocol —
+//! what tests, the bench loopback matrix and the README quickstart use.
+
+use crate::wire::{self, Envelope};
+use openserdes_core::job::{Request, Response};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures: transport, server-reported job errors, or a
+/// malformed reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport failure (connect, read, write, unexpected close).
+    Io(io::Error),
+    /// The server answered with an error frame (parse failure, engine
+    /// error, or an isolated panic).
+    Server(String),
+    /// The server's reply frame was not valid `openserdes-serve/1`.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a job server. Submissions on a single
+/// client are answered in order; open several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects to a server as the given tenant.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            tenant: tenant.into(),
+        })
+    }
+
+    /// Submits one job at the given shedding priority and seed, and
+    /// blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries server-side job failures
+    /// (including typed parse rejections); transport and protocol
+    /// failures use the other variants.
+    pub fn submit(
+        &mut self,
+        priority: u8,
+        seed: u64,
+        request: &Request,
+    ) -> Result<Response, ClientError> {
+        Response::from_json(&self.submit_raw(priority, seed, request)?)
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Like [`Client::submit`], but returns the raw canonical response
+    /// JSON — the exact bytes the server computed, for bit-identity
+    /// checks and caching layers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit`].
+    pub fn submit_raw(
+        &mut self,
+        priority: u8,
+        seed: u64,
+        request: &Request,
+    ) -> Result<String, ClientError> {
+        let envelope = Envelope {
+            tenant: self.tenant.clone(),
+            priority,
+            seed,
+            request: request.clone(),
+        };
+        wire::write_frame_blocking(&mut self.stream, envelope.to_json().as_bytes())?;
+        let payload = wire::read_frame_blocking(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            ))
+        })?;
+        let text = String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("reply is not UTF-8".to_string()))?;
+        let (response_json, reply) = match wire::parse_reply(&text) {
+            Ok(reply) => (text, reply),
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        match reply {
+            Ok(_) => {
+                // Strip the envelope down to the canonical response
+                // sub-document: everything between `"response":` and
+                // the final `}`.
+                let inner = response_json
+                    .strip_prefix(&format!("{{\"schema\":\"{}\",\"response\":", wire::SCHEMA))
+                    .and_then(|rest| rest.strip_suffix('}'))
+                    .ok_or_else(|| {
+                        ClientError::Protocol("reply frame is not canonical".to_string())
+                    })?;
+                Ok(inner.to_string())
+            }
+            Err(msg) => Err(ClientError::Server(msg)),
+        }
+    }
+}

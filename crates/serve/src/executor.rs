@@ -1,0 +1,231 @@
+//! A minimal single-threaded async executor, vendored in the spirit of
+//! the workspace's offline `rand`/`proptest`/`criterion` stand-ins: no
+//! epoll, no io-uring, no work stealing — just enough of a reactor to
+//! drive non-blocking TCP futures for the job server.
+//!
+//! Shape:
+//!
+//! * Tasks are `Pin<Box<dyn Future<Output = ()>>>` living on one
+//!   thread; they are never sent anywhere.
+//! * The ready queue *is* shared (`Arc<ReadyQueue>`): worker threads
+//!   complete jobs and wake the connection task that is awaiting the
+//!   result, so wakers must cross threads even though futures don't.
+//! * IO readiness is polled, not registered: when no task is ready the
+//!   loop waits on the ready-queue condvar with a short tick and then
+//!   re-polls every live task. A `WouldBlock` therefore costs at most
+//!   one tick of latency — the right trade for a dependency-free
+//!   loopback/bench server, and completions still wake instantly
+//!   through the condvar.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Wake, Waker};
+use std::time::Duration;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// The cross-thread half of the executor: completed work (or an IO
+/// tick) marks tasks ready here.
+pub(crate) struct ReadyQueue {
+    ready: Mutex<VecDeque<usize>>,
+    cv: Condvar,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: usize) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+        self.cv.notify_one();
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    queue: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+/// Injection point for new tasks, usable from *inside* a running task
+/// (the accept loop spawns one task per connection). Single-threaded by
+/// construction — it is not `Send`.
+#[derive(Clone)]
+pub(crate) struct Spawner {
+    inbox: std::rc::Rc<std::cell::RefCell<Vec<BoxFuture>>>,
+}
+
+impl Spawner {
+    /// Queues a future for execution on the owning executor.
+    pub(crate) fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.inbox.borrow_mut().push(Box::pin(fut));
+    }
+}
+
+/// The single-threaded reactor. Create, [`Executor::spawner`] the root
+/// task(s) in, then [`Executor::run`].
+pub(crate) struct Executor {
+    tasks: Vec<Option<(BoxFuture, Waker)>>,
+    free: Vec<usize>,
+    live: usize,
+    queue: Arc<ReadyQueue>,
+    spawner: Spawner,
+    tick: Duration,
+}
+
+impl Executor {
+    /// An empty executor with the given IO poll tick.
+    pub(crate) fn new(tick: Duration) -> Self {
+        Self {
+            tasks: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            queue: Arc::new(ReadyQueue {
+                ready: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }),
+            spawner: Spawner {
+                inbox: std::rc::Rc::new(std::cell::RefCell::new(Vec::new())),
+            },
+            tick,
+        }
+    }
+
+    /// The task-injection handle.
+    pub(crate) fn spawner(&self) -> Spawner {
+        self.spawner.clone()
+    }
+
+    fn admit(&mut self, fut: BoxFuture) {
+        let id = self.free.pop().unwrap_or_else(|| {
+            self.tasks.push(None);
+            self.tasks.len() - 1
+        });
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            queue: Arc::clone(&self.queue),
+        }));
+        self.tasks[id] = Some((fut, waker));
+        self.live += 1;
+        self.queue.push(id);
+    }
+
+    fn drain_inbox(&mut self) {
+        let incoming: Vec<BoxFuture> = self.spawner.inbox.borrow_mut().drain(..).collect();
+        for fut in incoming {
+            self.admit(fut);
+        }
+    }
+
+    /// Drives all tasks until `done()` reports true *and* every task
+    /// has completed. Spurious polls are expected (tick-based IO), so
+    /// futures must tolerate being polled while unready — all `std`
+    /// futures do.
+    pub(crate) fn run(&mut self, mut done: impl FnMut() -> bool) {
+        loop {
+            self.drain_inbox();
+            if self.live == 0 && done() && self.spawner.inbox.borrow().is_empty() {
+                return;
+            }
+            let batch: Vec<usize> = {
+                let mut ready = self.queue.ready.lock().expect("ready queue poisoned");
+                if ready.is_empty() {
+                    let (guard, timeout) = self
+                        .queue
+                        .cv
+                        .wait_timeout(ready, self.tick)
+                        .expect("ready queue poisoned");
+                    ready = guard;
+                    if timeout.timed_out() && ready.is_empty() {
+                        // IO tick: re-poll every live task.
+                        drop(ready);
+                        (0..self.tasks.len())
+                            .filter(|&i| self.tasks[i].is_some())
+                            .collect()
+                    } else {
+                        ready.drain(..).collect()
+                    }
+                } else {
+                    ready.drain(..).collect()
+                }
+            };
+            for id in batch {
+                // A task may be queued more than once, or already done.
+                let Some((fut, waker)) = self.tasks[id].as_mut() else {
+                    continue;
+                };
+                let waker = waker.clone();
+                let mut cx = Context::from_waker(&waker);
+                if fut.as_mut().poll(&mut cx).is_ready() {
+                    self.tasks[id] = None;
+                    self.free.push(id);
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+    use std::task::Poll;
+
+    #[test]
+    fn runs_spawned_tasks_to_completion() {
+        let mut ex = Executor::new(Duration::from_micros(200));
+        let hits = Rc::new(Cell::new(0u32));
+        let spawner = ex.spawner();
+        for _ in 0..5 {
+            let hits = Rc::clone(&hits);
+            spawner.spawn(async move {
+                hits.set(hits.get() + 1);
+            });
+        }
+        ex.run(|| true);
+        assert_eq!(hits.get(), 5);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks_and_pend_on_external_wakes() {
+        let mut ex = Executor::new(Duration::from_micros(200));
+        let spawner = ex.spawner();
+        let done = Rc::new(Cell::new(false));
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let spawner2 = spawner.clone();
+            let done = Rc::clone(&done);
+            let gate = Arc::clone(&gate);
+            spawner.spawn(async move {
+                // Pend until a foreign thread flips the gate; the tick
+                // re-polls us even without an explicit wake.
+                std::future::poll_fn(|_cx| {
+                    if gate.load(std::sync::atomic::Ordering::SeqCst) {
+                        Poll::Ready(())
+                    } else {
+                        Poll::Pending
+                    }
+                })
+                .await;
+                spawner2.spawn(async move { done.set(true) });
+            });
+        }
+        let gate2 = Arc::clone(&gate);
+        let flipper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            gate2.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        ex.run(|| true);
+        flipper.join().expect("flipper");
+        assert!(done.get());
+    }
+}

@@ -1,0 +1,91 @@
+//! Async adapters over non-blocking `std::net` sockets.
+//!
+//! These futures return `Pending` on `WouldBlock` without registering
+//! with any OS readiness facility — the executor's poll tick re-polls
+//! them (see [`crate::executor`]), so no epoll/kqueue binding is
+//! needed.
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::task::Poll;
+
+/// Accepts one connection, yielding until the listener is ready or
+/// `shutdown` is raised (`Ok(None)`). The shutdown check lives *inside*
+/// the pending state: the executor's tick re-polls this future, so a
+/// stop request resolves it within one tick even though no connection
+/// ever arrives. The accepted stream is switched to non-blocking
+/// before it is returned.
+pub(crate) async fn accept(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<(TcpStream, SocketAddr)>> {
+    poll_fn(|_cx| {
+        if shutdown.load(Ordering::SeqCst) {
+            return Poll::Ready(Ok(None));
+        }
+        match listener.accept() {
+            Ok((stream, addr)) => {
+                stream.set_nonblocking(true)?;
+                // Replies are single small frames; waiting on delayed
+                // ACKs would add ~40 ms to every round trip.
+                stream.set_nodelay(true)?;
+                Poll::Ready(Ok(Some((stream, addr))))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    })
+    .await
+}
+
+/// Fills `buf` completely. `Ok(false)` means the peer closed the
+/// connection cleanly before the first byte; EOF mid-buffer is an
+/// error.
+pub(crate) async fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+    let mut pos = 0usize;
+    poll_fn(|_cx| loop {
+        if pos == buf.len() {
+            return Poll::Ready(Ok(true));
+        }
+        match stream.read(&mut buf[pos..]) {
+            Ok(0) if pos == 0 => return Poll::Ready(Ok(false)),
+            Ok(0) => {
+                return Poll::Ready(Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Poll::Ready(Err(e)),
+        }
+    })
+    .await
+}
+
+/// Writes all of `buf`, yielding whenever the socket backpressures.
+pub(crate) async fn write_all(stream: &mut TcpStream, buf: &[u8]) -> io::Result<()> {
+    let mut pos = 0usize;
+    poll_fn(|_cx| loop {
+        if pos == buf.len() {
+            return Poll::Ready(Ok(()));
+        }
+        match stream.write(&buf[pos..]) {
+            Ok(0) => {
+                return Poll::Ready(Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket refused bytes",
+                )))
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Poll::Ready(Err(e)),
+        }
+    })
+    .await
+}

@@ -1,0 +1,640 @@
+//! Per-tenant fair-share scheduling with coalescing, exact result
+//! caching and graceful overload shedding.
+//!
+//! * **Coalescing** — a submission whose content address matches a job
+//!   already queued or executing attaches as an extra waiter instead of
+//!   becoming new work; all waiters receive the same bytes.
+//! * **Fair share** — each tenant has its own FIFO; workers pick the
+//!   next job round-robin across tenants, so one chatty tenant cannot
+//!   starve the rest.
+//! * **Shedding** — when the queue is full, the lowest-priority queued
+//!   job (or the incoming one, if it is lowest) is dropped with a typed
+//!   [`Response::Shed`] instead of an error or a panic. Executing jobs
+//!   are never interrupted.
+//! * **Isolation** — workers run jobs under `catch_unwind` (the same
+//!   posture as the sweep engine's `SweepOutcome` fan-out): a panicking
+//!   job produces an error reply and the worker lives on.
+
+use crate::cache::ResultCache;
+use crate::wire;
+use openserdes_core::job::{Request, Response, ShedInfo};
+use openserdes_core::{JobKey, Session};
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::panic::{self, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Counters accumulated over a server's lifetime, the source of truth
+/// for the serve bench and mirrored into `openserdes-telemetry` when
+/// the server shuts down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Submissions received (including coalesced, cached and shed).
+    pub requests: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions that became new work.
+    pub cache_misses: u64,
+    /// Submissions that attached to identical in-flight work.
+    pub coalesced: u64,
+    /// Jobs dropped under overload with a typed shed response.
+    pub shed: u64,
+    /// Jobs that ran to a successful response.
+    pub completed: u64,
+    /// Jobs that ran to an engine error (reported, not cached).
+    pub errored: u64,
+    /// Jobs that panicked and were isolated by the worker's
+    /// `catch_unwind`; the worker survived every one of these.
+    pub panics_isolated: u64,
+}
+
+/// How a worker's execution of one job ended.
+enum Outcome {
+    Done,
+    EngineError,
+    Panicked,
+}
+
+/// One waiter's slot for a reply frame. Completed exactly once by a
+/// worker (or the shed path); awaited by the connection task.
+pub(crate) struct Completion {
+    inner: Mutex<CompletionState>,
+}
+
+struct CompletionState {
+    result: Option<String>,
+    waker: Option<Waker>,
+}
+
+impl Completion {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(CompletionState {
+                result: None,
+                waker: None,
+            }),
+        })
+    }
+
+    fn complete(&self, frame: String) {
+        let waker = {
+            let mut state = self.inner.lock().expect("completion poisoned");
+            state.result = Some(frame);
+            state.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Future yielding the reply frame for a submitted job.
+pub(crate) struct CompletionFuture(Arc<Completion>);
+
+impl Future for CompletionFuture {
+    type Output = String;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<String> {
+        let mut state = self.0.inner.lock().expect("completion poisoned");
+        match state.result.take() {
+            Some(frame) => Poll::Ready(frame),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// A submission's immediate disposition.
+pub(crate) enum Submitted {
+    /// Answered on the spot (cache hit, or the submission was shed).
+    Ready(String),
+    /// Work is queued/in flight; await the frame.
+    Pending(CompletionFuture),
+}
+
+struct QueuedJob {
+    canonical: String,
+    request: Request,
+    seed: u64,
+    tenant: String,
+    priority: u8,
+    waiters: Vec<Arc<Completion>>,
+}
+
+/// What a worker executes.
+struct ExecJob {
+    digest: String,
+    canonical: String,
+    request: Request,
+    seed: u64,
+}
+
+struct Inner {
+    /// New work by digest.
+    queued: HashMap<String, QueuedJob>,
+    /// Per-tenant FIFOs of queued digests, in first-seen tenant order.
+    tenant_queues: Vec<(String, VecDeque<String>)>,
+    /// Round-robin pick position over `tenant_queues`.
+    rr_cursor: usize,
+    queued_total: usize,
+    /// Executing work: digest → canonical bytes plus the waiters late
+    /// joiners attach to.
+    inflight: HashMap<String, (String, Vec<Arc<Completion>>)>,
+    cache: ResultCache,
+    stats: ServerStats,
+    shutdown: bool,
+}
+
+/// The shared scheduler: submissions enter on the reactor thread,
+/// workers drain on their own threads.
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    queue_capacity: usize,
+}
+
+impl Scheduler {
+    pub(crate) fn new(queue_capacity: usize, cache_capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                queued: HashMap::new(),
+                tenant_queues: Vec::new(),
+                rr_cursor: 0,
+                queued_total: 0,
+                inflight: HashMap::new(),
+                cache: ResultCache::new(cache_capacity),
+                stats: ServerStats::default(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+        }
+    }
+
+    /// Submits one job. Runs on the reactor thread; never blocks on
+    /// job execution.
+    pub(crate) fn submit(
+        &self,
+        tenant: &str,
+        priority: u8,
+        seed: u64,
+        request: Request,
+    ) -> Submitted {
+        let key = JobKey::of(&request, seed);
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        inner.stats.requests += 1;
+
+        if let Some(cached) = inner.cache.get(&key) {
+            let frame = wire::ok_frame(cached);
+            inner.stats.cache_hits += 1;
+            return Submitted::Ready(frame);
+        }
+
+        // Coalesce with identical queued work. A digest hit with
+        // different canonical bytes is a (cosmically unlikely) digest
+        // collision; refuse rather than serve the wrong job's bytes.
+        if let Some(job) = inner.queued.get_mut(&key.digest) {
+            if job.canonical != key.canonical {
+                return Submitted::Ready(wire::err_frame(
+                    "job digest collided with different queued work; resubmit later",
+                ));
+            }
+            let waiter = Completion::new();
+            job.waiters.push(Arc::clone(&waiter));
+            inner.stats.coalesced += 1;
+            return Submitted::Pending(CompletionFuture(waiter));
+        }
+        // Coalesce with identical executing work.
+        if let Some((canonical, waiters)) = inner.inflight.get_mut(&key.digest) {
+            if *canonical != key.canonical {
+                return Submitted::Ready(wire::err_frame(
+                    "job digest collided with different executing work; resubmit later",
+                ));
+            }
+            let waiter = Completion::new();
+            waiters.push(Arc::clone(&waiter));
+            inner.stats.coalesced += 1;
+            return Submitted::Pending(CompletionFuture(waiter));
+        }
+
+        inner.stats.cache_misses += 1;
+
+        // Backpressure: at capacity, shed the lowest-priority queued
+        // job — or the incoming one if nothing queued ranks below it.
+        let mut evicted: Option<QueuedJob> = None;
+        if inner.queued_total >= self.queue_capacity {
+            let lowest = inner
+                .queued
+                .values()
+                .map(|j| j.priority)
+                .min()
+                .unwrap_or(u8::MAX);
+            if priority <= lowest {
+                inner.stats.shed += 1;
+                let depth = inner.queued_total;
+                drop(inner);
+                return Submitted::Ready(shed_frame(tenant, priority, depth));
+            }
+            evicted = self.evict_lowest_locked(&mut inner, lowest);
+        }
+
+        let waiter = Completion::new();
+        let job = QueuedJob {
+            canonical: key.canonical.clone(),
+            request,
+            seed,
+            tenant: tenant.to_string(),
+            priority,
+            waiters: vec![Arc::clone(&waiter)],
+        };
+        inner.queued.insert(key.digest.clone(), job);
+        let t_idx = match inner.tenant_queues.iter().position(|(t, _)| t == tenant) {
+            Some(i) => i,
+            None => {
+                inner
+                    .tenant_queues
+                    .push((tenant.to_string(), VecDeque::new()));
+                inner.tenant_queues.len() - 1
+            }
+        };
+        inner.tenant_queues[t_idx].1.push_back(key.digest);
+        inner.queued_total += 1;
+        if let Some(job) = evicted {
+            inner.stats.shed += 1;
+            let depth = inner.queued_total;
+            let frame = shed_frame(&job.tenant, job.priority, depth);
+            drop(inner);
+            for w in job.waiters {
+                w.complete(frame.clone());
+            }
+        } else {
+            drop(inner);
+        }
+        self.work.notify_one();
+        Submitted::Pending(CompletionFuture(waiter))
+    }
+
+    /// Removes the oldest queued job at priority `lowest` (scanning
+    /// tenants in first-seen order) from the queue, returning it for
+    /// its waiters to be shed-completed.
+    fn evict_lowest_locked(&self, inner: &mut Inner, lowest: u8) -> Option<QueuedJob> {
+        for ti in 0..inner.tenant_queues.len() {
+            let found = inner.tenant_queues[ti]
+                .1
+                .iter()
+                .position(|d| inner.queued.get(d).map(|j| j.priority) == Some(lowest));
+            if let Some(pos) = found {
+                let digest = inner.tenant_queues[ti]
+                    .1
+                    .remove(pos)
+                    .expect("position valid");
+                let job = inner.queued.remove(&digest).expect("indexed job exists");
+                inner.queued_total -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocks until a job is available (fair-share pick) or shutdown
+    /// drains the queue; `None` tells the worker to exit.
+    fn next_job(&self) -> Option<ExecJob> {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        loop {
+            if inner.queued_total > 0 {
+                let n = inner.tenant_queues.len();
+                for i in 0..n {
+                    let idx = (inner.rr_cursor + i) % n;
+                    if let Some(digest) = inner.tenant_queues[idx].1.pop_front() {
+                        inner.rr_cursor = (idx + 1) % n;
+                        inner.queued_total -= 1;
+                        let job = inner.queued.remove(&digest).expect("indexed job exists");
+                        inner
+                            .inflight
+                            .insert(digest.clone(), (job.canonical.clone(), job.waiters));
+                        return Some(ExecJob {
+                            digest,
+                            canonical: job.canonical,
+                            request: job.request,
+                            seed: job.seed,
+                        });
+                    }
+                }
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.work.wait(inner).expect("scheduler poisoned");
+        }
+    }
+
+    /// Records a finished job, caches successful responses, and hands
+    /// every waiter (original plus coalesced late joiners) the same
+    /// frame.
+    fn finish(&self, job: &ExecJob, frame: String, cacheable: Option<String>, outcome: Outcome) {
+        let waiters = {
+            let mut inner = self.inner.lock().expect("scheduler poisoned");
+            match outcome {
+                Outcome::Done => inner.stats.completed += 1,
+                Outcome::EngineError => inner.stats.errored += 1,
+                Outcome::Panicked => inner.stats.panics_isolated += 1,
+            }
+            if let Some(response_json) = cacheable {
+                let key = JobKey {
+                    canonical: job.canonical.clone(),
+                    digest: job.digest.clone(),
+                };
+                inner.cache.insert(&key, response_json);
+            }
+            inner
+                .inflight
+                .remove(&job.digest)
+                .map(|(_, waiters)| waiters)
+                .unwrap_or_default()
+        };
+        for w in waiters {
+            w.complete(frame.clone());
+        }
+    }
+
+    /// Stops the worker pool once the queue drains.
+    pub(crate) fn shutdown(&self) {
+        self.inner.lock().expect("scheduler poisoned").shutdown = true;
+        self.work.notify_all();
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub(crate) fn stats(&self) -> ServerStats {
+        self.inner.lock().expect("scheduler poisoned").stats
+    }
+
+    /// Resident cache entries (for tests).
+    #[cfg(test)]
+    fn cache_len(&self) -> usize {
+        self.inner.lock().expect("scheduler poisoned").cache.len()
+    }
+}
+
+fn shed_frame(tenant: &str, priority: u8, queue_depth: usize) -> String {
+    let resp = Response::Shed(ShedInfo {
+        tenant: tenant.to_string(),
+        priority,
+        queue_depth,
+    });
+    wire::ok_frame(&resp.to_canonical_json())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One worker thread's loop: pick fairly, execute under `catch_unwind`,
+/// publish. The worker never propagates a job panic.
+pub(crate) fn run_worker(sched: &Scheduler, sweep_threads: usize) {
+    while let Some(job) = sched.next_job() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut session = Session::new()
+                .with_seed(job.seed)
+                .with_threads(sweep_threads);
+            session.submit(&job.request)
+        }));
+        let (frame, cacheable, outcome) = match result {
+            Ok(Ok(response)) => {
+                let json = response.to_canonical_json();
+                (wire::ok_frame(&json), Some(json), Outcome::Done)
+            }
+            Ok(Err(e)) => (wire::err_frame(&e.to_string()), None, Outcome::EngineError),
+            Err(payload) => (
+                wire::err_frame(&format!("job panicked: {}", panic_message(&*payload))),
+                None,
+                Outcome::Panicked,
+            ),
+        };
+        sched.finish(&job, frame, cacheable, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openserdes_core::job::{DesignSpec, SweepSpec};
+    use openserdes_core::LinkConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    fn block_on_frame(fut: CompletionFuture) -> String {
+        // Tiny synchronous executor for one CompletionFuture.
+        struct Flag(Mutex<bool>, Condvar);
+        impl std::task::Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                *self.0.lock().expect("flag") = true;
+                self.1.notify_one();
+            }
+        }
+        let flag = Arc::new(Flag(Mutex::new(false), Condvar::new()));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = Box::pin(fut);
+        loop {
+            if let Poll::Ready(frame) = fut.as_mut().poll(&mut cx) {
+                return frame;
+            }
+            let mut woke = flag.0.lock().expect("flag");
+            while !*woke {
+                let (guard, timeout) = flag
+                    .1
+                    .wait_timeout(woke, Duration::from_millis(50))
+                    .expect("flag");
+                woke = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            *woke = false;
+        }
+    }
+
+    fn lint_request() -> Request {
+        Request::Lint {
+            design: DesignSpec::Serializer,
+        }
+    }
+
+    fn max_loss_request(tol_db: f64) -> Request {
+        Request::MaxLoss {
+            config: LinkConfig::paper_default(),
+            sweep: SweepSpec {
+                bits: 500,
+                phases: 4,
+                frames: 2,
+                tol_db,
+            },
+        }
+    }
+
+    #[test]
+    fn identical_submissions_coalesce_then_hit_cache() {
+        let sched = Arc::new(Scheduler::new(64, 64));
+        let a = sched.submit("t", 1, 7, lint_request());
+        let b = sched.submit("t", 1, 7, lint_request());
+        let (fa, fb) = match (a, b) {
+            (Submitted::Pending(fa), Submitted::Pending(fb)) => (fa, fb),
+            _ => panic!("both should pend"),
+        };
+        let worker = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || {
+                run_worker(&sched, 1);
+            })
+        };
+        let frame_a = block_on_frame(fa);
+        let frame_b = block_on_frame(fb);
+        assert_eq!(frame_a, frame_b, "coalesced waiters share bytes");
+        // Third submission: exact cache hit, answered inline.
+        match sched.submit("t", 1, 7, lint_request()) {
+            Submitted::Ready(frame_c) => assert_eq!(frame_c, frame_a),
+            Submitted::Pending(_) => panic!("expected a cache hit"),
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(sched.cache_len(), 1);
+        sched.shutdown();
+        worker.join().expect("worker exits cleanly");
+    }
+
+    #[test]
+    fn different_seeds_do_not_coalesce() {
+        let sched = Scheduler::new(64, 64);
+        let _ = sched.submit("t", 1, 7, lint_request());
+        let _ = sched.submit("t", 1, 8, lint_request());
+        assert_eq!(sched.stats().cache_misses, 2);
+        assert_eq!(sched.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_with_typed_response() {
+        // Capacity 2, no workers: everything stays queued.
+        let sched = Scheduler::new(2, 16);
+        let low = sched.submit("alice", 1, 1, max_loss_request(1.0));
+        let _mid = sched.submit("bob", 5, 2, max_loss_request(2.0));
+        // Queue now full. A higher-priority job evicts the low one...
+        let high = sched.submit("carol", 9, 3, max_loss_request(3.0));
+        assert!(matches!(high, Submitted::Pending(_)));
+        let low_frame = match low {
+            Submitted::Pending(f) => block_on_frame(f),
+            Submitted::Ready(f) => f,
+        };
+        let reply = wire::parse_reply(&low_frame).expect("parses");
+        match reply {
+            Ok(Response::Shed(info)) => {
+                assert_eq!(info.tenant, "alice");
+                assert_eq!(info.priority, 1);
+                assert!(info.queue_depth > 0);
+            }
+            other => panic!("expected typed shed, got {other:?}"),
+        }
+        // ...and a lower-priority incoming job is shed on arrival.
+        match sched.submit("dave", 0, 4, max_loss_request(4.0)) {
+            Submitted::Ready(frame) => match wire::parse_reply(&frame).expect("parses") {
+                Ok(Response::Shed(info)) => assert_eq!(info.tenant, "dave"),
+                other => panic!("expected typed shed, got {other:?}"),
+            },
+            Submitted::Pending(_) => panic!("incoming low-priority job should shed"),
+        }
+        assert_eq!(sched.stats().shed, 2);
+    }
+
+    #[test]
+    fn fair_share_round_robins_across_tenants() {
+        let sched = Scheduler::new(64, 0);
+        // alice floods first; bob's single job must not wait for all
+        // of alice's.
+        let mut seed = 0u64;
+        for _ in 0..3 {
+            seed += 1;
+            let _ = sched.submit("alice", 1, seed, max_loss_request(seed as f64));
+        }
+        seed += 1;
+        let _ = sched.submit("bob", 1, seed, max_loss_request(seed as f64));
+        let first = sched.next_job().expect("job");
+        let second = sched.next_job().expect("job");
+        // Round robin: one from alice, then bob's (not alice again).
+        let tenants: Vec<&str> = [&first, &second]
+            .iter()
+            .map(|j| {
+                if j.canonical.contains("\"seed\":4") {
+                    "bob"
+                } else {
+                    "alice"
+                }
+            })
+            .collect();
+        assert!(
+            tenants.contains(&"bob"),
+            "bob served within the first two picks despite alice's flood"
+        );
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_job() {
+        let sched = Arc::new(Scheduler::new(16, 16));
+        // oversampling 0 passes no wire validation here (constructed
+        // in-process) and panics inside the CDR: the worker must
+        // isolate it and keep serving.
+        let mut poisoned_config = LinkConfig::paper_default();
+        poisoned_config.cdr.oversampling = 0;
+        let poisoned = Request::RunLink {
+            config: poisoned_config,
+            frames: vec![[1u32; 8]],
+        };
+        let a = sched.submit("t", 1, 1, poisoned);
+        let b = sched.submit("t", 1, 1, lint_request());
+        let worker_panicked = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let sched = Arc::clone(&sched);
+            let worker_panicked = Arc::clone(&worker_panicked);
+            std::thread::spawn(move || {
+                if panic::catch_unwind(AssertUnwindSafe(|| run_worker(&sched, 1))).is_err() {
+                    worker_panicked.store(true, Ordering::SeqCst);
+                }
+            })
+        };
+        let frame_a = match a {
+            Submitted::Pending(f) => block_on_frame(f),
+            Submitted::Ready(f) => f,
+        };
+        assert!(
+            matches!(wire::parse_reply(&frame_a), Ok(Err(msg)) if msg.contains("panicked")),
+            "poisoned job reports as an error frame"
+        );
+        let frame_b = match b {
+            Submitted::Pending(f) => block_on_frame(f),
+            Submitted::Ready(f) => f,
+        };
+        assert!(
+            matches!(wire::parse_reply(&frame_b), Ok(Ok(Response::Lint(_)))),
+            "the same worker keeps serving after the panic"
+        );
+        sched.shutdown();
+        worker.join().expect("worker thread joins");
+        assert!(
+            !worker_panicked.load(Ordering::SeqCst),
+            "panic was isolated"
+        );
+        assert_eq!(sched.stats().panics_isolated, 1);
+    }
+}

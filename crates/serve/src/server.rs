@@ -1,0 +1,219 @@
+//! The job server: a single-threaded reactor accepting length-prefixed
+//! JSON submissions, a shared scheduler, and a pool of worker threads
+//! executing jobs through [`openserdes_core::Session::submit`].
+
+use crate::executor::Executor;
+use crate::sched::{run_worker, Scheduler, ServerStats, Submitted};
+use crate::wire::{self, Envelope};
+use openserdes_telemetry as telemetry;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server knobs. `Default` is a loopback server sized for the bench
+/// and test workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs (clamped to ≥ 1).
+    pub workers: usize,
+    /// Sweep worker threads *inside* each job (the
+    /// [`openserdes_core::Session::with_threads`] value; results are
+    /// identical for any value, and 0 clamps to 1).
+    pub sweep_threads: usize,
+    /// Queued-job capacity before shedding starts (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in responses (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            sweep_threads: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Remote control for a running server: signal it to stop accepting
+/// and drain. Cloneable and `Send`, so tests/benches can stop a server
+/// from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown: stop accepting, finish queued work, return
+    /// from [`Server::serve`] once open connections close.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound (not yet serving) job server.
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and builds the scheduler; no thread starts
+    /// until [`Server::serve`].
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let scheduler = Arc::new(Scheduler::new(config.queue_capacity, config.cache_capacity));
+        Ok(Self {
+            listener,
+            scheduler,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from any thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until the handle's `stop()`: accepts connections on the
+    /// reactor, executes jobs on the worker pool, then drains and
+    /// returns the lifetime [`ServerStats`] together with a telemetry
+    /// [`telemetry::Record`] carrying the `serve.*` counters.
+    ///
+    /// Graceful shutdown semantics: after `stop()` the server stops
+    /// accepting; it returns once every open connection closes (clients
+    /// should disconnect when done) and the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Listener-level accept failures; per-connection IO errors only
+    /// close that connection.
+    pub fn serve(self) -> io::Result<(ServerStats, telemetry::Record)> {
+        let Server {
+            listener,
+            scheduler,
+            config,
+            shutdown,
+        } = self;
+        let workers: Vec<_> = (0..config.workers.max(1))
+            .map(|i| {
+                let scheduler = Arc::clone(&scheduler);
+                let sweep_threads = config.sweep_threads;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || run_worker(&scheduler, sweep_threads))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let mut executor = Executor::new(Duration::from_micros(500));
+        let spawner = executor.spawner();
+        {
+            let spawner = spawner.clone();
+            let scheduler = Arc::clone(&scheduler);
+            let shutdown = Arc::clone(&shutdown);
+            executor.spawner().spawn(async move {
+                loop {
+                    match crate::net::accept(&listener, &shutdown).await {
+                        Ok(Some((stream, _addr))) => {
+                            let scheduler = Arc::clone(&scheduler);
+                            spawner.spawn(async move {
+                                let _ = handle_connection(stream, scheduler).await;
+                            });
+                        }
+                        Ok(None) | Err(_) => return,
+                    }
+                }
+            });
+        }
+        let shutdown_flag = Arc::clone(&shutdown);
+        executor.run(move || shutdown_flag.load(Ordering::SeqCst));
+
+        scheduler.shutdown();
+        for worker in workers {
+            worker.join().expect("worker exits cleanly");
+        }
+        let stats = scheduler.stats();
+        Ok((stats, telemetry_record(&stats)))
+    }
+}
+
+/// Serves one connection: read a frame, submit, reply in order.
+/// Submissions answered from the cache (or shed) reply immediately;
+/// queued jobs are awaited, which keeps per-connection replies in
+/// request order without blocking other connections.
+async fn handle_connection(mut stream: TcpStream, scheduler: Arc<Scheduler>) -> io::Result<()> {
+    while let Some(payload) = wire::read_frame(&mut stream).await? {
+        let text = match String::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                let frame = wire::err_frame("frame payload is not UTF-8");
+                wire::write_frame(&mut stream, frame.as_bytes()).await?;
+                continue;
+            }
+        };
+        let reply = match Envelope::from_json(&text) {
+            Ok(envelope) => {
+                match scheduler.submit(
+                    &envelope.tenant,
+                    envelope.priority,
+                    envelope.seed,
+                    envelope.request,
+                ) {
+                    Submitted::Ready(frame) => frame,
+                    Submitted::Pending(completion) => completion.await,
+                }
+            }
+            Err(e) => wire::err_frame(&e.to_string()),
+        };
+        wire::write_frame(&mut stream, reply.as_bytes()).await?;
+    }
+    Ok(())
+}
+
+/// Mirrors the lifetime counters into an `openserdes-telemetry`
+/// record, so serve metrics flow through the same pipeline as engine
+/// metrics (and export through the same sinks).
+fn telemetry_record(stats: &ServerStats) -> telemetry::Record {
+    let was = telemetry::is_enabled();
+    telemetry::set_enabled(true);
+    let ((), record) = telemetry::collect(|| {
+        telemetry::counter("serve.requests", stats.requests);
+        telemetry::counter("serve.cache_hits", stats.cache_hits);
+        telemetry::counter("serve.cache_misses", stats.cache_misses);
+        telemetry::counter("serve.coalesced", stats.coalesced);
+        telemetry::counter("serve.shed", stats.shed);
+        telemetry::counter("serve.completed", stats.completed);
+        telemetry::counter("serve.errored", stats.errored);
+        telemetry::counter("serve.panics_isolated", stats.panics_isolated);
+    });
+    telemetry::set_enabled(was);
+    record
+}

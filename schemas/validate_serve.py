@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate BENCH_serve.json against schemas/BENCH_serve.schema.json.
+
+A dependency-free subset of JSON Schema draft-07 — enough for the
+serve schema (type/required/properties/additionalProperties/const/
+minimum). CI runs this after the serve smoke; exits non-zero on the
+first violation. Also re-checks the run-level invariants the bin
+asserts: bit identity against direct `Session::submit`, a non-zero
+cache hit rate, at least one coalesced request, and an overload burst
+that shed with zero isolated worker panics.
+"""
+
+import json
+import sys
+
+SCHEMA_PATH = "schemas/BENCH_serve.schema.json"
+DOC_PATH = "BENCH_serve.json"
+
+
+def main() -> None:
+    schema = json.load(open(SCHEMA_PATH))
+    doc = json.load(open(DOC_PATH))
+
+    def check(inst, sch, path="$"):
+        if "const" in sch:
+            assert inst == sch["const"], f"{path}: {inst!r} != {sch['const']!r}"
+        t = sch.get("type")
+        if t == "object":
+            assert isinstance(inst, dict), f"{path}: not an object"
+            for r in sch.get("required", []):
+                assert r in inst, f"{path}: missing required key {r!r}"
+            props = sch.get("properties", {})
+            ap = sch.get("additionalProperties", True)
+            for k, v in inst.items():
+                if k in props:
+                    check(v, props[k], f"{path}.{k}")
+                elif isinstance(ap, dict):
+                    check(v, ap, f"{path}.{k}")
+                elif ap is False:
+                    raise AssertionError(f"{path}: unexpected key {k!r}")
+        elif t == "integer":
+            assert isinstance(inst, int) and not isinstance(inst, bool), f"{path}: not an integer"
+        elif t == "number":
+            assert isinstance(inst, (int, float)) and not isinstance(inst, bool), f"{path}: not a number"
+        elif t == "string":
+            assert isinstance(inst, str), f"{path}: not a string"
+        elif t == "boolean":
+            assert isinstance(inst, bool), f"{path}: not a boolean"
+        if "minimum" in sch:
+            assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
+
+    check(doc, schema)
+
+    # Run-level invariants beyond per-field shape.
+    assert doc["bit_identity"]["identical"] is True
+    assert doc["bit_identity"]["replies_checked"] == doc["workload"]["matrix_requests"]
+    assert doc["cache"]["hits"] > 0, "cache hit rate must be exercised"
+    assert doc["cache"]["coalesced"] > 0, "coalescing must be exercised"
+    assert doc["cache"]["hit_rate"] > 0
+    assert doc["shedding"]["shed"] > 0, "the overload burst must shed"
+    assert doc["shedding"]["shed"] + doc["shedding"]["completed"] == doc["shedding"]["burst"]
+    assert doc["shedding"]["panics_isolated"] == 0
+    assert doc["throughput"]["requests_per_second"] > 0
+    assert doc["throughput"]["p50_ms"] <= doc["throughput"]["p99_ms"] <= doc["throughput"]["max_ms"]
+    expected_unique = (
+        doc["workload"]["links"] + doc["workload"]["bathtubs"] + doc["workload"]["fault_campaigns"]
+    )
+    assert doc["workload"]["unique_jobs"] == expected_unique
+    assert (
+        doc["workload"]["matrix_requests"]
+        == doc["workload"]["clients"] * doc["workload"]["passes"] * expected_unique
+    )
+
+    print(
+        f"BENCH_serve.json validates against {SCHEMA_PATH} "
+        f"({doc['workload']['matrix_requests']} requests, "
+        f"{doc['throughput']['requests_per_second']:.1f} req/s, "
+        f"p99 {doc['throughput']['p99_ms']:.2f} ms, "
+        f"hit rate {doc['cache']['hit_rate']:.3f}, "
+        f"{doc['shedding']['shed']} shed)"
+    )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"schema violation: {e}", file=sys.stderr)
+        sys.exit(1)

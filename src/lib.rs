@@ -19,6 +19,7 @@
 //! | [`lint`] | `openserdes-lint` | DRC/ERC signoff (rule catalog in DESIGN.md §12) |
 //! | [`telemetry`] | `openserdes-telemetry` | spans/counters/histograms over every engine |
 //! | [`fault`] | `openserdes-fault` | lab fault campaigns (noise bursts, dropouts, SEUs) |
+//! | [`serve`] | `openserdes-serve` | a characterization farm's job front door |
 //!
 //! ## Quickstart
 //!
@@ -48,7 +49,9 @@ pub use openserdes_lint as lint;
 pub use openserdes_netlist as netlist;
 pub use openserdes_pdk as pdk;
 pub use openserdes_phy as phy;
+pub use openserdes_serve as serve;
 pub use openserdes_telemetry as telemetry;
 
 pub use openserdes_core::error::Error;
+pub use openserdes_core::job::{Request, Response};
 pub use openserdes_core::session::Session;

@@ -1,0 +1,276 @@
+//! Loopback integration tests for `openserdes-serve`: responses over
+//! the wire are bit-identical to direct `Session::submit`, identical
+//! in-flight submissions coalesce, repeats hit the content-addressed
+//! cache, overload sheds with a typed `Response::Shed`, and a job that
+//! panics inside the engine is isolated without killing its worker.
+
+use openserdes::core::job::{DesignSpec, Request, Response, SweepSpec};
+use openserdes::core::LinkConfig;
+use openserdes::pdk::units::Hertz;
+use openserdes::serve::{Client, ClientError, Server, ServerConfig, ServerStats};
+use openserdes::Session;
+use std::time::Duration;
+
+/// Binds a loopback server, runs `body` against its address, then
+/// stops it and returns the lifetime stats.
+fn with_server(config: ServerConfig, body: impl FnOnce(std::net::SocketAddr)) -> ServerStats {
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+    body(addr);
+    handle.stop();
+    let (stats, record) = serving
+        .join()
+        .expect("server thread")
+        .expect("serve returns cleanly");
+    assert_eq!(
+        record.counter("serve.requests"),
+        stats.requests,
+        "serve.* counters flow through telemetry"
+    );
+    stats
+}
+
+fn quick_bathtub(bits: usize) -> Request {
+    Request::Bathtub {
+        config: LinkConfig::paper_default(),
+        sweep: SweepSpec {
+            bits,
+            phases: 8,
+            frames: 2,
+            tol_db: 1.0,
+        },
+    }
+}
+
+#[test]
+fn wire_responses_are_bit_identical_to_direct_submit() {
+    let stim: Vec<[u32; 8]> = (0..2)
+        .map(|i| std::array::from_fn(|k| (i * 8 + k) as u32 ^ 0x0BAD_F00D))
+        .collect();
+    let jobs = vec![
+        (
+            11u64,
+            Request::RunLink {
+                config: LinkConfig::paper_default(),
+                frames: stim,
+            },
+        ),
+        (12, quick_bathtub(1_000)),
+        (
+            13,
+            Request::MaxLoss {
+                config: LinkConfig::paper_default(),
+                sweep: SweepSpec {
+                    bits: 800,
+                    phases: 4,
+                    frames: 2,
+                    tol_db: 2.0,
+                },
+            },
+        ),
+        (
+            14,
+            Request::Sta {
+                design: DesignSpec::Serializer,
+                pvt: openserdes::pdk::corner::Pvt::nominal(),
+                clock: Hertz::from_ghz(2.0),
+            },
+        ),
+        (
+            15,
+            Request::Lint {
+                design: DesignSpec::Cdr { oversampling: 5 },
+            },
+        ),
+    ];
+
+    let jobs_for_server = jobs.clone();
+    let stats = with_server(ServerConfig::default(), move |addr| {
+        let mut client = Client::connect(addr, "bit-identity").expect("connect");
+        for (seed, request) in &jobs_for_server {
+            let wire_bytes = client.submit_raw(1, *seed, request).expect("served reply");
+            let direct_bytes = Session::new()
+                .with_seed(*seed)
+                .with_threads(1)
+                .submit(request)
+                .expect("direct submit")
+                .to_canonical_json();
+            assert_eq!(
+                wire_bytes, direct_bytes,
+                "seed {seed}: served bytes must equal direct Session::submit"
+            );
+        }
+    });
+    assert_eq!(stats.requests, jobs.len() as u64);
+    assert_eq!(stats.completed, jobs.len() as u64);
+    assert_eq!(stats.errored, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.panics_isolated, 0);
+}
+
+#[test]
+fn identical_submissions_coalesce_and_then_hit_the_cache() {
+    // One worker: an occupying job serializes everything behind it, so
+    // two identical submissions arriving while it runs must coalesce
+    // into one execution.
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let stats = with_server(config, |addr| {
+        let occupier = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "occupier").expect("connect");
+            client
+                .submit(1, 77, &quick_bathtub(1_000_000))
+                .expect("slow job")
+        });
+        // Let the occupier reach the worker before the twins arrive.
+        std::thread::sleep(Duration::from_millis(200));
+
+        let twins: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr, format!("twin-{i}")).expect("connect");
+                    client
+                        .submit_raw(1, 99, &quick_bathtub(1_200))
+                        .expect("twin job")
+                })
+            })
+            .collect();
+        let replies: Vec<String> = twins
+            .into_iter()
+            .map(|t| t.join().expect("twin thread"))
+            .collect();
+        assert_eq!(replies[0], replies[1], "coalesced waiters share one result");
+        assert!(matches!(
+            occupier.join().expect("occupier thread"),
+            Response::Bathtub(_)
+        ));
+
+        // Same (request, seed) again, after completion: a cache hit
+        // with the same bytes.
+        let mut client = Client::connect(addr, "replayer").expect("connect");
+        let replay = client
+            .submit_raw(1, 99, &quick_bathtub(1_200))
+            .expect("replay");
+        assert_eq!(replay, replies[0], "cache returns byte-identical response");
+    });
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.coalesced, 1, "second twin coalesced");
+    assert_eq!(stats.cache_hits, 1, "replay served from cache");
+    assert_eq!(
+        stats.cache_misses, 2,
+        "occupier + first twin + nothing else"
+    );
+    assert_eq!(stats.completed, 2, "only two jobs actually executed");
+}
+
+#[test]
+fn overload_sheds_with_a_typed_response() {
+    // One worker, queue of one: once a slow job is in flight and the
+    // queue holds a priority-3 job, a priority-1 arrival is shed
+    // immediately, and a priority-9 arrival evicts the queued job —
+    // whose waiter gets the typed shed response, not a dead socket.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let stats = with_server(config, |addr| {
+        let occupier = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "occupier").expect("connect");
+            client
+                .submit(5, 177, &quick_bathtub(1_000_000))
+                .expect("slow job")
+        });
+        std::thread::sleep(Duration::from_millis(200));
+
+        let queued = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "mid").expect("connect");
+            client
+                .submit(3, 178, &quick_bathtub(1_200))
+                .expect("queued job reply")
+        });
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Lower priority than anything queued: shed on arrival.
+        let mut low = Client::connect(addr, "low").expect("connect");
+        match low
+            .submit(1, 179, &quick_bathtub(1_300))
+            .expect("shed reply")
+        {
+            Response::Shed(info) => {
+                assert_eq!(info.tenant, "low");
+                assert_eq!(info.priority, 1);
+                assert!(info.queue_depth >= 1);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+
+        // Higher priority: evicts the queued priority-3 job.
+        let winner = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "high").expect("connect");
+            client
+                .submit(9, 180, &quick_bathtub(1_400))
+                .expect("high job")
+        });
+        match queued.join().expect("queued thread") {
+            Response::Shed(info) => {
+                assert_eq!(info.tenant, "mid");
+                assert_eq!(info.priority, 3);
+            }
+            other => panic!("expected evicted job to be shed, got {other:?}"),
+        }
+        assert!(matches!(
+            winner.join().expect("winner thread"),
+            Response::Bathtub(_)
+        ));
+        assert!(matches!(
+            occupier.join().expect("occupier thread"),
+            Response::Bathtub(_)
+        ));
+    });
+    assert_eq!(stats.shed, 2, "one shed on arrival, one evicted");
+    assert_eq!(stats.completed, 2, "occupier and the priority-9 winner");
+    assert_eq!(stats.panics_isolated, 0);
+}
+
+#[test]
+fn engine_panic_is_isolated_and_the_worker_survives() {
+    // cdr.oversampling = 0 passes wire validation (LinkConfig is
+    // accepted verbatim) but violates the engine's internal assert —
+    // the canonical panic-isolation vector.
+    let mut poison = LinkConfig::paper_default();
+    poison.cdr.oversampling = 0;
+    let poison_request = Request::RunLink {
+        config: poison,
+        frames: vec![[7u32; 8]],
+    };
+
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let stats = with_server(config, |addr| {
+        let mut client = Client::connect(addr, "panicker").expect("connect");
+        match client.submit(1, 21, &poison_request) {
+            Err(ClientError::Server(msg)) => {
+                assert!(
+                    msg.contains("panicked"),
+                    "panic surfaces as a typed error frame, got: {msg}"
+                );
+            }
+            other => panic!("expected server error, got {other:?}"),
+        }
+        // Same connection, same (sole) worker: still alive and serving.
+        let reply = client
+            .submit(1, 22, &quick_bathtub(1_000))
+            .expect("worker survived the panic");
+        assert!(matches!(reply, Response::Bathtub(_)));
+    });
+    assert_eq!(stats.panics_isolated, 1);
+    assert_eq!(stats.errored, 0, "a panic counts as isolated, not errored");
+    assert_eq!(stats.completed, 1);
+}
