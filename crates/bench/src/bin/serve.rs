@@ -14,17 +14,29 @@
 //! * **graceful shedding** — an overload burst against a one-slot queue
 //!   sheds with typed `Response::Shed` replies and zero worker panics.
 //!
+//! With `--chaos`, a deterministic server chaos phase additionally runs
+//! the seeded server-plane fault campaign (`openserdes-fault`'s
+//! [`server_campaign`]) against fresh servers at 1/2/4/8 workers:
+//! dropped and truncated frames, hostile length prefixes, stalled
+//! readers, worker panics, deadline storms and connection floods. The
+//! phase asserts zero hangs (every driver read is bounded), that every
+//! fault is billed to exactly its contracted `serve.*` counter
+//! independent of worker count, and that a survivor job afterwards is
+//! still bit-identical to direct [`Session::submit`].
+//!
 //! This container is single-core, so worker counts demonstrate
 //! correctness under concurrency, not wall-clock scaling.
 //!
 //! Run with `cargo run --release -p openserdes-bench --bin serve`;
-//! pass `--smoke` for the fast CI variant.
+//! pass `--smoke` for the fast CI variant and `--chaos` for the fault
+//! phase.
 
 use openserdes_core::job::{Request, Response, SweepSpec};
 use openserdes_core::{LinkConfig, PrbsGenerator, PrbsOrder, Session, FRAME_BITS};
-use openserdes_fault::{campaign, CampaignKind};
-use openserdes_serve::{Client, Server, ServerConfig, ServerStats};
-use std::net::SocketAddr;
+use openserdes_fault::{campaign, server_campaign, CampaignKind, ServerFaultKind, ServerFaultPlan};
+use openserdes_serve::{wire, Client, ClientError, Server, ServerConfig, ServerStats};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -280,6 +292,243 @@ fn shedding_phase(smoke: bool) -> (usize, usize, usize, ServerStats) {
     (burst, sheds, completions, stats)
 }
 
+/// Seed of the chaos campaign — fixed so the plan (and therefore the
+/// ledger in `BENCH_serve.json`) is identical on every run.
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+/// Per-event wall budget; anything slower counts as a hang. All driver
+/// reads are bounded at 500 ms and sleeps total well under a second,
+/// so a healthy server clears each event with a wide margin.
+const CHAOS_HANG_BUDGET: Duration = Duration::from_secs(2);
+
+/// The survivor job the chaos phase replays after the campaign.
+fn chaos_survivor() -> Request {
+    Request::Bathtub {
+        config: LinkConfig::paper_default(),
+        sweep: SweepSpec {
+            bits: 1_000,
+            phases: 4,
+            frames: 2,
+            tol_db: 1.0,
+        },
+    }
+}
+
+/// Executes one server-plane fault event against a live server — the
+/// bench twin of the loopback test driver. Every read carries a
+/// timeout, so a server that stops answering fails the run instead of
+/// hanging it.
+fn inject_fault(addr: SocketAddr, kind: ServerFaultKind) {
+    match kind {
+        ServerFaultKind::DropMidFrame => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&100u32.to_be_bytes()).expect("prefix");
+            s.write_all(&[0x78; 10]).expect("partial payload");
+            drop(s);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        ServerFaultKind::TruncatedFrame { promised } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&promised.to_be_bytes()).expect("prefix");
+            s.write_all(&vec![0x79; (promised / 2) as usize])
+                .expect("half payload");
+            drop(s);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        ServerFaultKind::OversizedPrefix { announced } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("bounded read");
+            let prefix = announced.min(u64::from(u32::MAX)) as u32;
+            s.write_all(&prefix.to_be_bytes()).expect("hostile prefix");
+            let reply = wire::read_frame_blocking(&mut s)
+                .expect("typed reply")
+                .expect("frame before close");
+            let text = String::from_utf8(reply).expect("utf8");
+            match wire::parse_reply(&text).expect("parses") {
+                Err(msg) => assert!(msg.contains("MAX_FRAME"), "typed: {msg}"),
+                Ok(other) => panic!("expected error frame, got {other:?}"),
+            }
+            assert_eq!(wire::read_frame_blocking(&mut s).expect("close"), None);
+        }
+        ServerFaultKind::StalledReader { hold_ms } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&64u32.to_be_bytes()).expect("prefix");
+            s.write_all(b"stall").expect("first bytes");
+            std::thread::sleep(Duration::from_millis(hold_ms));
+            drop(s);
+        }
+        ServerFaultKind::WorkerPanic => {
+            let mut poison = LinkConfig::paper_default();
+            poison.cdr.oversampling = 0;
+            let request = Request::RunLink {
+                config: poison,
+                frames: vec![[7u32; 8]],
+            };
+            let mut client = Client::connect(addr, "chaos-panic").expect("connect");
+            match client.submit(1, 31_337, &request) {
+                Err(ClientError::Server(msg)) => {
+                    assert!(msg.contains("panicked"), "isolated typed: {msg}")
+                }
+                other => panic!("expected isolated panic, got {other:?}"),
+            }
+        }
+        ServerFaultKind::DeadlineStorm { jobs } => {
+            let mut client = Client::connect(addr, "chaos-storm").expect("connect");
+            for i in 0..jobs {
+                match client
+                    .submit_with_deadline(1, 50_000 + i, Some(0), &chaos_survivor())
+                    .expect("typed reply")
+                {
+                    Response::DeadlineExceeded(info) => assert_eq!(info.deadline_ms, 0),
+                    other => panic!("expected deadline exceeded, got {other:?}"),
+                }
+            }
+        }
+        ServerFaultKind::ConnFlood { conns } => {
+            // Let EOFs from earlier events settle first, so the cap is
+            // filled by exactly these holders and nothing stale.
+            std::thread::sleep(Duration::from_millis(50));
+            let holders: Vec<TcpStream> = (0..4)
+                .map(|_| TcpStream::connect(addr).expect("holder"))
+                .collect();
+            std::thread::sleep(Duration::from_millis(50));
+            for _ in 0..conns {
+                let mut s = TcpStream::connect(addr).expect("flood conn");
+                s.set_read_timeout(Some(Duration::from_millis(500)))
+                    .expect("bounded read");
+                let reply = wire::read_frame_blocking(&mut s)
+                    .expect("typed rejection")
+                    .expect("frame");
+                let text = String::from_utf8(reply).expect("utf8");
+                match wire::parse_reply(&text).expect("parses") {
+                    Err(msg) => assert!(msg.contains("capacity"), "typed: {msg}"),
+                    Ok(other) => panic!("expected typed rejection, got {other:?}"),
+                }
+            }
+            drop(holders);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    }
+}
+
+/// Runs the full campaign against a fresh server at `workers`, then the
+/// survivor job. Returns `(stats, survivor_identical, hangs)`.
+fn chaos_run(plan: &ServerFaultPlan, workers: usize, expected: &str) -> (ServerStats, bool, usize) {
+    let server = Server::bind(ServerConfig {
+        workers,
+        max_connections: 4,
+        read_idle_ms: 25,
+        ..ServerConfig::default()
+    })
+    .expect("bind chaos server");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let mut hangs = 0usize;
+    for event in plan.events() {
+        let t0 = Instant::now();
+        inject_fault(addr, event.kind);
+        if t0.elapsed() > CHAOS_HANG_BUDGET {
+            hangs += 1;
+        }
+    }
+    let mut client = Client::connect(addr, "survivor").expect("connect survivor");
+    let raw = client
+        .submit_raw(1, 4242, &chaos_survivor())
+        .expect("survivor job");
+    let identical = raw == expected;
+    // Let async billing of the last connection events settle.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.stop();
+    let (stats, _) = serving.join().expect("chaos server thread").expect("serve");
+    (stats, identical, hangs)
+}
+
+/// The chaos phase: the seeded campaign at every worker count, with the
+/// full accounting proof. Returns the `"chaos"` JSON section.
+fn chaos_phase(smoke: bool) -> String {
+    let events = if smoke { 7 } else { 9 };
+    let plan = server_campaign(CHAOS_SEED, events);
+    let expected = Session::new()
+        .with_seed(4242)
+        .with_threads(1)
+        .submit(&chaos_survivor())
+        .expect("direct submit")
+        .to_canonical_json();
+    let worker_counts = [1usize, 2, 4, 8];
+
+    let mut all_stats: Vec<ServerStats> = Vec::new();
+    let mut hangs = 0usize;
+    let mut bit_identity = true;
+    for workers in worker_counts {
+        let (stats, identical, h) = chaos_run(&plan, workers, &expected);
+        all_stats.push(stats);
+        hangs += h;
+        bit_identity &= identical;
+    }
+
+    let first = all_stats[0];
+    let mut accounted = all_stats.iter().all(|s| *s == first);
+    let ledger = plan.expected_ledger();
+    for (counter, hits) in &ledger {
+        let got = match *counter {
+            "serve.conn_errors" => first.conn_errors,
+            "serve.protocol_errors" => first.protocol_errors,
+            "serve.timeouts" => first.timeouts,
+            "serve.panics_isolated" => first.panics_isolated,
+            "serve.deadline_expired" => first.deadline_expired,
+            "serve.conns_rejected" => first.conns_rejected,
+            other => panic!("unknown counter in ledger: {other}"),
+        };
+        accounted &= got == *hits;
+    }
+    assert!(accounted, "every fault billed to its contracted counter, worker-count independent");
+    assert_eq!(hangs, 0, "every chaos event must finish inside its budget");
+    assert!(bit_identity, "survivor replies must match direct Session::submit");
+    assert_eq!(first.completed, 1, "exactly the survivor job completes");
+
+    let mut by_kind: Vec<(&'static str, u64)> = Vec::new();
+    for event in plan.events() {
+        match by_kind.iter_mut().find(|(t, _)| *t == event.kind.tag()) {
+            Some((_, n)) => *n += 1,
+            None => by_kind.push((event.kind.tag(), 1)),
+        }
+    }
+    let faults_injected: u64 = ledger.iter().map(|(_, hits)| hits).sum();
+    println!(
+        "chaos: {events} seeded faults x {} worker counts -> {faults_injected} counter hits \
+         accounted, {hangs} hangs, survivor bit-identical",
+        worker_counts.len()
+    );
+
+    let fmt_map = |pairs: &[(&'static str, u64)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        r#",
+  "chaos": {{
+    "seed": {seed},
+    "events": {events},
+    "faults_injected": {faults_injected},
+    "worker_counts": [1, 2, 4, 8],
+    "hangs": {hangs},
+    "accounted": {accounted},
+    "bit_identity": {bit_identity},
+    "by_kind": {{ {by_kind} }},
+    "counters": {{ {counters} }}
+  }}"#,
+        seed = plan.seed(),
+        by_kind = fmt_map(&by_kind),
+        counters = fmt_map(&ledger),
+    )
+}
+
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).max(1) - 1;
     sorted_ms[idx.min(sorted_ms.len() - 1)]
@@ -287,7 +536,19 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let smoke_flag = if smoke { " -- --smoke" } else { "" };
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    let mut passthrough = String::new();
+    if smoke {
+        passthrough.push_str(" --smoke");
+    }
+    if chaos {
+        passthrough.push_str(" --chaos");
+    }
+    let smoke_flag = if passthrough.is_empty() {
+        String::new()
+    } else {
+        format!(" --{passthrough}")
+    };
     let clients = 4usize;
     let passes = if smoke { 2 } else { 4 };
 
@@ -361,6 +622,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {burst_completions} completions, 0 panics"
     );
 
+    // ---- deterministic server chaos (opt-in via --chaos) ------------
+    let chaos_json = if chaos { chaos_phase(smoke) } else { String::new() };
+
     // ---- JSON ------------------------------------------------------
     let links = jobs.iter().filter(|(l, ..)| l.starts_with("link")).count();
     let bathtubs = jobs
@@ -380,7 +644,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "workers": {workers},
     "sweep_threads": {sweep_threads},
     "queue_capacity": {queue_capacity},
-    "cache_capacity": {cache_capacity}
+    "cache_capacity": {cache_capacity},
+    "max_connections": {max_connections},
+    "read_idle_ms": {read_idle_ms},
+    "write_idle_ms": {write_idle_ms},
+    "drain_ms": {drain_ms}
   }},
   "workload": {{
     "links": {links},
@@ -415,12 +683,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     "shed": {sheds},
     "completed": {burst_completions},
     "panics_isolated": {shed_panics}
-  }}
+  }}{chaos_json}
 }}
 "#,
         sweep_threads = config.sweep_threads,
         queue_capacity = config.queue_capacity,
         cache_capacity = config.cache_capacity,
+        max_connections = config.max_connections,
+        read_idle_ms = config.read_idle_ms,
+        write_idle_ms = config.write_idle_ms,
+        drain_ms = config.drain_ms,
         unique = jobs.len(),
         requests = stats.requests,
         hits = stats.cache_hits,

@@ -168,6 +168,10 @@ pub enum Response {
     Lint(LintSummary),
     /// The job was dropped by an overloaded scheduler before running.
     Shed(ShedInfo),
+    /// The job's deadline expired while it was queued; it was retired
+    /// at dequeue instead of burning a worker on a result nobody is
+    /// waiting for.
+    DeadlineExceeded(DeadlineInfo),
 }
 
 /// A serializable reference to one of the shipped example designs —
@@ -410,6 +414,21 @@ pub struct ShedInfo {
     pub priority: u8,
     /// Jobs queued ahead of the drop decision.
     pub queue_depth: usize,
+}
+
+/// Why a job was retired with [`Response::DeadlineExceeded`]: its
+/// envelope deadline elapsed before a worker picked it up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineInfo {
+    /// Tenant whose job expired.
+    pub tenant: String,
+    /// The deadline the envelope asked for, in milliseconds from
+    /// submission.
+    pub deadline_ms: u64,
+    /// How long the job actually sat queued before being retired, in
+    /// milliseconds (wall clock; informational, not part of any
+    /// determinism contract).
+    pub queued_ms: u64,
 }
 
 fn severity_tag(sev: Severity) -> &'static str {
@@ -1070,6 +1089,15 @@ impl Response {
                     s.priority, s.queue_depth
                 );
             }
+            Response::DeadlineExceeded(d) => {
+                out.push_str("{\"kind\":\"deadline_exceeded\",\"tenant\":");
+                json::push_quoted(out, &d.tenant);
+                let _ = write!(
+                    out,
+                    ",\"deadline_ms\":{},\"queued_ms\":{}}}",
+                    d.deadline_ms, d.queued_ms
+                );
+            }
         }
     }
 
@@ -1225,6 +1253,11 @@ impl Response {
                 tenant: json::get(obj, "tenant")?.as_str("tenant")?.to_string(),
                 priority: json::get(obj, "priority")?.as_u64("priority")? as u8,
                 queue_depth: json::get(obj, "queue_depth")?.as_usize("queue_depth")?,
+            })),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded(DeadlineInfo {
+                tenant: json::get(obj, "tenant")?.as_str("tenant")?.to_string(),
+                deadline_ms: json::get(obj, "deadline_ms")?.as_u64("deadline_ms")?,
+                queued_ms: json::get(obj, "queued_ms")?.as_u64("queued_ms")?,
             })),
             other => Err(format!("unknown response kind `{other}`")),
         }
@@ -1398,6 +1431,11 @@ mod tests {
                 tenant: "acme".into(),
                 priority: 3,
                 queue_depth: 17,
+            }),
+            Response::DeadlineExceeded(DeadlineInfo {
+                tenant: "acme".into(),
+                deadline_ms: 250,
+                queued_ms: 512,
             }),
         ];
         for resp in responses {

@@ -55,8 +55,8 @@ pub use cdr::{cdr_design, oversample_bits, oversample_bits_packed, CdrConfig, Ov
 pub use deserializer::{deserializer_design, Deserializer};
 pub use error::{Error, FaultInfo, LinkError};
 pub use job::{
-    DesignSpec, FlowSummary, JobKey, LintSummary, Request, Response, ShedInfo, StaSummary,
-    SweepSpec,
+    DeadlineInfo, DesignSpec, FlowSummary, JobKey, LintSummary, Request, Response, ShedInfo,
+    StaSummary, SweepSpec,
 };
 pub use link::{
     run_frames_with_faults, AnalogFrameReport, FaultReport, LinkConfig, LinkReport, LinkStats,

@@ -22,6 +22,11 @@
 //! * [`apply_stuck_at`] — rewrite a netlist so a named net is stuck at
 //!   0 or 1 (the classic manufacturing-test fault model), using only
 //!   cells the PDK already has.
+//! * [`server`] — the server-plane taxonomy for the `openserdes-serve`
+//!   front door (dropped/truncated/oversized frames, stalled readers,
+//!   worker panics, deadline storms, connection floods), as seeded
+//!   [`ServerFaultPlan`]s with a per-kind `serve.*` accounting
+//!   contract the chaos harness asserts.
 //!
 //! The injection hooks themselves live with the engines they stress
 //! (`phy::channel`, `core::cdr`, `core::link`); this crate owns the
@@ -52,6 +57,9 @@ use rand::{Rng, SeedableRng};
 use std::fmt;
 
 mod json;
+pub mod server;
+
+pub use server::{server_campaign, ServerFaultEvent, ServerFaultKind, ServerFaultPlan};
 
 /// One kind of injected fault. Channel faults perturb the sampled bit
 /// stream, clock faults perturb *when* it is sampled, digital faults

@@ -125,13 +125,25 @@ impl Executor {
     }
 
     /// Drives all tasks until `done()` reports true *and* every task
-    /// has completed. Spurious polls are expected (tick-based IO), so
+    /// has completed — or `abort()` reports true, at which point every
+    /// remaining task is dropped (its connection closes on drop). The
+    /// abort hook is what bounds graceful drain: a server that is
+    /// shutting down stops waiting on stragglers once its drain budget
+    /// is spent. Spurious polls are expected (tick-based IO), so
     /// futures must tolerate being polled while unready — all `std`
     /// futures do.
-    pub(crate) fn run(&mut self, mut done: impl FnMut() -> bool) {
+    pub(crate) fn run(&mut self, mut done: impl FnMut() -> bool, mut abort: impl FnMut() -> bool) {
         loop {
             self.drain_inbox();
             if self.live == 0 && done() && self.spawner.inbox.borrow().is_empty() {
+                return;
+            }
+            if abort() {
+                for slot in &mut self.tasks {
+                    *slot = None;
+                }
+                self.free.clear();
+                self.live = 0;
                 return;
             }
             let batch: Vec<usize> = {
@@ -191,7 +203,7 @@ mod tests {
                 hits.set(hits.get() + 1);
             });
         }
-        ex.run(|| true);
+        ex.run(|| true, || false);
         assert_eq!(hits.get(), 5);
     }
 
@@ -224,8 +236,26 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
             gate2.store(true, std::sync::atomic::Ordering::SeqCst);
         });
-        ex.run(|| true);
+        ex.run(|| true, || false);
         flipper.join().expect("flipper");
         assert!(done.get());
+    }
+
+    #[test]
+    fn abort_drops_forever_pending_tasks() {
+        let mut ex = Executor::new(Duration::from_micros(200));
+        let spawner = ex.spawner();
+        spawner.spawn(async {
+            std::future::poll_fn(|_cx| Poll::<()>::Pending).await;
+        });
+        let start = std::time::Instant::now();
+        ex.run(
+            || true,
+            move || start.elapsed() > Duration::from_millis(5),
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "abort must bound the run even with a task that never completes"
+        );
     }
 }

@@ -22,6 +22,13 @@
 //!   [`openserdes_core::job::Response::Shed`], and job panics are
 //!   isolated per worker (`catch_unwind`) exactly like the sweep
 //!   engine's `SweepOutcome` fan-out.
+//! * **Hardening** — optional per-job deadlines
+//!   ([`wire::Envelope::deadline_ms`]) retired with a typed
+//!   [`openserdes_core::job::Response::DeadlineExceeded`] at dequeue,
+//!   per-connection idle timeouts (slow-loris defense), a
+//!   max-connections cap with typed rejection, bounded graceful drain,
+//!   and a timeout-and-seeded-retry [`Client`] — safe to retry because
+//!   a resubmitted job is an exact cache/coalesce hit.
 //!
 //! The async runtime is vendored in the spirit of the workspace's
 //! offline `rand`/`proptest`/`criterion` stand-ins: a single-threaded
@@ -61,6 +68,6 @@ mod server;
 pub mod client;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, RetryStats};
 pub use sched::ServerStats;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -3,13 +3,67 @@
 //! These futures return `Pending` on `WouldBlock` without registering
 //! with any OS readiness facility — the executor's poll tick re-polls
 //! them (see [`crate::executor`]), so no epoll/kqueue binding is
-//! needed.
+//! needed. Because every pending state is re-polled at least once per
+//! tick, idle timeouts can live *inside* the futures: a stalled peer is
+//! detected within one tick of its deadline without any timer wheel.
 
 use std::future::poll_fn;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::task::Poll;
+use std::time::{Duration, Instant};
+
+/// Tracks how long an IO future has gone without progress — the
+/// slow-loris defense. `unarmed` timers start counting only at the
+/// first byte of progress (so an idle keep-alive connection between
+/// frames never expires); `armed` timers count from construction.
+/// Any progress re-arms the timer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Idle {
+    limit: Option<Duration>,
+    since: Option<Instant>,
+}
+
+impl Idle {
+    /// A timer that arms itself at the first byte of progress.
+    pub(crate) fn unarmed(limit: Option<Duration>) -> Self {
+        Self { limit, since: None }
+    }
+
+    /// A timer counting from now.
+    pub(crate) fn armed(limit: Option<Duration>) -> Self {
+        Self {
+            limit,
+            since: limit.map(|_| Instant::now()),
+        }
+    }
+
+    /// Records progress: the stall clock restarts (and arms, if this
+    /// timer was waiting for a first byte).
+    pub(crate) fn touch(&mut self) {
+        if self.limit.is_some() {
+            self.since = Some(Instant::now());
+        }
+    }
+
+    fn expired(&self) -> bool {
+        match (self.limit, self.since) {
+            (Some(limit), Some(since)) => since.elapsed() > limit,
+            _ => false,
+        }
+    }
+
+    fn timeout_err(&self, what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "connection idle timeout: no progress {what} for {:?}",
+                self.limit.unwrap_or_default()
+            ),
+        )
+    }
+}
 
 /// Accepts one connection, yielding until the listener is ready or
 /// `shutdown` is raised (`Ok(None)`). The shutdown check lives *inside*
@@ -43,8 +97,13 @@ pub(crate) async fn accept(
 
 /// Fills `buf` completely. `Ok(false)` means the peer closed the
 /// connection cleanly before the first byte; EOF mid-buffer is an
-/// error.
-pub(crate) async fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+/// error, and so is stalling longer than `idle` allows
+/// (`ErrorKind::TimedOut`).
+pub(crate) async fn read_exact_or_eof(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle: &mut Idle,
+) -> io::Result<bool> {
     let mut pos = 0usize;
     poll_fn(|_cx| loop {
         if pos == buf.len() {
@@ -58,8 +117,16 @@ pub(crate) async fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) ->
                     "peer closed mid-frame",
                 )))
             }
-            Ok(n) => pos += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Poll::Pending,
+            Ok(n) => {
+                pos += n;
+                idle.touch();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if idle.expired() {
+                    return Poll::Ready(Err(idle.timeout_err("reading")));
+                }
+                return Poll::Pending;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Poll::Ready(Err(e)),
         }
@@ -67,8 +134,15 @@ pub(crate) async fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) ->
     .await
 }
 
-/// Writes all of `buf`, yielding whenever the socket backpressures.
-pub(crate) async fn write_all(stream: &mut TcpStream, buf: &[u8]) -> io::Result<()> {
+/// Writes all of `buf`, yielding whenever the socket backpressures;
+/// stalling longer than `idle` allows is an error
+/// (`ErrorKind::TimedOut`) — a peer that never drains its receive
+/// window cannot pin the reply path.
+pub(crate) async fn write_all(
+    stream: &mut TcpStream,
+    buf: &[u8],
+    idle: &mut Idle,
+) -> io::Result<()> {
     let mut pos = 0usize;
     poll_fn(|_cx| loop {
         if pos == buf.len() {
@@ -81,8 +155,16 @@ pub(crate) async fn write_all(stream: &mut TcpStream, buf: &[u8]) -> io::Result<
                     "socket refused bytes",
                 )))
             }
-            Ok(n) => pos += n,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Poll::Pending,
+            Ok(n) => {
+                pos += n;
+                idle.touch();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if idle.expired() {
+                    return Poll::Ready(Err(idle.timeout_err("writing")));
+                }
+                return Poll::Pending;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Poll::Ready(Err(e)),
         }

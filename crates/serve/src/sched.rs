@@ -17,7 +17,7 @@
 
 use crate::cache::ResultCache;
 use crate::wire;
-use openserdes_core::job::{Request, Response, ShedInfo};
+use openserdes_core::job::{DeadlineInfo, Request, Response, ShedInfo};
 use openserdes_core::{JobKey, Session};
 use std::collections::{HashMap, VecDeque};
 use std::future::Future;
@@ -25,6 +25,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 /// Counters accumulated over a server's lifetime, the source of truth
 /// for the serve bench and mirrored into `openserdes-telemetry` when
@@ -48,6 +49,22 @@ pub struct ServerStats {
     /// Jobs that panicked and were isolated by the worker's
     /// `catch_unwind`; the worker survived every one of these.
     pub panics_isolated: u64,
+    /// Jobs retired with a typed [`Response::DeadlineExceeded`]: their
+    /// deadline lapsed while they were queued (or was already zero at
+    /// submission), so no worker was burned on them.
+    pub deadline_expired: u64,
+    /// Connections killed by an idle timeout (slow-loris defense): a
+    /// peer stalled mid-frame or never drained its replies.
+    pub timeouts: u64,
+    /// Connections refused at the max-connections cap, each with a
+    /// typed error reply before the close.
+    pub conns_rejected: u64,
+    /// Malformed traffic answered with a typed error reply: bad JSON,
+    /// non-UTF-8 payloads, or a hostile oversized length prefix.
+    pub protocol_errors: u64,
+    /// Connections that died with a transport error (reset, mid-frame
+    /// EOF) — distinct from `timeouts` and `protocol_errors`.
+    pub conn_errors: u64,
 }
 
 /// How a worker's execution of one job ended.
@@ -122,6 +139,10 @@ struct QueuedJob {
     seed: u64,
     tenant: String,
     priority: u8,
+    /// Absolute expiry plus the envelope's `deadline_ms`, if any. A
+    /// coalesced group runs under its most generous member's deadline.
+    deadline: Option<(Instant, u64)>,
+    enqueued_at: Instant,
     waiters: Vec<Arc<Completion>>,
 }
 
@@ -182,17 +203,27 @@ impl Scheduler {
         tenant: &str,
         priority: u8,
         seed: u64,
+        deadline_ms: Option<u64>,
         request: Request,
     ) -> Submitted {
         let key = JobKey::of(&request, seed);
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         inner.stats.requests += 1;
 
+        // A cached answer costs nothing, so it beats any deadline.
         if let Some(cached) = inner.cache.get(&key) {
             let frame = wire::ok_frame(cached);
             inner.stats.cache_hits += 1;
             return Submitted::Ready(frame);
         }
+
+        // A zero deadline is already expired: answer typed on the
+        // spot, deterministically, without touching the queue.
+        if deadline_ms == Some(0) {
+            inner.stats.deadline_expired += 1;
+            return Submitted::Ready(deadline_frame(tenant, 0, 0));
+        }
+        let deadline = deadline_ms.map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
 
         // Coalesce with identical queued work. A digest hit with
         // different canonical bytes is a (cosmically unlikely) digest
@@ -205,6 +236,12 @@ impl Scheduler {
             }
             let waiter = Completion::new();
             job.waiters.push(Arc::clone(&waiter));
+            // The group relaxes to its most generous member: any
+            // no-deadline waiter keeps the job alive indefinitely.
+            job.deadline = match (job.deadline, deadline) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
             inner.stats.coalesced += 1;
             return Submitted::Pending(CompletionFuture(waiter));
         }
@@ -249,6 +286,8 @@ impl Scheduler {
             seed,
             tenant: tenant.to_string(),
             priority,
+            deadline,
+            enqueued_at: Instant::now(),
             waiters: vec![Arc::clone(&waiter)],
         };
         inner.queued.insert(key.digest.clone(), job);
@@ -305,7 +344,7 @@ impl Scheduler {
     fn next_job(&self) -> Option<ExecJob> {
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         loop {
-            if inner.queued_total > 0 {
+            'scan: while inner.queued_total > 0 {
                 let n = inner.tenant_queues.len();
                 for i in 0..n {
                     let idx = (inner.rr_cursor + i) % n;
@@ -313,6 +352,23 @@ impl Scheduler {
                         inner.rr_cursor = (idx + 1) % n;
                         inner.queued_total -= 1;
                         let job = inner.queued.remove(&digest).expect("indexed job exists");
+                        // A job whose deadline lapsed while it queued is
+                        // retired with a typed response instead of
+                        // burning a worker; keep scanning for live work.
+                        if let Some((expiry, deadline_ms)) = job.deadline {
+                            if Instant::now() >= expiry {
+                                inner.stats.deadline_expired += 1;
+                                let frame = deadline_frame(
+                                    &job.tenant,
+                                    deadline_ms,
+                                    job.enqueued_at.elapsed().as_millis() as u64,
+                                );
+                                for w in &job.waiters {
+                                    w.complete(frame.clone());
+                                }
+                                continue 'scan;
+                            }
+                        }
                         inner
                             .inflight
                             .insert(digest.clone(), (job.canonical.clone(), job.waiters));
@@ -324,6 +380,7 @@ impl Scheduler {
                         });
                     }
                 }
+                break;
             }
             if inner.shutdown {
                 return None;
@@ -361,6 +418,38 @@ impl Scheduler {
         }
     }
 
+    /// Records a connection killed by an idle timeout.
+    pub(crate) fn note_timeout(&self) {
+        self.inner.lock().expect("scheduler poisoned").stats.timeouts += 1;
+    }
+
+    /// Records a connection refused at the max-connections cap.
+    pub(crate) fn note_conn_rejected(&self) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .stats
+            .conns_rejected += 1;
+    }
+
+    /// Records malformed traffic answered with a typed error reply.
+    pub(crate) fn note_protocol_error(&self) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .stats
+            .protocol_errors += 1;
+    }
+
+    /// Records a connection that died with a transport error.
+    pub(crate) fn note_conn_error(&self) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .stats
+            .conn_errors += 1;
+    }
+
     /// Stops the worker pool once the queue drains.
     pub(crate) fn shutdown(&self) {
         self.inner.lock().expect("scheduler poisoned").shutdown = true;
@@ -384,6 +473,15 @@ fn shed_frame(tenant: &str, priority: u8, queue_depth: usize) -> String {
         tenant: tenant.to_string(),
         priority,
         queue_depth,
+    });
+    wire::ok_frame(&resp.to_canonical_json())
+}
+
+fn deadline_frame(tenant: &str, deadline_ms: u64, queued_ms: u64) -> String {
+    let resp = Response::DeadlineExceeded(DeadlineInfo {
+        tenant: tenant.to_string(),
+        deadline_ms,
+        queued_ms,
     });
     wire::ok_frame(&resp.to_canonical_json())
 }
@@ -485,8 +583,8 @@ mod tests {
     #[test]
     fn identical_submissions_coalesce_then_hit_cache() {
         let sched = Arc::new(Scheduler::new(64, 64));
-        let a = sched.submit("t", 1, 7, lint_request());
-        let b = sched.submit("t", 1, 7, lint_request());
+        let a = sched.submit("t", 1, 7, None, lint_request());
+        let b = sched.submit("t", 1, 7, None, lint_request());
         let (fa, fb) = match (a, b) {
             (Submitted::Pending(fa), Submitted::Pending(fb)) => (fa, fb),
             _ => panic!("both should pend"),
@@ -501,7 +599,7 @@ mod tests {
         let frame_b = block_on_frame(fb);
         assert_eq!(frame_a, frame_b, "coalesced waiters share bytes");
         // Third submission: exact cache hit, answered inline.
-        match sched.submit("t", 1, 7, lint_request()) {
+        match sched.submit("t", 1, 7, None, lint_request()) {
             Submitted::Ready(frame_c) => assert_eq!(frame_c, frame_a),
             Submitted::Pending(_) => panic!("expected a cache hit"),
         }
@@ -519,8 +617,8 @@ mod tests {
     #[test]
     fn different_seeds_do_not_coalesce() {
         let sched = Scheduler::new(64, 64);
-        let _ = sched.submit("t", 1, 7, lint_request());
-        let _ = sched.submit("t", 1, 8, lint_request());
+        let _ = sched.submit("t", 1, 7, None, lint_request());
+        let _ = sched.submit("t", 1, 8, None, lint_request());
         assert_eq!(sched.stats().cache_misses, 2);
         assert_eq!(sched.stats().coalesced, 0);
     }
@@ -529,10 +627,10 @@ mod tests {
     fn overload_sheds_lowest_priority_with_typed_response() {
         // Capacity 2, no workers: everything stays queued.
         let sched = Scheduler::new(2, 16);
-        let low = sched.submit("alice", 1, 1, max_loss_request(1.0));
-        let _mid = sched.submit("bob", 5, 2, max_loss_request(2.0));
+        let low = sched.submit("alice", 1, 1, None, max_loss_request(1.0));
+        let _mid = sched.submit("bob", 5, 2, None, max_loss_request(2.0));
         // Queue now full. A higher-priority job evicts the low one...
-        let high = sched.submit("carol", 9, 3, max_loss_request(3.0));
+        let high = sched.submit("carol", 9, 3, None, max_loss_request(3.0));
         assert!(matches!(high, Submitted::Pending(_)));
         let low_frame = match low {
             Submitted::Pending(f) => block_on_frame(f),
@@ -548,7 +646,7 @@ mod tests {
             other => panic!("expected typed shed, got {other:?}"),
         }
         // ...and a lower-priority incoming job is shed on arrival.
-        match sched.submit("dave", 0, 4, max_loss_request(4.0)) {
+        match sched.submit("dave", 0, 4, None, max_loss_request(4.0)) {
             Submitted::Ready(frame) => match wire::parse_reply(&frame).expect("parses") {
                 Ok(Response::Shed(info)) => assert_eq!(info.tenant, "dave"),
                 other => panic!("expected typed shed, got {other:?}"),
@@ -566,10 +664,10 @@ mod tests {
         let mut seed = 0u64;
         for _ in 0..3 {
             seed += 1;
-            let _ = sched.submit("alice", 1, seed, max_loss_request(seed as f64));
+            let _ = sched.submit("alice", 1, seed, None, max_loss_request(seed as f64));
         }
         seed += 1;
-        let _ = sched.submit("bob", 1, seed, max_loss_request(seed as f64));
+        let _ = sched.submit("bob", 1, seed, None, max_loss_request(seed as f64));
         let first = sched.next_job().expect("job");
         let second = sched.next_job().expect("job");
         // Round robin: one from alice, then bob's (not alice again).
@@ -601,8 +699,8 @@ mod tests {
             config: poisoned_config,
             frames: vec![[1u32; 8]],
         };
-        let a = sched.submit("t", 1, 1, poisoned);
-        let b = sched.submit("t", 1, 1, lint_request());
+        let a = sched.submit("t", 1, 1, None, poisoned);
+        let b = sched.submit("t", 1, 1, None, lint_request());
         let worker_panicked = Arc::new(AtomicBool::new(false));
         let worker = {
             let sched = Arc::clone(&sched);
@@ -636,5 +734,65 @@ mod tests {
             "panic was isolated"
         );
         assert_eq!(sched.stats().panics_isolated, 1);
+    }
+
+    #[test]
+    fn zero_deadline_is_answered_typed_on_the_spot() {
+        let sched = Scheduler::new(16, 16);
+        match sched.submit("t", 1, 99, Some(0), max_loss_request(1.0)) {
+            Submitted::Ready(frame) => match wire::parse_reply(&frame).expect("parses") {
+                Ok(Response::DeadlineExceeded(info)) => {
+                    assert_eq!(info.tenant, "t");
+                    assert_eq!(info.deadline_ms, 0);
+                }
+                other => panic!("expected typed deadline, got {other:?}"),
+            },
+            Submitted::Pending(_) => panic!("zero deadline must not queue"),
+        }
+        assert_eq!(sched.stats().deadline_expired, 1);
+        assert_eq!(sched.stats().cache_misses, 0, "never became work");
+    }
+
+    #[test]
+    fn expired_queued_jobs_retire_at_dequeue_without_burning_a_worker() {
+        // No workers running: the job sits queued past its deadline.
+        let sched = Scheduler::new(16, 16);
+        let fut = match sched.submit("t", 1, 5, Some(1), max_loss_request(1.0)) {
+            Submitted::Pending(f) => f,
+            Submitted::Ready(_) => panic!("should queue"),
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        sched.shutdown();
+        assert!(
+            sched.next_job().is_none(),
+            "the expired job is retired during the scan, not handed out"
+        );
+        let frame = block_on_frame(fut);
+        match wire::parse_reply(&frame).expect("parses") {
+            Ok(Response::DeadlineExceeded(info)) => {
+                assert_eq!(info.tenant, "t");
+                assert_eq!(info.deadline_ms, 1);
+                assert!(info.queued_ms >= 1);
+            }
+            other => panic!("expected typed deadline, got {other:?}"),
+        }
+        assert_eq!(sched.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn coalescing_relaxes_to_the_most_generous_deadline() {
+        let sched = Scheduler::new(16, 16);
+        let a = sched.submit("t", 1, 5, Some(1), max_loss_request(1.0));
+        // A no-deadline twin joins the group: the job must now survive
+        // any queue delay.
+        let b = sched.submit("t", 1, 5, None, max_loss_request(1.0));
+        assert!(matches!(a, Submitted::Pending(_)));
+        assert!(matches!(b, Submitted::Pending(_)));
+        assert_eq!(sched.stats().coalesced, 1);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(
+            sched.next_job().is_some(),
+            "relaxed group is live work despite the lapsed member deadline"
+        );
     }
 }

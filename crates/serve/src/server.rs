@@ -8,9 +8,9 @@ use crate::wire::{self, Envelope};
 use openserdes_telemetry as telemetry;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server knobs. `Default` is a loopback server sized for the bench
 /// and test workloads.
@@ -29,6 +29,22 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in responses (0 disables caching).
     pub cache_capacity: usize,
+    /// Open-connection cap; arrivals beyond it get a typed error reply
+    /// and an immediate close (0 = unlimited).
+    pub max_connections: usize,
+    /// Per-connection read idle limit in milliseconds: a peer that
+    /// starts a frame and then stalls longer than this is disconnected
+    /// with `serve.timeouts` billed — the slow-loris defense. Waiting
+    /// *between* frames is unbounded (idle keep-alive is fine).
+    /// 0 disables the limit.
+    pub read_idle_ms: u64,
+    /// Per-connection write idle limit in milliseconds: a peer that
+    /// never drains its replies cannot pin the reply path. 0 disables.
+    pub write_idle_ms: u64,
+    /// Graceful-drain budget in milliseconds after `stop()`: open
+    /// connections get this long to finish before they are dropped.
+    /// 0 waits indefinitely (the pre-hardening behavior).
+    pub drain_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +55,10 @@ impl Default for ServerConfig {
             sweep_threads: 1,
             queue_capacity: 64,
             cache_capacity: 256,
+            max_connections: 64,
+            read_idle_ms: 2_000,
+            write_idle_ms: 2_000,
+            drain_ms: 10_000,
         }
     }
 }
@@ -108,8 +128,9 @@ impl Server {
     /// [`telemetry::Record`] carrying the `serve.*` counters.
     ///
     /// Graceful shutdown semantics: after `stop()` the server stops
-    /// accepting; it returns once every open connection closes (clients
-    /// should disconnect when done) and the queue drains.
+    /// accepting; it waits up to `drain_ms` for open connections to
+    /// close (clients should disconnect when done) and the queue to
+    /// drain, then drops whatever is left so shutdown is bounded.
     ///
     /// # Errors
     ///
@@ -133,19 +154,47 @@ impl Server {
             })
             .collect();
 
+        let idle = IdleLimits {
+            read: duration_knob(config.read_idle_ms),
+            write: duration_knob(config.write_idle_ms),
+        };
         let mut executor = Executor::new(Duration::from_micros(500));
         let spawner = executor.spawner();
         {
             let spawner = spawner.clone();
             let scheduler = Arc::clone(&scheduler);
             let shutdown = Arc::clone(&shutdown);
+            let max_connections = config.max_connections;
+            let active = Arc::new(AtomicUsize::new(0));
             executor.spawner().spawn(async move {
                 loop {
                     match crate::net::accept(&listener, &shutdown).await {
-                        Ok(Some((stream, _addr))) => {
+                        Ok(Some((mut stream, _addr))) => {
+                            if max_connections > 0
+                                && active.load(Ordering::SeqCst) >= max_connections
+                            {
+                                // Typed rejection, then close: the peer
+                                // learns why instead of seeing a reset.
+                                scheduler.note_conn_rejected();
+                                spawner.spawn(async move {
+                                    let frame = wire::err_frame(
+                                        "server at connection capacity; retry later",
+                                    );
+                                    let _ = wire::write_frame(
+                                        &mut stream,
+                                        frame.as_bytes(),
+                                        idle.write,
+                                    )
+                                    .await;
+                                });
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::SeqCst);
+                            let active = Arc::clone(&active);
                             let scheduler = Arc::clone(&scheduler);
                             spawner.spawn(async move {
-                                let _ = handle_connection(stream, scheduler).await;
+                                let _ = handle_connection(stream, scheduler, idle).await;
+                                active.fetch_sub(1, Ordering::SeqCst);
                             });
                         }
                         Ok(None) | Err(_) => return,
@@ -153,8 +202,19 @@ impl Server {
                 }
             });
         }
-        let shutdown_flag = Arc::clone(&shutdown);
-        executor.run(move || shutdown_flag.load(Ordering::SeqCst));
+        let done_flag = Arc::clone(&shutdown);
+        let abort_flag = Arc::clone(&shutdown);
+        let drain = duration_knob(config.drain_ms);
+        let mut drain_since: Option<Instant> = None;
+        executor.run(
+            move || done_flag.load(Ordering::SeqCst),
+            move || match drain {
+                Some(budget) if abort_flag.load(Ordering::SeqCst) => {
+                    drain_since.get_or_insert_with(Instant::now).elapsed() > budget
+                }
+                _ => false,
+            },
+        );
 
         scheduler.shutdown();
         for worker in workers {
@@ -165,17 +225,62 @@ impl Server {
     }
 }
 
+/// Per-connection idle limits, resolved from the millisecond knobs.
+#[derive(Debug, Clone, Copy)]
+struct IdleLimits {
+    read: Option<Duration>,
+    write: Option<Duration>,
+}
+
+fn duration_knob(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 /// Serves one connection: read a frame, submit, reply in order.
 /// Submissions answered from the cache (or shed) reply immediately;
 /// queued jobs are awaited, which keeps per-connection replies in
 /// request order without blocking other connections.
-async fn handle_connection(mut stream: TcpStream, scheduler: Arc<Scheduler>) -> io::Result<()> {
-    while let Some(payload) = wire::read_frame(&mut stream).await? {
+///
+/// Every way the connection can die is billed to exactly one counter:
+/// idle stalls to `serve.timeouts`, malformed traffic (bad JSON,
+/// non-UTF-8, hostile length prefix) to `serve.protocol_errors`, and
+/// transport failures (reset, mid-frame EOF) to `serve.conn_errors`.
+async fn handle_connection(
+    mut stream: TcpStream,
+    scheduler: Arc<Scheduler>,
+    idle: IdleLimits,
+) -> io::Result<()> {
+    loop {
+        let payload = match wire::read_frame(&mut stream, idle.read).await {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                if let Some(len) = wire::oversized_len(&e) {
+                    // Hostile length prefix: typed error reply, then a
+                    // clean close — not a silent drop.
+                    scheduler.note_protocol_error();
+                    let frame = wire::err_frame(&format!(
+                        "announced frame of {len} bytes exceeds MAX_FRAME ({} bytes)",
+                        wire::MAX_FRAME
+                    ));
+                    let _ = wire::write_frame(&mut stream, frame.as_bytes(), idle.write).await;
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
+                if e.kind() == io::ErrorKind::TimedOut {
+                    scheduler.note_timeout();
+                } else {
+                    scheduler.note_conn_error();
+                }
+                return Err(e);
+            }
+        };
         let text = match String::from_utf8(payload) {
             Ok(t) => t,
             Err(_) => {
+                scheduler.note_protocol_error();
                 let frame = wire::err_frame("frame payload is not UTF-8");
-                wire::write_frame(&mut stream, frame.as_bytes()).await?;
+                write_reply(&mut stream, &frame, &scheduler, idle).await?;
                 continue;
             }
         };
@@ -185,17 +290,39 @@ async fn handle_connection(mut stream: TcpStream, scheduler: Arc<Scheduler>) -> 
                     &envelope.tenant,
                     envelope.priority,
                     envelope.seed,
+                    envelope.deadline_ms,
                     envelope.request,
                 ) {
                     Submitted::Ready(frame) => frame,
                     Submitted::Pending(completion) => completion.await,
                 }
             }
-            Err(e) => wire::err_frame(&e.to_string()),
+            Err(e) => {
+                scheduler.note_protocol_error();
+                wire::err_frame(&e.to_string())
+            }
         };
-        wire::write_frame(&mut stream, reply.as_bytes()).await?;
+        write_reply(&mut stream, &reply, &scheduler, idle).await?;
     }
-    Ok(())
+}
+
+/// Writes one reply frame, billing a write stall or transport failure
+/// to the right counter.
+async fn write_reply(
+    stream: &mut TcpStream,
+    frame: &str,
+    scheduler: &Scheduler,
+    idle: IdleLimits,
+) -> io::Result<()> {
+    wire::write_frame(stream, frame.as_bytes(), idle.write)
+        .await
+        .inspect_err(|e| {
+            if e.kind() == io::ErrorKind::TimedOut {
+                scheduler.note_timeout();
+            } else {
+                scheduler.note_conn_error();
+            }
+        })
 }
 
 /// Mirrors the lifetime counters into an `openserdes-telemetry`
@@ -213,6 +340,11 @@ fn telemetry_record(stats: &ServerStats) -> telemetry::Record {
         telemetry::counter("serve.completed", stats.completed);
         telemetry::counter("serve.errored", stats.errored);
         telemetry::counter("serve.panics_isolated", stats.panics_isolated);
+        telemetry::counter("serve.deadline_expired", stats.deadline_expired);
+        telemetry::counter("serve.timeouts", stats.timeouts);
+        telemetry::counter("serve.conns_rejected", stats.conns_rejected);
+        telemetry::counter("serve.protocol_errors", stats.protocol_errors);
+        telemetry::counter("serve.conn_errors", stats.conn_errors);
     });
     telemetry::set_enabled(was);
     record

@@ -8,19 +8,25 @@
 //!
 //! ```text
 //! {"schema":"openserdes-serve/1","tenant":"acme","priority":3,"seed":7,"request":{...}}
+//! {"schema":"openserdes-serve/1","tenant":"acme","priority":3,"seed":7,"deadline_ms":250,"request":{...}}
 //! {"schema":"openserdes-serve/1","response":{...}}
 //! {"schema":"openserdes-serve/1","error":"..."}
 //! ```
+//!
+//! `deadline_ms` is optional and backward-compatible on
+//! `openserdes-serve/1`: an absent field means no deadline, and a
+//! pre-deadline peer's frames parse unchanged.
 //!
 //! The `request` and `response` sub-documents are exactly
 //! [`Request::to_canonical_json`] / [`Response::to_canonical_json`] —
 //! the server and in-process [`openserdes_core::Session::submit`]
 //! callers share one job vocabulary, byte for byte.
 
-use crate::net;
+use crate::net::{self, Idle};
 use openserdes_core::job::{Request, Response};
 use openserdes_core::json;
 use openserdes_core::Error;
+use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -42,6 +48,12 @@ pub struct Envelope {
     pub priority: u8,
     /// Run seed — half of the job's content address.
     pub seed: u64,
+    /// Optional deadline in milliseconds from submission. A job still
+    /// queued past its deadline is retired with a typed
+    /// [`Response::DeadlineExceeded`](openserdes_core::job::Response)
+    /// at dequeue instead of burning a worker. `None` (the field
+    /// absent on the wire) means no deadline.
+    pub deadline_ms: Option<u64>,
     /// The job itself.
     pub request: Request,
 }
@@ -59,6 +71,9 @@ impl Envelope {
             ",\"priority\":{},\"seed\":{},",
             self.priority, self.seed
         );
+        if let Some(deadline_ms) = self.deadline_ms {
+            let _ = write!(out, "\"deadline_ms\":{deadline_ms},");
+        }
         out.push_str("\"request\":");
         out.push_str(&self.request.to_canonical_json());
         out.push('}');
@@ -89,6 +104,12 @@ impl Envelope {
         if priority > u64::from(u8::MAX) {
             return Err(Error::Parse(format!("priority {priority} exceeds 255")));
         }
+        // Backward-compatible optional field: absent means no deadline,
+        // present must be a valid u64.
+        let deadline_ms = match json::get(obj, "deadline_ms") {
+            Ok(v) => Some(v.as_u64("deadline_ms").map_err(parse)?),
+            Err(_) => None,
+        };
         Ok(Self {
             tenant: json::get(obj, "tenant")
                 .and_then(|t| t.as_str("tenant").map(str::to_string))
@@ -97,6 +118,7 @@ impl Envelope {
             seed: json::get(obj, "seed")
                 .and_then(|s| s.as_u64("seed"))
                 .map_err(parse)?,
+            deadline_ms,
             request: json::get(obj, "request")
                 .and_then(Request::from_value)
                 .map_err(parse)?,
@@ -153,6 +175,34 @@ pub fn parse_reply(text: &str) -> Result<Result<Response, String>, Error> {
         .map_err(parse)
 }
 
+/// The typed payload inside the `io::Error` a hostile length prefix
+/// produces: the peer announced a frame larger than [`MAX_FRAME`].
+/// The server answers this with a typed error reply and a clean close
+/// instead of silently dropping the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedFrame {
+    /// The announced payload length in bytes.
+    pub len: usize,
+}
+
+impl fmt::Display for OversizedFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peer announced a {}-byte frame (MAX_FRAME {MAX_FRAME} exceeded)",
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for OversizedFrame {}
+
+/// Extracts the announced length from an oversized-prefix error, if
+/// that is what `e` is.
+pub fn oversized_len(e: &io::Error) -> Option<usize> {
+    e.get_ref()?.downcast_ref::<OversizedFrame>().map(|o| o.len)
+}
+
 fn frame_len(payload: &[u8]) -> io::Result<[u8; 4]> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
@@ -168,22 +218,29 @@ fn check_len(len_buf: [u8; 4]) -> io::Result<usize> {
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("peer announced a {len}-byte frame (MAX_FRAME exceeded)"),
+            OversizedFrame { len },
         ));
     }
     Ok(len)
 }
 
 /// Reads one frame from a non-blocking stream; `Ok(None)` on a clean
-/// close at a frame boundary.
-pub(crate) async fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+/// close at a frame boundary. The `idle` limit bounds mid-frame stalls
+/// (slow-loris defense): waiting for the *first* byte of a frame is
+/// unbounded (an idle keep-alive connection is fine), but once a frame
+/// has started, any gap longer than `idle` is `ErrorKind::TimedOut`.
+pub(crate) async fn read_frame(
+    stream: &mut TcpStream,
+    idle: Option<std::time::Duration>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut timer = Idle::unarmed(idle);
     let mut len_buf = [0u8; 4];
-    if !net::read_exact_or_eof(stream, &mut len_buf).await? {
+    if !net::read_exact_or_eof(stream, &mut len_buf, &mut timer).await? {
         return Ok(None);
     }
     let len = check_len(len_buf)?;
     let mut payload = vec![0u8; len];
-    if !net::read_exact_or_eof(stream, &mut payload).await? && len > 0 {
+    if !net::read_exact_or_eof(stream, &mut payload, &mut timer).await? && len > 0 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "peer closed between length and payload",
@@ -192,15 +249,19 @@ pub(crate) async fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<
     Ok(Some(payload))
 }
 
-/// Writes one frame to a non-blocking stream. Prefix and payload go
-/// out as one buffer so a frame never straddles a Nagle/delayed-ACK
-/// boundary.
-pub(crate) async fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+/// Writes one frame to a non-blocking stream, bounding write stalls by
+/// `idle`. Prefix and payload go out as one buffer so a frame never
+/// straddles a Nagle/delayed-ACK boundary.
+pub(crate) async fn write_frame(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    idle: Option<std::time::Duration>,
+) -> io::Result<()> {
     let len = frame_len(payload)?;
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&len);
     buf.extend_from_slice(payload);
-    net::write_all(stream, &buf).await
+    net::write_all(stream, &buf, &mut Idle::armed(idle)).await
 }
 
 /// Blocking frame read for plain clients; `Ok(None)` on clean close.
@@ -250,14 +311,26 @@ mod tests {
             tenant: "acme \"labs\"".into(),
             priority: 7,
             seed: u64::MAX,
+            deadline_ms: None,
             request: Request::MaxLoss {
                 config: LinkConfig::paper_default(),
                 sweep: SweepSpec::default(),
             },
         };
         let json = env.to_json();
+        assert!(!json.contains("deadline_ms"), "absent field stays absent");
         let back = Envelope::from_json(&json).expect("parses");
         assert_eq!(back, env);
+        assert_eq!(back.to_json(), json, "byte-identical re-encode");
+
+        let with_deadline = Envelope {
+            deadline_ms: Some(250),
+            ..env
+        };
+        let json = with_deadline.to_json();
+        assert!(json.contains("\"deadline_ms\":250,"));
+        let back = Envelope::from_json(&json).expect("parses");
+        assert_eq!(back, with_deadline);
         assert_eq!(back.to_json(), json, "byte-identical re-encode");
     }
 
@@ -268,6 +341,7 @@ mod tests {
             tenant: "t".into(),
             priority: 1,
             seed: 1,
+            deadline_ms: None,
             request: Request::Lint {
                 design: openserdes_core::job::DesignSpec::Serializer,
             },

@@ -3,11 +3,13 @@
 
 A dependency-free subset of JSON Schema draft-07 — enough for the
 serve schema (type/required/properties/additionalProperties/const/
-minimum). CI runs this after the serve smoke; exits non-zero on the
-first violation. Also re-checks the run-level invariants the bin
+minimum/array). CI runs this after the serve smoke; exits non-zero on
+the first violation. Also re-checks the run-level invariants the bin
 asserts: bit identity against direct `Session::submit`, a non-zero
-cache hit rate, at least one coalesced request, and an overload burst
-that shed with zero isolated worker panics.
+cache hit rate, at least one coalesced request, an overload burst that
+shed with zero isolated worker panics, and — when the run carried
+`--chaos` — the server chaos proof: every injected fault accounted to
+its contracted serve.* counter, zero hangs, survivor bit identity.
 """
 
 import json
@@ -46,6 +48,13 @@ def main() -> None:
             assert isinstance(inst, str), f"{path}: not a string"
         elif t == "boolean":
             assert isinstance(inst, bool), f"{path}: not a boolean"
+        elif t == "array":
+            assert isinstance(inst, list), f"{path}: not an array"
+            if "minItems" in sch:
+                assert len(inst) >= sch["minItems"], f"{path}: fewer than {sch['minItems']} items"
+            if "items" in sch:
+                for i, item in enumerate(inst):
+                    check(item, sch["items"], f"{path}[{i}]")
         if "minimum" in sch:
             assert inst >= sch["minimum"], f"{path}: {inst} below minimum {sch['minimum']}"
 
@@ -71,13 +80,26 @@ def main() -> None:
         == doc["workload"]["clients"] * doc["workload"]["passes"] * expected_unique
     )
 
+    chaos = doc.get("chaos")
+    if chaos is not None:
+        assert chaos["faults_injected"] >= chaos["events"] > 0, "every event injects at least once"
+        assert chaos["hangs"] == 0, "chaos must finish with zero hangs"
+        assert chaos["accounted"] is True, "every fault billed to its contracted counter"
+        assert chaos["bit_identity"] is True, "survivor replies must match direct Session::submit"
+        assert sum(chaos["by_kind"].values()) == chaos["events"]
+        assert sum(chaos["counters"].values()) == chaos["faults_injected"]
+        assert chaos["worker_counts"] == sorted(set(chaos["worker_counts"]))
+
+    chaos_note = (
+        f", chaos: {chaos['faults_injected']} faults/0 hangs" if chaos is not None else ""
+    )
     print(
         f"BENCH_serve.json validates against {SCHEMA_PATH} "
         f"({doc['workload']['matrix_requests']} requests, "
         f"{doc['throughput']['requests_per_second']:.1f} req/s, "
         f"p99 {doc['throughput']['p99_ms']:.2f} ms, "
         f"hit rate {doc['cache']['hit_rate']:.3f}, "
-        f"{doc['shedding']['shed']} shed)"
+        f"{doc['shedding']['shed']} shed{chaos_note})"
     )
 
 

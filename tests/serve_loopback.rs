@@ -3,12 +3,23 @@
 //! in-flight submissions coalesce, repeats hit the content-addressed
 //! cache, overload sheds with a typed `Response::Shed`, and a job that
 //! panics inside the engine is isolated without killing its worker.
+//!
+//! The hardening tests drive the seeded server-plane fault taxonomy
+//! from `openserdes-fault` (dropped/truncated/oversized frames,
+//! stalled readers, worker panics, deadline storms, connection
+//! floods) and assert the `serve.*` robustness counters account for
+//! every injected fault, identically at 1/2/4/8 workers.
 
 use openserdes::core::job::{DesignSpec, Request, Response, SweepSpec};
 use openserdes::core::LinkConfig;
+use openserdes::fault::{server_campaign, ServerFaultKind};
 use openserdes::pdk::units::Hertz;
-use openserdes::serve::{Client, ClientError, Server, ServerConfig, ServerStats};
+use openserdes::serve::{
+    wire, Client, ClientConfig, ClientError, Server, ServerConfig, ServerStats,
+};
 use openserdes::Session;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Binds a loopback server, runs `body` against its address, then
@@ -273,4 +284,280 @@ fn engine_panic_is_isolated_and_the_worker_survives() {
     assert_eq!(stats.panics_isolated, 1);
     assert_eq!(stats.errored, 0, "a panic counts as isolated, not errored");
     assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn dead_server_times_out_typed_instead_of_hanging() {
+    // A socket that accepts and never replies — the regression this
+    // hardening PR exists for: the old blocking client hung forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accepting = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = listener.accept() {
+            held.push(s);
+        }
+    });
+
+    let config = ClientConfig {
+        read_timeout_ms: 50,
+        retries: 2,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 4,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(addr, "patient", config).expect("connect");
+    let started = std::time::Instant::now();
+    match client.submit(1, 1, &quick_bathtub(1_000)) {
+        Err(ClientError::Timeout(_)) => {}
+        other => panic!("expected typed timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "bounded failure, not a hang"
+    );
+    let stats = client.retry_stats();
+    assert_eq!(stats.attempts, 3, "first try plus the two retries");
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.reconnects, 2, "each retry reconnects fresh");
+    // The accept thread dies with the process; nothing to join.
+    drop(accepting);
+}
+
+#[test]
+fn hostile_length_prefix_gets_a_typed_error_and_clean_close() {
+    let stats = with_server(ServerConfig::default(), |addr| {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&u32::MAX.to_be_bytes()).expect("hostile prefix");
+        let reply = wire::read_frame_blocking(&mut s)
+            .expect("typed reply, not a dropped connection")
+            .expect("frame before close");
+        let text = String::from_utf8(reply).expect("utf8");
+        match wire::parse_reply(&text).expect("reply parses") {
+            Err(msg) => {
+                assert!(msg.contains("MAX_FRAME"), "typed oversize error: {msg}");
+                assert!(
+                    msg.contains(&u32::MAX.to_string()),
+                    "echoes the announced length: {msg}"
+                );
+            }
+            Ok(other) => panic!("expected an error frame, got {other:?}"),
+        }
+        assert_eq!(
+            wire::read_frame_blocking(&mut s).expect("clean close"),
+            None,
+            "server closes cleanly after the typed reply"
+        );
+    });
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.conn_errors, 0);
+}
+
+#[test]
+fn queued_jobs_past_deadline_come_back_typed() {
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let stats = with_server(config, |addr| {
+        let occupier = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "occupier").expect("connect");
+            client
+                .submit(1, 277, &quick_bathtub(1_000_000))
+                .expect("slow job")
+        });
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Queued behind the occupier with a 1 ms deadline: by the time
+        // the sole worker frees up, the deadline has long lapsed, so
+        // the job is retired typed instead of burning the worker.
+        let mut client = Client::connect(addr, "hurried").expect("connect");
+        match client
+            .submit_with_deadline(2, 278, Some(1), &quick_bathtub(1_500))
+            .expect("typed reply")
+        {
+            Response::DeadlineExceeded(info) => {
+                assert_eq!(info.tenant, "hurried");
+                assert_eq!(info.deadline_ms, 1);
+                assert!(info.queued_ms >= 1);
+            }
+            other => panic!("expected deadline exceeded, got {other:?}"),
+        }
+
+        // A zero deadline short-circuits before queueing at all.
+        match client
+            .submit_with_deadline(2, 279, Some(0), &quick_bathtub(1_500))
+            .expect("typed reply")
+        {
+            Response::DeadlineExceeded(info) => assert_eq!(info.deadline_ms, 0),
+            other => panic!("expected deadline exceeded, got {other:?}"),
+        }
+        assert!(matches!(
+            occupier.join().expect("occupier thread"),
+            Response::Bathtub(_)
+        ));
+    });
+    assert_eq!(stats.deadline_expired, 2);
+    assert_eq!(stats.completed, 1, "only the occupier actually ran");
+}
+
+/// Executes one server-plane fault event against a live server — the
+/// loopback driver for the seeded chaos taxonomy. Every arm is bounded
+/// (no unbounded reads) so a hang is a test failure, not a deadlock.
+fn inject(addr: SocketAddr, kind: ServerFaultKind) {
+    match kind {
+        ServerFaultKind::DropMidFrame => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&100u32.to_be_bytes()).expect("prefix");
+            s.write_all(&[0x78; 10]).expect("partial payload");
+            drop(s);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        ServerFaultKind::TruncatedFrame { promised } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&promised.to_be_bytes()).expect("prefix");
+            s.write_all(&vec![0x79; (promised / 2) as usize])
+                .expect("half payload");
+            drop(s);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        ServerFaultKind::OversizedPrefix { announced } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("bounded read");
+            let prefix = announced.min(u64::from(u32::MAX)) as u32;
+            s.write_all(&prefix.to_be_bytes()).expect("hostile prefix");
+            let reply = wire::read_frame_blocking(&mut s)
+                .expect("typed reply")
+                .expect("frame before close");
+            let text = String::from_utf8(reply).expect("utf8");
+            match wire::parse_reply(&text).expect("parses") {
+                Err(msg) => assert!(msg.contains("MAX_FRAME"), "typed: {msg}"),
+                Ok(other) => panic!("expected error frame, got {other:?}"),
+            }
+            assert_eq!(wire::read_frame_blocking(&mut s).expect("close"), None);
+        }
+        ServerFaultKind::StalledReader { hold_ms } => {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&64u32.to_be_bytes()).expect("prefix");
+            s.write_all(b"stall").expect("first bytes");
+            // Hold the frame half-fed past the server's read idle
+            // limit; the server must cut us off, not wait forever.
+            std::thread::sleep(Duration::from_millis(hold_ms));
+            drop(s);
+        }
+        ServerFaultKind::WorkerPanic => {
+            let mut poison = LinkConfig::paper_default();
+            poison.cdr.oversampling = 0;
+            let request = Request::RunLink {
+                config: poison,
+                frames: vec![[7u32; 8]],
+            };
+            let mut client = Client::connect(addr, "chaos-panic").expect("connect");
+            match client.submit(1, 31_337, &request) {
+                Err(ClientError::Server(msg)) => {
+                    assert!(msg.contains("panicked"), "isolated typed: {msg}")
+                }
+                other => panic!("expected isolated panic, got {other:?}"),
+            }
+        }
+        ServerFaultKind::DeadlineStorm { jobs } => {
+            let mut client = Client::connect(addr, "chaos-storm").expect("connect");
+            for i in 0..jobs {
+                match client
+                    .submit_with_deadline(1, 50_000 + i, Some(0), &quick_bathtub(1_000))
+                    .expect("typed reply")
+                {
+                    Response::DeadlineExceeded(info) => assert_eq!(info.deadline_ms, 0),
+                    other => panic!("expected deadline exceeded, got {other:?}"),
+                }
+            }
+        }
+        ServerFaultKind::ConnFlood { conns } => {
+            // Let EOFs from earlier events settle first, so the cap is
+            // filled by exactly these holders and nothing stale.
+            std::thread::sleep(Duration::from_millis(50));
+            let holders: Vec<TcpStream> = (0..4)
+                .map(|_| TcpStream::connect(addr).expect("holder"))
+                .collect();
+            std::thread::sleep(Duration::from_millis(50));
+            for _ in 0..conns {
+                let mut s = TcpStream::connect(addr).expect("flood conn");
+                s.set_read_timeout(Some(Duration::from_millis(500)))
+                    .expect("bounded read");
+                let reply = wire::read_frame_blocking(&mut s)
+                    .expect("typed rejection")
+                    .expect("frame");
+                let text = String::from_utf8(reply).expect("utf8");
+                match wire::parse_reply(&text).expect("parses") {
+                    Err(msg) => assert!(msg.contains("capacity"), "typed: {msg}"),
+                    Ok(other) => panic!("expected typed rejection, got {other:?}"),
+                }
+            }
+            drop(holders);
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    }
+}
+
+#[test]
+fn chaos_counters_are_deterministic_at_1_2_4_8_workers() {
+    // Seven events: the full server-plane taxonomy, seeded. The same
+    // plan runs against a fresh server at each worker count; every
+    // robustness counter must come out identical, every fault must be
+    // accounted to its contracted counter, and a survivor job must
+    // still be bit-identical to direct `Session::submit`.
+    let plan = server_campaign(0xC4A0_5EED, 7);
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut all_stats: Vec<ServerStats> = Vec::new();
+    for workers in worker_counts {
+        let config = ServerConfig {
+            workers,
+            max_connections: 4,
+            read_idle_ms: 25,
+            ..ServerConfig::default()
+        };
+        let plan = plan.clone();
+        let stats = with_server(config, move |addr| {
+            for event in plan.events() {
+                inject(addr, event.kind);
+            }
+            let mut client = Client::connect(addr, "survivor").expect("connect");
+            let wire_bytes = client
+                .submit_raw(1, 4242, &quick_bathtub(1_000))
+                .expect("survivor job");
+            let direct_bytes = Session::new()
+                .with_seed(4242)
+                .with_threads(1)
+                .submit(&quick_bathtub(1_000))
+                .expect("direct submit")
+                .to_canonical_json();
+            assert_eq!(wire_bytes, direct_bytes, "survivor bit-identity");
+            // Let async billing of the last connection events settle.
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        all_stats.push(stats);
+    }
+
+    let first = all_stats[0];
+    for (i, stats) in all_stats.iter().enumerate() {
+        assert_eq!(
+            *stats, first,
+            "counters must not depend on worker count (got a diff at {} workers)",
+            worker_counts[i]
+        );
+    }
+    for (counter, hits) in plan.expected_ledger() {
+        let got = match counter {
+            "serve.conn_errors" => first.conn_errors,
+            "serve.protocol_errors" => first.protocol_errors,
+            "serve.timeouts" => first.timeouts,
+            "serve.panics_isolated" => first.panics_isolated,
+            "serve.deadline_expired" => first.deadline_expired,
+            "serve.conns_rejected" => first.conns_rejected,
+            other => panic!("unknown counter in ledger: {other}"),
+        };
+        assert_eq!(got, hits, "{counter} accounts exactly its injected faults");
+    }
+    assert_eq!(first.completed, 1, "the survivor job");
 }
